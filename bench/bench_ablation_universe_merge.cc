@@ -1,0 +1,71 @@
+// Design-choice ablation (this implementation, called out in DESIGN.md):
+// the Universe combination step can run either as the plain min-plus DP
+// (Eq. 1) or, when every class profile has concave gains, as a greedy merge
+// of marginal gains. This bench measures the gap on a singleton-per-class
+// workload with many classes — the regime the Figure 28 "improved" strategy
+// lives in.
+//
+// The query is forced through the Universe path (Singleton base case
+// disabled) so the combination step is what dominates.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "util/rng.h"
+
+namespace adp::bench {
+namespace {
+
+// Q(A,B) :- R1(A), R2(A,B): A universal; every class is a vacuum-singleton.
+void AblationUniverseMerge(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool convex_merge = state.range(1) != 0;
+
+  ConjunctiveQuery q;
+  const AttrId a = q.AddAttribute("A");
+  const AttrId b = q.AddAttribute("B");
+  q.AddRelation("R1", {a});
+  q.AddRelation("R2", {a, b});
+  q.SetHead(AttrSet({a, b}));
+
+  Rng rng(42);
+  Database db(2);
+  const std::int64_t keys = std::max<std::int64_t>(2, n / 6);
+  for (std::int64_t i = 0; i < keys; ++i) db.rel(0).Add({i});
+  for (std::int64_t i = 0; i < n; ++i) {
+    db.rel(1).Add({static_cast<Value>(rng.Uniform(keys)),
+                   static_cast<Value>(rng.Uniform(n))});
+  }
+  db.DedupAll();
+
+  const std::int64_t outputs = OutputCount(q, db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs / 2);
+
+  AdpOptions options;
+  options.use_singleton = false;  // force the Universe path
+  options.universe_convex_merge = convex_merge;
+  AdpSolution sol;
+  for (auto _ : state) {
+    sol = ComputeAdp(q, db, k, options);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t n : {2000, 10000, 50000}) {
+    bench->Args({n, 1});
+    bench->Args({n, 0});
+  }
+}
+
+BENCHMARK(AblationUniverseMerge)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "convex_merge"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

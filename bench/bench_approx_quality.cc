@@ -1,0 +1,69 @@
+// Approximation-quality study (§6 / Theorem 5, no figure in the paper):
+// on the full CQ Qpath, compare the two Partial-Set-Cover algorithms
+// against the heuristic leaves. Counters report the solution sizes so the
+// O(log k) greedy and the p-approximate primal-dual can be judged against
+// DrasticGreedy at identical targets.
+
+#include <benchmark/benchmark.h>
+
+#include "approx/adp_psc.h"
+#include "bench_util.h"
+#include "workload/zipf_data.h"
+
+namespace adp::bench {
+namespace {
+
+enum Method { kPscGreedy = 0, kPscPrimalDual = 1, kDrastic = 2, kGreedy = 3 };
+
+void ApproxQuality(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t rho = state.range(1);
+  const Method method = static_cast<Method>(state.range(2));
+
+  const ConjunctiveQuery q = MakeQPath();
+  const Database db = MakeZipfDatabase(q, n, /*alpha=*/0.5, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(q, db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs * rho / 100);
+
+  AdpOptions options;
+  options.heuristic = method == kDrastic ? AdpOptions::Heuristic::kDrastic
+                                         : AdpOptions::Heuristic::kGreedy;
+  AdpSolution sol;
+  for (auto _ : state) {
+    switch (method) {
+      case kPscGreedy:
+        sol = SolveFullCqViaPsc(q, db, k, PscAlgorithm::kGreedy);
+        break;
+      case kPscPrimalDual:
+        sol = SolveFullCqViaPsc(q, db, k, PscAlgorithm::kPrimalDual);
+        break;
+      case kDrastic:
+      case kGreedy:
+        sol = ComputeAdp(q, db, k, options);
+        break;
+    }
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {1000, 5000}) {
+    for (std::int64_t rho : {10, 50}) {
+      for (std::int64_t m : {kPscGreedy, kPscPrimalDual, kDrastic, kGreedy}) {
+        b->Args({n, rho, m});
+      }
+    }
+  }
+}
+
+BENCHMARK(ApproxQuality)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "rho_pct", "method"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Figure 7: running time of the exact algorithm on σθQ1 (poly-time
+// solvable), counting vs reporting versions, over input size N and removal
+// ratio ρ.
+//
+// Paper shape to reproduce: both versions grow with N and ρ; the counting
+// version is cheaper and scales further than reporting.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/tpch.h"
+
+namespace adp::bench {
+namespace {
+
+void Fig07EasyExact(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t rho = state.range(1);
+  const bool counting = state.range(2) != 0;
+
+  const TpchWorkload w = MakeTpchSelected(n, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(w.query, w.db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs * rho / 100);
+
+  AdpOptions options;
+  options.counting_only = counting;
+  AdpSolution sol;
+  for (auto _ : state) {
+    sol = ComputeAdp(w.query, w.db, k, options);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : BenchSizes(/*cap=*/10000000)) {
+    for (std::int64_t rho : Ratios()) {
+      for (std::int64_t counting : {1, 0}) {
+        b->Args({n, rho, counting});
+      }
+    }
+  }
+}
+
+BENCHMARK(Fig07EasyExact)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "rho_pct", "counting"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

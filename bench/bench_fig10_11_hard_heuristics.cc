@@ -1,0 +1,56 @@
+// Figures 10 & 11: Greedy vs Drastic on the NP-hard query Q1 (no
+// selection) over input size and removal ratio.
+//
+// Shape to reproduce: Drastic computes profits once and is much faster;
+// Greedy rescans profits after every deletion and stops scaling around
+// 10^4-10^5 tuples (the paper stops its Greedy curves there too). Quality
+// (Fig 11 counters): both heuristics remove nearly the same number of
+// tuples on this distribution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/tpch.h"
+
+namespace adp::bench {
+namespace {
+
+void Fig1011HardHeuristics(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t rho = state.range(1);
+  const bool drastic = state.range(2) != 0;
+
+  const TpchWorkload w = MakeTpchHard(n, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(w.query, w.db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs * rho / 100);
+
+  AdpOptions options;
+  options.heuristic = drastic ? AdpOptions::Heuristic::kDrastic
+                              : AdpOptions::Heuristic::kGreedy;
+  AdpSolution sol;
+  for (auto _ : state) {
+    sol = ComputeAdp(w.query, w.db, k, options);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : BenchSizes(/*cap=*/1000000)) {
+    for (std::int64_t rho : Ratios()) {
+      b->Args({n, rho, /*drastic=*/1});
+      if (n <= 10000) b->Args({n, rho, /*drastic=*/0});
+    }
+  }
+}
+
+BENCHMARK(Fig1011HardHeuristics)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "rho_pct", "drastic"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Figures 12 & 13: the BruteForce baseline vs the two heuristics on small
+// hard-Q1 instances at ρ = 10%.
+//
+// Shape to reproduce: BruteForce's runtime explodes combinatorially with
+// the input size while the heuristics stay flat (Fig 12); solution sizes
+// coincide at these scales (Fig 13). The paper could not finish BruteForce
+// at N = 1000 or ρ = 0.2 — our sweep likewise stops while the subset
+// enumeration is still tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "solver/brute_force.h"
+#include "workload/tpch.h"
+
+namespace adp::bench {
+namespace {
+
+enum Method { kBruteForce = 0, kGreedy = 1, kDrastic = 2 };
+
+void Fig1213BruteForce(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Method method = static_cast<Method>(state.range(1));
+
+  const TpchWorkload w = MakeTpchHard(n, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(w.query, w.db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs / 10);
+
+  AdpOptions options;
+  options.heuristic = method == kDrastic ? AdpOptions::Heuristic::kDrastic
+                                         : AdpOptions::Heuristic::kGreedy;
+  AdpSolution sol;
+  for (auto _ : state) {
+    if (method == kBruteForce) {
+      auto res = BruteForceAdp(w.query, w.db, k);
+      if (res) sol = *res;
+      benchmark::DoNotOptimize(res);
+    } else {
+      sol = ComputeAdp(w.query, w.db, k, options);
+      benchmark::DoNotOptimize(sol.cost);
+    }
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {60, 100, 140, 180, 220}) {
+    b->Args({n, kBruteForce});
+    b->Args({n, kGreedy});
+    b->Args({n, kDrastic});
+  }
+}
+
+BENCHMARK(Fig1213BruteForce)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "method"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

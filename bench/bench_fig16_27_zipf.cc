@@ -1,0 +1,69 @@
+// Figures 16–27: data-distribution study on Zipf(α) instances,
+// α ∈ {0, 0.25, 0.5, 1}, for
+//   * the NP-hard Qpath(A,B) :- R1(A), R2(A,B), R3(B)  (Greedy / Drastic;
+//     Figures 16–19 and 24–27), and
+//   * the easy singleton Q6(A,B) :- R1(A), R2(A,B)     (Exact;
+//     Figures 20–23).
+//
+// Shape to reproduce: for fixed N and ρ, the number of removed tuples
+// decreases as α grows (skew lets fewer deletions remove more outputs);
+// Drastic/Exact runtimes are insensitive to α while Greedy's runtime falls
+// with the solution size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/zipf_data.h"
+
+namespace adp::bench {
+namespace {
+
+enum Method { kExactQ6 = 0, kGreedyPath = 1, kDrasticPath = 2 };
+
+void Fig1627Zipf(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t rho = state.range(1);
+  const std::int64_t alpha_x100 = state.range(2);
+  const Method method = static_cast<Method>(state.range(3));
+  const double alpha = static_cast<double>(alpha_x100) / 100.0;
+
+  const ConjunctiveQuery q = method == kExactQ6 ? MakeQ6() : MakeQPath();
+  const Database db = MakeZipfDatabase(q, n, alpha, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(q, db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs * rho / 100);
+
+  AdpOptions options;
+  options.heuristic = method == kDrasticPath
+                          ? AdpOptions::Heuristic::kDrastic
+                          : AdpOptions::Heuristic::kGreedy;
+  AdpSolution sol;
+  for (auto _ : state) {
+    sol = ComputeAdp(q, db, k, options);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+  state.counters["alpha_x100"] = static_cast<double>(alpha_x100);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t alpha : {0, 25, 50, 100}) {
+    for (std::int64_t n : BenchSizes(/*cap=*/1000000)) {
+      for (std::int64_t rho : Ratios()) {
+        b->Args({n, rho, alpha, kExactQ6});
+        b->Args({n, rho, alpha, kDrasticPath});
+        if (n <= 10000) b->Args({n, rho, alpha, kGreedyPath});
+      }
+    }
+  }
+}
+
+BENCHMARK(Fig1627Zipf)
+    ->Apply(Sweep)
+    ->ArgNames({"N", "rho_pct", "alpha_x100", "method"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

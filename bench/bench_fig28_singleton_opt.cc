@@ -1,0 +1,79 @@
+// Figure 28: ablation of the Singleton optimization (§7.3, §8.5) on
+//   Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G),
+//                        R4(A,B,C,F)
+// over a correlated instance: 400 shared (A,B,C) keys with 4 rows per key
+// in each wide relation. (The paper quotes 500 independent uniform tuples
+// over domain [1,100], which leaves the four-way join empty with
+// overwhelming probability — see EXPERIMENTS.md.)
+//
+// Three strategies, as in the paper:
+//   1. remove the universal attributes A, B, C one at a time (nested
+//      Universe partitions);
+//   2. remove them as one combined attribute (single Universe level, plain
+//      DP combination);
+//   3. the Singleton base case (direct sort).
+// Shape to reproduce: improved (3) << whole (2) << one-by-one (1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/synthetic.h"
+
+namespace adp::bench {
+namespace {
+
+enum Strategy { kOneByOne = 0, kWhole = 1, kSingletonSort = 2 };
+
+void Fig28SingletonOpt(benchmark::State& state) {
+  const std::int64_t rho = state.range(0);
+  const Strategy strategy = static_cast<Strategy>(state.range(1));
+
+  const ConjunctiveQuery q = MakeQ7();
+  const Database db = MakeQ7Database(q, /*num_keys=*/400,
+                                    /*rows_per_key=*/4, /*seed=*/42);
+  const std::int64_t outputs = OutputCount(q, db);
+  const std::int64_t k = std::max<std::int64_t>(1, outputs * rho / 100);
+
+  AdpOptions options;
+  switch (strategy) {
+    case kOneByOne:
+      options.use_singleton = false;
+      options.universe_strategy = AdpOptions::UniverseStrategy::kOneByOne;
+      options.universe_convex_merge = false;
+      break;
+    case kWhole:
+      options.use_singleton = false;
+      options.universe_strategy = AdpOptions::UniverseStrategy::kAllAtOnce;
+      options.universe_convex_merge = false;
+      break;
+    case kSingletonSort:
+      options.use_singleton = true;
+      break;
+  }
+  AdpSolution sol;
+  for (auto _ : state) {
+    sol = ComputeAdp(q, db, k, options);
+    benchmark::DoNotOptimize(sol.cost);
+  }
+  Report(state, outputs, k, sol);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  // The paper plots ρ = 50% and 75%.
+  for (std::int64_t rho : {50, 75}) {
+    for (std::int64_t strategy : {kOneByOne, kWhole, kSingletonSort}) {
+      b->Args({rho, strategy});
+    }
+  }
+}
+
+BENCHMARK(Fig28SingletonOpt)
+    ->Apply(Sweep)
+    ->ArgNames({"rho_pct", "strategy"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace adp::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// adp_cli: run ADP on your own data from the command line.
+//
+// Usage:
+//   adp_cli "<query>" <data-dir> <k|P%> [options]
+//
+//   <query>     datalog syntax, e.g. "Q(A,B) :- R(A,B), S(B,C=5)"
+//   <data-dir>  directory holding <RelationName>.csv per body relation
+//   <k|P%>      absolute output-removal target, or a percentage of |Q(D)|
+//
+// Options:
+//   --counting       cost only, skip the witness tuples
+//   --drastic        use DrasticGreedy on NP-hard leaves (full CQs)
+//   --verify         re-evaluate the query after deletion
+//   --classify-only  print the dichotomy verdict and exit
+//
+// Exit codes: 0 success, 1 usage/parse error, 2 infeasible target.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "dichotomy/is_ptime.h"
+#include "dichotomy/structures.h"
+#include "io/csv.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace adp;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s \"<query>\" <data-dir> <k|P%%> "
+                 "[--counting] [--drastic] [--verify] [--classify-only]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  ConjunctiveQuery q;
+  try {
+    q = ParseQuery(argv[1]);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "query error: %s\n", e.what());
+    return 1;
+  }
+
+  AdpOptions options;
+  options.verify = false;
+  bool classify_only = false;
+  for (int i = 4; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--counting")) options.counting_only = true;
+    else if (!std::strcmp(argv[i], "--drastic"))
+      options.heuristic = AdpOptions::Heuristic::kDrastic;
+    else if (!std::strcmp(argv[i], "--verify")) options.verify = true;
+    else if (!std::strcmp(argv[i], "--classify-only")) classify_only = true;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::printf("query: %s\n", q.ToString().c_str());
+  const bool ptime = IsPtime(q);
+  std::printf("dichotomy: %s (%s)\n",
+              ptime ? "poly-time solvable" : "NP-hard",
+              FindHardStructure(q).description.c_str());
+  if (classify_only) return 0;
+
+  Database db;
+  try {
+    db = LoadDatabaseCsv(q, argv[2]);
+  } catch (const CsvError& e) {
+    std::fprintf(stderr, "data error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %zu tuples across %d relations\n", db.TotalTuples(),
+              q.num_relations());
+
+  // Resolve the target: absolute k or percentage of |Q(D)|.
+  AdpStats stats;
+  options.stats = &stats;
+  const std::string target = argv[3];
+  std::int64_t k;
+  Stopwatch watch;
+  if (!target.empty() && target.back() == '%') {
+    const double pct = std::atof(target.substr(0, target.size() - 1).c_str());
+    // Probe run to learn |Q(D)|.
+    const AdpSolution probe = ComputeAdp(q, db, 0, options);
+    k = static_cast<std::int64_t>(pct / 100.0 *
+                                  static_cast<double>(probe.output_count));
+    if (k < 1) k = 1;
+  } else {
+    k = std::atoll(target.c_str());
+  }
+
+  watch.Reset();
+  const AdpSolution sol = ComputeAdp(q, db, k, options);
+  const double ms = watch.ElapsedMs();
+
+  std::printf("|Q(D)| = %lld, target k = %lld\n",
+              static_cast<long long>(sol.output_count),
+              static_cast<long long>(k));
+  if (!sol.feasible) {
+    std::printf("infeasible: k exceeds |Q(D)|\n");
+    return 2;
+  }
+  std::printf("tuples to delete: %lld (%s) in %.2f ms\n",
+              static_cast<long long>(sol.cost),
+              sol.exact ? "optimal" : "heuristic", ms);
+  std::printf("recursion: %d boolean, %d singleton, %d universe (%lld "
+              "classes), %d decompose, %d greedy, %d drastic\n",
+              stats.boolean_nodes, stats.singleton_nodes,
+              stats.universe_nodes,
+              static_cast<long long>(stats.universe_groups),
+              stats.decompose_nodes, stats.greedy_leaves,
+              stats.drastic_leaves);
+  if (!options.counting_only) {
+    WriteSolutionCsv(std::cout, q, db, sol.tuples);
+  }
+  if (options.verify) {
+    std::printf("verified outputs removed: %lld\n",
+                static_cast<long long>(sol.removed_outputs));
+  }
+  return 0;
+}

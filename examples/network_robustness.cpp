@@ -1,0 +1,92 @@
+// Example 3 from the paper's introduction: measuring the robustness of a
+// layered communication network with the 3-path query
+//
+//   Q3path(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)
+//
+// ADP(Q3path, D, k) asks: how few links must fail to disrupt k of the
+// end-to-end paths? Sweeping k produces a disruption curve — a steep curve
+// (most paths killed by few link failures) means a fragile network, a flat
+// one means a robust network.
+//
+// We compare two topologies of identical size: a "hub" network where most
+// traffic funnels through a few middle nodes, and a "mesh" with evenly
+// spread links. The paper's robustness story predicts the hub network's
+// curve collapses far earlier — and it does.
+
+#include <cstdio>
+
+#include "analysis/robustness.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace adp;
+
+// Layered network: layer0 -> layer1 -> layer2 -> layer3.
+Database MakeLayered(const ConjunctiveQuery& q, int width, bool hub,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Database db(q.num_relations());
+  auto link = [&](int rel, int from, int to) {
+    db.rel(rel).Add({from, to});
+  };
+  for (int rel = 0; rel < 3; ++rel) {
+    for (int from = 0; from < width; ++from) {
+      const int fanout = 3;
+      for (int i = 0; i < fanout; ++i) {
+        int to;
+        if (hub && rel == 1) {
+          to = static_cast<int>(rng.Uniform(3));  // funnel into 3 hub nodes
+        } else {
+          to = static_cast<int>(rng.Uniform(width));
+        }
+        link(rel, from, to);
+      }
+    }
+  }
+  db.DedupAll();
+  return db;
+}
+
+void PrintCurve(const char* label, const Database& db,
+                const ConjunctiveQuery& q) {
+  const DisruptionCurve curve =
+      ComputeDisruptionCurve(q, db, {0.2, 0.4, 0.6, 0.8});
+  std::printf("%s: %lld links, %lld end-to-end paths\n", label,
+              static_cast<long long>(curve.input_count),
+              static_cast<long long>(curve.output_count));
+  std::printf("  %% paths disrupted | links removed | %% links removed\n");
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    const DisruptionPoint& pt = curve.points[i];
+    if (!pt.feasible) continue;
+    std::printf("  %17.0f | %13lld | %14.1f\n", pt.fraction * 100,
+                static_cast<long long>(pt.deletions),
+                100.0 * curve.InputFraction(i));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)");
+  const int width = 30;
+
+  std::printf("== Example 3: network robustness via ADP ==\n");
+  std::printf("query: %s\n\n", q.ToString().c_str());
+
+  const Database hub = MakeLayered(q, width, /*hub=*/true, 1);
+  PrintCurve("hub topology ", hub, q);
+  std::printf("\n");
+  const Database mesh = MakeLayered(q, width, /*hub=*/false, 1);
+  PrintCurve("mesh topology", mesh, q);
+
+  std::printf(
+      "\nReading the curves: the hub network loses most of its paths after\n"
+      "a handful of link deletions (the middle layer is a chokepoint),\n"
+      "while the mesh requires a large fraction of its links to fail for\n"
+      "the same damage — precisely the robustness signal ADP quantifies.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "analysis/monitor.h"
+
+namespace adp {
+
+DeletionMonitor::DeletionMonitor(const ConjunctiveQuery& q,
+                                 const Database& db)
+    : index_(std::make_unique<ProvenanceIndex>(q.body(), q.head(), db)),
+      initial_(index_->total_outputs()) {}
+
+std::int64_t DeletionMonitor::Delete(int relation, TupleId row) {
+  return index_->Delete(relation, row);
+}
+
+std::int64_t DeletionMonitor::Impact(int relation, TupleId row) const {
+  return index_->Profit(relation, row);
+}
+
+bool DeletionMonitor::IsRelevant(int relation, TupleId row) const {
+  return index_->IsRelevant(relation, row);
+}
+
+}  // namespace adp

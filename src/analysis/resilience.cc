@@ -1,0 +1,28 @@
+#include "analysis/resilience.h"
+
+#include "query/transform.h"
+
+namespace adp {
+
+ResilienceResult ComputeResilience(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const AdpOptions& options) {
+  // Drop the head: resilience is defined on the boolean query.
+  ConjunctiveQuery boolean = RemoveAttributes(q, AttrSet());
+  boolean.SetHead(AttrSet());
+
+  const AdpSolution sol = ComputeAdp(boolean, db, 1, options);
+  ResilienceResult result;
+  if (!sol.feasible && sol.output_count == 0) {
+    // Query already false: nothing to delete.
+    result.resilience = 0;
+    result.exact = true;
+    return result;
+  }
+  result.resilience = sol.cost;
+  result.tuples = sol.tuples;
+  result.exact = sol.exact;
+  return result;
+}
+
+}  // namespace adp

@@ -1,0 +1,39 @@
+// Resilience (Freire et al. [11], §3.3): the minimum number of input tuples
+// whose deletion makes a boolean query false. ADP generalizes it — on a
+// boolean query, resilience = ADP(Q, D, 1); on a non-boolean query the paper
+// notes resilience equals ADP with k = |Q(D)| (empty the output).
+//
+// This header packages both views behind one call.
+
+#ifndef ADP_ANALYSIS_RESILIENCE_H_
+#define ADP_ANALYSIS_RESILIENCE_H_
+
+#include <cstdint>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/compute_adp.h"
+
+namespace adp {
+
+/// Result of a resilience computation.
+struct ResilienceResult {
+  /// Minimum deletions to make the (boolean version of the) query false;
+  /// 0 if it is false already.
+  std::int64_t resilience = 0;
+  /// A witness set (root coordinates), unless counting_only.
+  std::vector<TupleRef> tuples;
+  /// True iff the value is optimal (boolean dichotomy + linearization).
+  bool exact = true;
+};
+
+/// Computes the resilience of `q` on `db`. Non-boolean heads are dropped
+/// (resilience is a property of the boolean query underneath). Options are
+/// honored (counting_only, restrictions, stats).
+ResilienceResult ComputeResilience(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const AdpOptions& options = {});
+
+}  // namespace adp
+
+#endif  // ADP_ANALYSIS_RESILIENCE_H_

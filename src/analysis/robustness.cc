@@ -1,0 +1,45 @@
+#include "analysis/robustness.h"
+
+#include <algorithm>
+
+#include "query/transform.h"
+#include "relational/join.h"
+
+namespace adp {
+
+DisruptionCurve ComputeDisruptionCurve(const ConjunctiveQuery& q,
+                                       const Database& db,
+                                       const std::vector<double>& fractions,
+                                       const AdpOptions& options) {
+  DisruptionCurve curve;
+  curve.input_count = static_cast<std::int64_t>(db.TotalTuples());
+  if (q.HasSelections()) {
+    const QueryDb pushed = ApplySelections(q, db);
+    curve.output_count = static_cast<std::int64_t>(CountOutputs(
+        pushed.query.body(), pushed.query.head(), pushed.db));
+  } else {
+    curve.output_count =
+        static_cast<std::int64_t>(CountOutputs(q.body(), q.head(), db));
+  }
+
+  for (double f : fractions) {
+    DisruptionPoint point;
+    point.fraction = f;
+    point.k = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(f * static_cast<double>(
+                                             curve.output_count)));
+    if (curve.output_count == 0) {
+      point.feasible = false;
+      curve.points.push_back(point);
+      continue;
+    }
+    const AdpSolution sol = ComputeAdp(q, db, point.k, options);
+    point.deletions = sol.cost;
+    point.exact = sol.exact;
+    point.feasible = sol.feasible;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace adp

@@ -1,0 +1,51 @@
+// Robustness analysis (Examples 2–3 of the paper): sweep removal targets
+// and report how many input deletions each level of output disruption
+// requires. A steep curve (large disruption from few deletions) indicates a
+// fragile view; a flat one, a robust view.
+
+#ifndef ADP_ANALYSIS_ROBUSTNESS_H_
+#define ADP_ANALYSIS_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/compute_adp.h"
+
+namespace adp {
+
+/// One point of a disruption curve.
+struct DisruptionPoint {
+  double fraction = 0.0;          // requested fraction of outputs removed
+  std::int64_t k = 0;             // resulting absolute target
+  std::int64_t deletions = 0;     // input tuples the solver needed
+  bool exact = false;             // optimal (vs heuristic upper bound)
+  bool feasible = true;
+};
+
+/// The curve plus instance-level context.
+struct DisruptionCurve {
+  std::int64_t output_count = 0;  // |Q(D)|
+  std::int64_t input_count = 0;   // |D|
+  std::vector<DisruptionPoint> points;
+
+  /// Fraction of the input that must be deleted to reach the given point
+  /// (the robustness measure of Example 3).
+  double InputFraction(std::size_t i) const {
+    return input_count == 0
+               ? 0.0
+               : static_cast<double>(points[i].deletions) /
+                     static_cast<double>(input_count);
+  }
+};
+
+/// Computes the curve at the given output fractions (each in (0, 1]).
+DisruptionCurve ComputeDisruptionCurve(const ConjunctiveQuery& q,
+                                       const Database& db,
+                                       const std::vector<double>& fractions,
+                                       const AdpOptions& options = {});
+
+}  // namespace adp
+
+#endif  // ADP_ANALYSIS_ROBUSTNESS_H_

@@ -1,0 +1,40 @@
+// The Theorem 5 reduction: full-CQ ADP(Q, D, k) -> Partial Set Cover.
+// Sets correspond to input tuples, elements to output tuples (full-join
+// rows); a set contains the outputs its tuple's deletion destroys. Every
+// element belongs to exactly p sets, so greedy gives O(log k) and
+// primal-dual gives p-approximation.
+
+#ifndef ADP_APPROX_ADP_PSC_H_
+#define ADP_APPROX_ADP_PSC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/set_cover.h"
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// The materialized reduction with the tuple <-> set correspondence.
+struct AdpPscReduction {
+  PscInstance instance;
+  std::vector<TupleRef> set_tuple;  // set id -> root tuple
+};
+
+/// Builds the PSC instance for a full CQ. Precondition: q.IsFull().
+AdpPscReduction ReduceFullCqToPsc(const ConjunctiveQuery& q,
+                                  const Database& db);
+
+/// Which PSC algorithm to run on the reduction.
+enum class PscAlgorithm { kGreedy, kPrimalDual };
+
+/// Solves full-CQ ADP approximately through the PSC reduction and pulls the
+/// chosen sets back to input tuples.
+AdpSolution SolveFullCqViaPsc(const ConjunctiveQuery& q, const Database& db,
+                              std::int64_t k, PscAlgorithm algorithm);
+
+}  // namespace adp
+
+#endif  // ADP_APPROX_ADP_PSC_H_

@@ -1,0 +1,150 @@
+#include "approx/set_cover.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace adp {
+namespace {
+
+// Residual coverage of a set given the covered mask.
+std::int64_t Residual(const std::vector<std::int64_t>& set,
+                      const std::vector<char>& covered) {
+  std::int64_t r = 0;
+  for (std::int64_t e : set) r += covered[e] ? 0 : 1;
+  return r;
+}
+
+void MarkCovered(const std::vector<std::int64_t>& set,
+                 std::vector<char>& covered, std::int64_t& count) {
+  for (std::int64_t e : set) {
+    if (!covered[e]) {
+      covered[e] = 1;
+      ++count;
+    }
+  }
+}
+
+}  // namespace
+
+PscResult GreedyPartialSetCover(const PscInstance& instance, std::int64_t k) {
+  PscResult result;
+  std::vector<char> covered(instance.num_elements, 0);
+  while (result.covered < k) {
+    int best = -1;
+    std::int64_t best_gain = 0;
+    for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+      const std::int64_t gain = Residual(instance.sets[s], covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;  // nothing left to cover
+    result.chosen.push_back(best);
+    MarkCovered(instance.sets[best], covered, result.covered);
+  }
+  return result;
+}
+
+PscResult PrimalDualPartialSetCover(const PscInstance& instance,
+                                    std::int64_t k) {
+  // Unit-cost primal-dual: raise the duals of all uncovered elements
+  // uniformly; sets become tight when the dual mass inside them reaches 1;
+  // tight sets are bought. A final reverse pruning pass drops sets whose
+  // unique contribution is not needed for the target. On full coverage this
+  // is the classic f-approximation ([13]); on partial coverage the unit-cost
+  // setting avoids the cost-guessing step of [13].
+  PscResult result;
+  const std::size_t m = instance.sets.size();
+  std::vector<char> covered(instance.num_elements, 0);
+  std::vector<char> bought(m, 0);
+  // slack[s]: remaining dual mass before set s becomes tight, scaled by a
+  // common denominator to stay integral: we advance in "epochs" where all
+  // uncovered elements raise duals by 1/|uncovered|; instead track per-set
+  // residual uncovered counts and fractional tightness via doubles.
+  std::vector<double> tightness(m, 0.0);
+
+  while (result.covered < k) {
+    // Raise rate for set s = number of uncovered elements in s.
+    double best_dt = std::numeric_limits<double>::infinity();
+    int best_set = -1;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (bought[s]) continue;
+      const std::int64_t rate = Residual(instance.sets[s], covered);
+      if (rate == 0) continue;
+      const double dt = (1.0 - tightness[s]) / static_cast<double>(rate);
+      if (dt < best_dt) {
+        best_dt = dt;
+        best_set = static_cast<int>(s);
+      }
+    }
+    if (best_set < 0) break;  // nothing can cover more
+    for (std::size_t s = 0; s < m; ++s) {
+      if (bought[s]) continue;
+      const std::int64_t rate = Residual(instance.sets[s], covered);
+      tightness[s] += best_dt * static_cast<double>(rate);
+    }
+    bought[best_set] = 1;
+    result.chosen.push_back(best_set);
+    MarkCovered(instance.sets[best_set], covered, result.covered);
+  }
+
+  // Reverse pruning: drop sets whose removal keeps coverage >= k.
+  std::vector<char> keep(result.chosen.size(), 1);
+  for (std::size_t i = result.chosen.size(); i-- > 0;) {
+    // Recompute coverage without set i (and without already-dropped sets).
+    std::vector<char> cov(instance.num_elements, 0);
+    std::int64_t cnt = 0;
+    for (std::size_t jj = 0; jj < result.chosen.size(); ++jj) {
+      if (!keep[jj] || jj == i) continue;
+      MarkCovered(instance.sets[result.chosen[jj]], cov, cnt);
+    }
+    if (cnt >= k) keep[i] = 0;
+  }
+  PscResult pruned;
+  std::vector<char> cov(instance.num_elements, 0);
+  for (std::size_t i = 0; i < result.chosen.size(); ++i) {
+    if (!keep[i]) continue;
+    pruned.chosen.push_back(result.chosen[i]);
+    MarkCovered(instance.sets[result.chosen[i]], cov, pruned.covered);
+  }
+  return pruned;
+}
+
+PscResult ExactPartialSetCover(const PscInstance& instance, std::int64_t k) {
+  const int m = static_cast<int>(instance.sets.size());
+  PscResult best;
+  best.chosen.assign(instance.sets.size(), 0);  // sentinel: worse than any
+  bool found = false;
+  // Subsets in increasing popcount via sorted enumeration.
+  for (int size = 0; size <= m && !found; ++size) {
+    std::vector<int> combo(size);
+    for (int i = 0; i < size; ++i) combo[i] = i;
+    bool more = size <= m;
+    while (more) {
+      std::vector<char> cov(instance.num_elements, 0);
+      std::int64_t cnt = 0;
+      for (int s : combo) MarkCovered(instance.sets[s], cov, cnt);
+      if (cnt >= k) {
+        best.chosen.assign(combo.begin(), combo.end());
+        best.covered = cnt;
+        found = true;
+        break;
+      }
+      // next combination
+      more = false;
+      for (int i = size - 1; i >= 0; --i) {
+        if (combo[i] < m - (size - i)) {
+          ++combo[i];
+          for (int jj = i + 1; jj < size; ++jj) combo[jj] = combo[jj - 1] + 1;
+          more = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!found) best.chosen.clear();
+  return best;
+}
+
+}  // namespace adp

@@ -1,0 +1,44 @@
+// Partial Set Cover (Definition 9) with the two approximation algorithms
+// cited by Theorem 5 (Gandhi–Khuller–Srinivasan [13]):
+//   * greedy — picks the set covering most uncovered elements until k'
+//     elements are covered; O(log k) approximation;
+//   * primal-dual — f-approximation where f is the maximum number of sets
+//     any element belongs to (f == p for full-CQ ADP instances).
+
+#ifndef ADP_APPROX_SET_COVER_H_
+#define ADP_APPROX_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adp {
+
+/// A PSC instance: `sets[s]` lists the element ids covered by set s.
+struct PscInstance {
+  std::int64_t num_elements = 0;
+  std::vector<std::vector<std::int64_t>> sets;
+};
+
+/// Result: chosen set ids plus how many elements they cover.
+struct PscResult {
+  std::vector<int> chosen;
+  std::int64_t covered = 0;
+};
+
+/// Greedy partial set cover: H_k-approximate.
+/// Requires k <= num_elements coverable by the union of all sets.
+PscResult GreedyPartialSetCover(const PscInstance& instance, std::int64_t k);
+
+/// Primal-dual partial set cover: f-approximate, f = max element frequency.
+/// Implementation follows the local-ratio view of [13]: repeatedly pick an
+/// uncovered element, raise its dual until some containing set becomes
+/// tight, add that set; prune over-picked sets at the end.
+PscResult PrimalDualPartialSetCover(const PscInstance& instance,
+                                    std::int64_t k);
+
+/// Exact minimum by subset enumeration (testing oracle; exponential).
+PscResult ExactPartialSetCover(const PscInstance& instance, std::int64_t k);
+
+}  // namespace adp
+
+#endif  // ADP_APPROX_SET_COVER_H_

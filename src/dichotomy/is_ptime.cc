@@ -1,0 +1,52 @@
+#include "dichotomy/is_ptime.h"
+
+#include "dichotomy/triad.h"
+#include "query/graph.h"
+#include "query/transform.h"
+
+namespace adp {
+namespace {
+
+bool IsPtimeImpl(const ConjunctiveQuery& q) {
+  // Line 1: remove all universal attributes. One pass suffices: an attribute
+  // is universal iff it is a head attribute present in every relation, and
+  // removing other attributes never makes a new attribute universal.
+  const AttrSet universal = q.UniversalAttrs();
+  const ConjunctiveQuery reduced =
+      universal.Empty() ? q : RemoveAttributes(q, universal);
+
+  // Base case: boolean query — poly-time iff triad-free (Theorem 1 / [11]).
+  if (reduced.IsBoolean()) {
+    return !FindTriad(reduced).has_value();
+  }
+
+  // Base case: vacuum relation (Lemma 1).
+  if (reduced.HasVacuumRelation()) {
+    return true;
+  }
+
+  // Simplification: decompose a disconnected query (Lemma 3).
+  const std::vector<std::vector<int>> comps = ConnectedComponents(reduced);
+  if (comps.size() > 1) {
+    for (const std::vector<int>& comp : comps) {
+      if (!IsPtimeImpl(RestrictTo(reduced, comp).query)) return false;
+    }
+    return true;
+  }
+
+  // "Others": connected, non-boolean, no vacuum relation, no universal
+  // attribute — NP-hard by Lemma 4.
+  return false;
+}
+
+}  // namespace
+
+bool IsPtime(const ConjunctiveQuery& q) {
+  if (q.HasSelections()) {
+    // Lemma 12: equivalent to the residual query on unselected attributes.
+    return IsPtimeImpl(RemoveAttributes(q, q.SelectedAttrs()));
+  }
+  return IsPtimeImpl(q);
+}
+
+}  // namespace adp

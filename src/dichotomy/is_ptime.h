@@ -1,0 +1,20 @@
+// The procedural dichotomy IsPtime (Algorithm 1, Theorem 2): decides in
+// query-complexity polynomial time whether ADP(Q, D, k) is poly-time solvable
+// in data complexity for all D and k.
+
+#ifndef ADP_DICHOTOMY_IS_PTIME_H_
+#define ADP_DICHOTOMY_IS_PTIME_H_
+
+#include "query/query.h"
+
+namespace adp {
+
+/// Algorithm 1. Returns true iff ADP on `q` is poly-time solvable.
+///
+/// Selections are handled per Lemma 12: the decision is made on the residual
+/// query with the selected attributes removed.
+bool IsPtime(const ConjunctiveQuery& q);
+
+}  // namespace adp
+
+#endif  // ADP_DICHOTOMY_IS_PTIME_H_

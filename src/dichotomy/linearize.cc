@@ -1,0 +1,34 @@
+#include "dichotomy/linearize.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adp {
+
+bool IsLinearOrder(const ConjunctiveQuery& q, const std::vector<int>& order) {
+  for (AttrId a : q.all_attrs()) {
+    int first = -1;
+    int last = -1;
+    int count = 0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      if (q.relation(order[pos]).attr_set().Contains(a)) {
+        if (first < 0) first = static_cast<int>(pos);
+        last = static_cast<int>(pos);
+        ++count;
+      }
+    }
+    if (count > 0 && last - first + 1 != count) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> FindLinearOrder(const ConjunctiveQuery& q) {
+  std::vector<int> order(q.num_relations());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    if (IsLinearOrder(q, order)) return order;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return std::nullopt;
+}
+
+}  // namespace adp

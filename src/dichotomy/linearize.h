@@ -1,0 +1,29 @@
+// Linear arrangements of query bodies (§7.1).
+//
+// A boolean query is *linear* if its relations can be ordered so that every
+// attribute occurs in a contiguous block of atoms. On linear queries the
+// resilience problem reduces to a minimum vertex cut (Boolean solver). Every
+// triad-free query used in the paper admits such an arrangement; since query
+// complexity is O(1) we find one by exhaustive permutation search.
+
+#ifndef ADP_DICHOTOMY_LINEARIZE_H_
+#define ADP_DICHOTOMY_LINEARIZE_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+
+namespace adp {
+
+/// True if `order` (a permutation of body indices) places every attribute in
+/// a contiguous run of atoms.
+bool IsLinearOrder(const ConjunctiveQuery& q, const std::vector<int>& order);
+
+/// Searches for a linear arrangement of all atoms. Returns body indices in
+/// linear order, or nullopt if none exists.
+std::optional<std::vector<int>> FindLinearOrder(const ConjunctiveQuery& q);
+
+}  // namespace adp
+
+#endif  // ADP_DICHOTOMY_LINEARIZE_H_

@@ -1,0 +1,141 @@
+#include "dichotomy/structures.h"
+
+#include <set>
+#include <sstream>
+
+#include "dichotomy/relations.h"
+#include "dichotomy/triad.h"
+
+namespace adp {
+
+bool IsHierarchical(const ConjunctiveQuery& q, const std::vector<int>& rels,
+                    AttrSet attrs) {
+  // rels(A) restricted to `rels`, as a bitmask over positions in `rels`.
+  std::vector<std::uint64_t> occ(kMaxAttrs, 0);
+  AttrSet present;
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    const AttrSet ra = q.relation(rels[i]).attr_set().Intersect(attrs);
+    for (AttrId a : ra) {
+      occ[a] |= std::uint64_t{1} << i;
+      present.Add(a);
+    }
+  }
+  for (AttrId a : present) {
+    for (AttrId b : present) {
+      if (a >= b) continue;
+      const std::uint64_t oa = occ[a];
+      const std::uint64_t ob = occ[b];
+      const bool nested = (oa & ~ob) == 0 || (ob & ~oa) == 0;
+      const bool disjoint = (oa & ob) == 0;
+      if (!nested && !disjoint) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::pair<int, int>> FindStrand(const ConjunctiveQuery& q) {
+  const auto all = FindAllStrands(q);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::vector<std::pair<int, int>> FindAllStrands(const ConjunctiveQuery& q) {
+  std::vector<std::pair<int, int>> out;
+  const std::vector<int> nd = NonDominatedRelations(q);
+  const AttrSet head = q.head();
+  for (std::size_t x = 0; x < nd.size(); ++x) {
+    for (std::size_t y = x + 1; y < nd.size(); ++y) {
+      const AttrSet ai = q.relation(nd[x]).attr_set();
+      const AttrSet aj = q.relation(nd[y]).attr_set();
+      if (head.Intersect(ai) == head.Intersect(aj)) continue;
+      if (ai.Intersect(aj).Minus(head).Empty()) continue;
+      out.emplace_back(nd[x], nd[y]);
+    }
+  }
+  return out;
+}
+
+bool NonDominatedHeadJoinNonHierarchical(const ConjunctiveQuery& q) {
+  const std::vector<int> nd = NonDominatedRelations(q);
+  // Collapse relations whose head projections coincide (Case 3.2 keeps one
+  // representative of each identical-attribute group).
+  std::vector<int> kept;
+  std::set<std::uint64_t> seen;
+  for (int r : nd) {
+    const AttrSet proj = q.relation(r).attr_set().Intersect(q.head());
+    if (seen.insert(proj.mask()).second) kept.push_back(r);
+  }
+  return !IsHierarchical(q, kept, q.head());
+}
+
+HardStructure FindHardStructure(const ConjunctiveQuery& q) {
+  HardStructure out;
+  if (auto triad = FindTriadLike(q)) {
+    out.kind = HardStructureKind::kTriadLike;
+    out.relations = {triad->r1, triad->r2, triad->r3};
+    std::ostringstream os;
+    os << "triad-like structure on endogenous relations {"
+       << q.relation(triad->r1).name << ", " << q.relation(triad->r2).name
+       << ", " << q.relation(triad->r3).name << "}";
+    out.description = os.str();
+    return out;
+  }
+  if (auto strand = FindStrand(q)) {
+    out.kind = HardStructureKind::kStrand;
+    out.relations = {strand->first, strand->second};
+    std::ostringstream os;
+    os << "strand on non-dominated relations {"
+       << q.relation(strand->first).name << ", "
+       << q.relation(strand->second).name << "}";
+    out.description = os.str();
+    return out;
+  }
+  if (NonDominatedHeadJoinNonHierarchical(q)) {
+    out.kind = HardStructureKind::kNonHierarchicalHeadJoin;
+    out.relations = NonDominatedRelations(q);
+    out.description =
+        "the head join of the non-dominated relations is non-hierarchical";
+    return out;
+  }
+  out.description = "no hard structure: ADP is poly-time solvable";
+  return out;
+}
+
+bool HasHardStructure(const ConjunctiveQuery& q) {
+  return FindHardStructure(q).kind != HardStructureKind::kNone;
+}
+
+std::vector<HardStructure> AllHardStructures(const ConjunctiveQuery& q) {
+  std::vector<HardStructure> out;
+  for (const Triple& t : FindAllTriadLike(q)) {
+    HardStructure hs;
+    hs.kind = HardStructureKind::kTriadLike;
+    hs.relations = {t.r1, t.r2, t.r3};
+    std::ostringstream os;
+    os << "triad-like {" << q.relation(t.r1).name << ", "
+       << q.relation(t.r2).name << ", " << q.relation(t.r3).name << "}";
+    hs.description = os.str();
+    out.push_back(std::move(hs));
+  }
+  for (const auto& [i, j] : FindAllStrands(q)) {
+    HardStructure hs;
+    hs.kind = HardStructureKind::kStrand;
+    hs.relations = {i, j};
+    std::ostringstream os;
+    os << "strand {" << q.relation(i).name << ", " << q.relation(j).name
+       << "}";
+    hs.description = os.str();
+    out.push_back(std::move(hs));
+  }
+  if (NonDominatedHeadJoinNonHierarchical(q)) {
+    HardStructure hs;
+    hs.kind = HardStructureKind::kNonHierarchicalHeadJoin;
+    hs.relations = NonDominatedRelations(q);
+    hs.description =
+        "non-hierarchical head join of the non-dominated relations";
+    out.push_back(std::move(hs));
+  }
+  return out;
+}
+
+}  // namespace adp

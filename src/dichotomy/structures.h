@@ -1,0 +1,67 @@
+// The structural dichotomy (Theorem 3): ADP(Q, D, k) is NP-hard iff Q
+// contains a triad-like structure, a strand, or the head join of its
+// non-dominated relations is non-hierarchical.
+
+#ifndef ADP_DICHOTOMY_STRUCTURES_H_
+#define ADP_DICHOTOMY_STRUCTURES_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "util/attr_set.h"
+
+namespace adp {
+
+/// Hierarchical check (Definition 5) over the relations listed in `rels`,
+/// projected onto the attributes in `attrs`: for every attribute pair A, B
+/// occurring in the projections, rels(A) and rels(B) must be nested or
+/// disjoint.
+bool IsHierarchical(const ConjunctiveQuery& q, const std::vector<int>& rels,
+                    AttrSet attrs);
+
+/// Finds a strand (Definition 8): a pair of non-dominated relations Ri, Rj
+/// with head ∩ attr(Ri) ≠ head ∩ attr(Rj) and
+/// (attr(Ri) ∩ attr(Rj)) − head ≠ ∅. Returns body indices, or nullopt.
+std::optional<std::pair<int, int>> FindStrand(const ConjunctiveQuery& q);
+
+/// Every strand pair, for diagnostics.
+std::vector<std::pair<int, int>> FindAllStrands(const ConjunctiveQuery& q);
+
+/// True if the head join of the non-dominated relations is non-hierarchical
+/// (relations with identical head projections are collapsed first, per
+/// Case 3.2 of §4.2.3).
+bool NonDominatedHeadJoinNonHierarchical(const ConjunctiveQuery& q);
+
+/// Which of Theorem 3's hard structures (if any) a query contains.
+enum class HardStructureKind {
+  kNone,
+  kTriadLike,
+  kStrand,
+  kNonHierarchicalHeadJoin,
+};
+
+/// A hard-structure witness for diagnostics.
+struct HardStructure {
+  HardStructureKind kind = HardStructureKind::kNone;
+  std::vector<int> relations;  // witness body indices (empty for kNone)
+  std::string description;    // human-readable explanation
+};
+
+/// Finds any hard structure in `q` (checking triad-like, then strand, then
+/// the head-join condition). Per Theorem 3, kind == kNone iff ADP on `q` is
+/// poly-time solvable.
+HardStructure FindHardStructure(const ConjunctiveQuery& q);
+
+/// Convenience wrapper for FindHardStructure.
+bool HasHardStructure(const ConjunctiveQuery& q);
+
+/// Every hard-structure witness in `q` (all triad-like triples, all
+/// strands, plus the head-join condition if violated). Empty iff poly-time.
+std::vector<HardStructure> AllHardStructures(const ConjunctiveQuery& q);
+
+}  // namespace adp
+
+#endif  // ADP_DICHOTOMY_STRUCTURES_H_

@@ -1,0 +1,60 @@
+#include "dichotomy/triad.h"
+
+#include "dichotomy/relations.h"
+#include "query/graph.h"
+
+namespace adp {
+namespace {
+
+// Shared implementation: `extra_forbidden` is ∅ for triads and head(Q) for
+// triad-like structures. Stops at the first witness unless `all_out` is
+// given, in which case every triple is collected.
+std::optional<Triple> FindTriadImpl(const ConjunctiveQuery& q,
+                                    AttrSet extra_forbidden,
+                                    std::vector<Triple>* all_out = nullptr) {
+  const std::vector<int> endo = EndogenousRelations(q);
+  const AttrSet all = q.all_attrs();
+  const int n = static_cast<int>(endo.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (int c = b + 1; c < n; ++c) {
+        // Each of the three relations plays the "avoided" role once.
+        const int perm[3][3] = {{endo[a], endo[b], endo[c]},
+                                {endo[a], endo[c], endo[b]},
+                                {endo[b], endo[c], endo[a]}};
+        bool is_triad = true;
+        for (const auto& [r1, r2, r3] : perm) {
+          const AttrSet allowed =
+              all.Minus(q.relation(r3).attr_set()).Minus(extra_forbidden);
+          if (!ConnectedVia(q, r1, r2, allowed)) {
+            is_triad = false;
+            break;
+          }
+        }
+        if (is_triad) {
+          if (!all_out) return Triple{endo[a], endo[b], endo[c]};
+          all_out->push_back(Triple{endo[a], endo[b], endo[c]});
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Triple> FindTriad(const ConjunctiveQuery& q) {
+  return FindTriadImpl(q, AttrSet());
+}
+
+std::optional<Triple> FindTriadLike(const ConjunctiveQuery& q) {
+  return FindTriadImpl(q, q.head());
+}
+
+std::vector<Triple> FindAllTriadLike(const ConjunctiveQuery& q) {
+  std::vector<Triple> out;
+  FindTriadImpl(q, q.head(), &out);
+  return out;
+}
+
+}  // namespace adp

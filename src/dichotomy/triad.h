@@ -1,0 +1,38 @@
+// Triad (Definition 3, from [11]) and triad-like (Definition 4) detection.
+//
+// A triad is a triple of endogenous relations R1, R2, R3 such that for each
+// pair (say R1, R2) there is a path from R1 to R2 whose consecutive relations
+// share an attribute outside attr(R3). A triad-like structure additionally
+// forbids head attributes on the connecting path: the shared attributes must
+// avoid head(Q) ∪ attr(R3).
+
+#ifndef ADP_DICHOTOMY_TRIAD_H_
+#define ADP_DICHOTOMY_TRIAD_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+
+namespace adp {
+
+/// A witness triple of body indices.
+struct Triple {
+  int r1;
+  int r2;
+  int r3;
+};
+
+/// Finds a triad in a *boolean* CQ (Definition 3), or nullopt.
+std::optional<Triple> FindTriad(const ConjunctiveQuery& q);
+
+/// Finds a triad-like structure in a general CQ (Definition 4), or nullopt.
+/// On boolean queries this coincides with FindTriad.
+std::optional<Triple> FindTriadLike(const ConjunctiveQuery& q);
+
+/// Every triad-like triple (Definition 4), for diagnostics.
+std::vector<Triple> FindAllTriadLike(const ConjunctiveQuery& q);
+
+}  // namespace adp
+
+#endif  // ADP_DICHOTOMY_TRIAD_H_

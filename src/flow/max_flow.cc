@@ -1,0 +1,85 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace adp {
+
+int MaxFlow::AddEdge(int u, int v, std::int64_t cap) {
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{v, head_[u], cap});
+  head_[u] = id;
+  edges_.push_back(Edge{u, head_[v], 0});
+  head_[v] = id + 1;
+  return id;
+}
+
+bool MaxFlow::Bfs(int s, int t) {
+  level_.assign(num_nodes(), -1);
+  std::queue<int> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop();
+    for (int e = head_[u]; e >= 0; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && level_[edges_[e].to] < 0) {
+        level_[edges_[e].to] = level_[u] + 1;
+        queue.push(edges_[e].to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t MaxFlow::Dfs(int u, int t, std::int64_t limit) {
+  if (u == t || limit == 0) return limit;
+  std::int64_t pushed = 0;
+  for (int& e = iter_[u]; e >= 0; e = edges_[e].next) {
+    Edge& edge = edges_[e];
+    if (edge.cap <= 0 || level_[edge.to] != level_[u] + 1) continue;
+    std::int64_t got = Dfs(edge.to, t, std::min(limit - pushed, edge.cap));
+    if (got > 0) {
+      edge.cap -= got;
+      edges_[e ^ 1].cap += got;
+      pushed += got;
+      if (pushed == limit) return pushed;
+    }
+  }
+  level_[u] = -1;  // dead end; prune
+  return pushed;
+}
+
+std::int64_t MaxFlow::Compute(int s, int t) {
+  std::int64_t flow = 0;
+  while (Bfs(s, t)) {
+    iter_ = head_;
+    flow += Dfs(s, t, kInfCapacity);
+  }
+  return flow;
+}
+
+std::vector<char> MaxFlow::SourceSide(int s) const {
+  std::vector<char> reach(num_nodes(), 0);
+  std::vector<int> stack = {s};
+  reach[s] = 1;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (int e = head_[u]; e >= 0; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && !reach[edges_[e].to]) {
+        reach[edges_[e].to] = 1;
+        stack.push_back(edges_[e].to);
+      }
+    }
+  }
+  return reach;
+}
+
+bool MaxFlow::EdgeInCut(int e, const std::vector<char>& source_side) const {
+  const Edge& fwd = edges_[e];
+  const Edge& rev = edges_[e ^ 1];
+  return source_side[rev.to] && !source_side[fwd.to] && fwd.cap == 0;
+}
+
+}  // namespace adp

@@ -1,0 +1,67 @@
+// Max-flow / min-cut substrate for the Boolean (resilience) solver (§7.1).
+//
+// Dinic's algorithm on an explicit residual graph. The Boolean solver models
+// tuple deletion as a unit-capacity *node* by splitting each tuple into an
+// in/out pair; this module only deals in edge capacities.
+
+#ifndef ADP_FLOW_MAX_FLOW_H_
+#define ADP_FLOW_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adp {
+
+/// Effectively-infinite capacity. Small enough that millions of saturated
+/// infinite edges sum without overflowing 64 bits (a cut made entirely of
+/// protected tuples can carry that many).
+inline constexpr std::int64_t kInfCapacity = std::int64_t{1} << 40;
+
+/// Dinic max-flow over a growable directed graph.
+class MaxFlow {
+ public:
+  /// Creates a graph with `n` initial nodes (more can be added).
+  explicit MaxFlow(int n = 0) : head_(n, -1) {}
+
+  /// Adds a node; returns its id.
+  int AddNode() {
+    head_.push_back(-1);
+    return static_cast<int>(head_.size()) - 1;
+  }
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Adds a directed edge u -> v with capacity `cap`; returns the edge id
+  /// (its reverse edge is id ^ 1).
+  int AddEdge(int u, int v, std::int64_t cap);
+
+  /// Computes the max flow from `s` to `t`. May be called once per graph.
+  std::int64_t Compute(int s, int t);
+
+  /// After Compute: nodes reachable from `s` in the residual graph (the
+  /// source side of a minimum cut).
+  std::vector<char> SourceSide(int s) const;
+
+  /// After Compute: true iff edge `e` crosses the cut (source side ->
+  /// sink side) and is saturated.
+  bool EdgeInCut(int e, const std::vector<char>& source_side) const;
+
+ private:
+  struct Edge {
+    int to;
+    int next;           // next edge id in the adjacency list
+    std::int64_t cap;   // residual capacity
+  };
+
+  bool Bfs(int s, int t);
+  std::int64_t Dfs(int u, int t, std::int64_t limit);
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_FLOW_MAX_FLOW_H_

@@ -1,0 +1,116 @@
+#include "io/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace adp {
+namespace {
+
+bool LooksNumeric(const std::string& field) {
+  if (field.empty()) return false;
+  std::size_t i = (field[0] == '-' || field[0] == '+') ? 1 : 0;
+  if (i >= field.size()) return false;
+  for (; i < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    // Trim surrounding whitespace.
+    std::size_t b = field.find_first_not_of(" \t\r");
+    std::size_t e = field.find_last_not_of(" \t\r");
+    fields.push_back(b == std::string::npos
+                         ? std::string()
+                         : field.substr(b, e - b + 1));
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::vector<Tuple> ReadTuplesCsv(std::istream& in, std::size_t arity,
+                                 const std::string& context) {
+  std::vector<Tuple> out;
+  std::string line;
+  std::size_t lineno = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.empty() || (fields.size() == 1 && fields[0].empty())) {
+      if (arity == 0) out.push_back({});  // vacuum tuple
+      continue;
+    }
+    if (first_data_line && !LooksNumeric(fields[0])) {
+      first_data_line = false;
+      continue;  // header
+    }
+    first_data_line = false;
+    if (fields.size() != arity) {
+      std::ostringstream os;
+      os << context << ": line " << lineno << " has " << fields.size()
+         << " fields, expected " << arity;
+      throw CsvError(os.str());
+    }
+    Tuple row;
+    row.reserve(arity);
+    for (const std::string& f : fields) {
+      if (!LooksNumeric(f)) {
+        std::ostringstream os;
+        os << context << ": line " << lineno << ": non-integer field '" << f
+           << "'";
+        throw CsvError(os.str());
+      }
+      row.push_back(std::strtoll(f.c_str(), nullptr, 10));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<Tuple> LoadTuplesCsv(const std::string& path, std::size_t arity) {
+  std::ifstream in(path);
+  if (!in) throw CsvError("cannot open " + path);
+  return ReadTuplesCsv(in, arity, path);
+}
+
+Database LoadDatabaseCsv(const ConjunctiveQuery& q, const std::string& dir) {
+  Database db(q.num_relations());
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const RelationSchema& schema = q.relation(i);
+    const std::string path = dir + "/" + schema.name + ".csv";
+    std::ifstream in(path);
+    if (!in) {
+      throw CsvError("missing instance file " + path + " for relation " +
+                     schema.name);
+    }
+    for (Tuple& t : ReadTuplesCsv(in, schema.attrs.size(), path)) {
+      db.rel(i).Add(std::move(t));
+    }
+    db.rel(i).Dedup();
+  }
+  return db;
+}
+
+void WriteSolutionCsv(std::ostream& out, const ConjunctiveQuery& q,
+                      const Database& db,
+                      const std::vector<TupleRef>& tuples) {
+  out << "# relation,row,values...\n";
+  for (const TupleRef& ref : tuples) {
+    out << q.relation(ref.relation).name << "," << ref.row;
+    const Tuple& row = db.rel(ref.relation).tuple(ref.row);
+    for (Value v : row) out << "," << v;
+    out << "\n";
+  }
+}
+
+}  // namespace adp

@@ -1,0 +1,47 @@
+// CSV input/output for relation instances and solutions.
+//
+// Format: one row per tuple, comma-separated integer values, column order
+// matching the relation schema. Lines starting with '#' and blank lines are
+// skipped. A header line is permitted (detected as a non-numeric first
+// field) and ignored.
+
+#ifndef ADP_IO_CSV_H_
+#define ADP_IO_CSV_H_
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// Error thrown on malformed CSV input.
+class CsvError : public std::runtime_error {
+ public:
+  explicit CsvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses tuples of the given arity from a stream.
+std::vector<Tuple> ReadTuplesCsv(std::istream& in, std::size_t arity,
+                                 const std::string& context);
+
+/// Loads tuples of the given arity from a file.
+std::vector<Tuple> LoadTuplesCsv(const std::string& path, std::size_t arity);
+
+/// Builds the root database for `q` by loading `<dir>/<RelationName>.csv`
+/// for every body relation. Vacuum relations load a file with a single
+/// empty line (or the file may contain `true`/`false` semantics: a missing
+/// file means the empty instance).
+Database LoadDatabaseCsv(const ConjunctiveQuery& q, const std::string& dir);
+
+/// Writes a solution as CSV rows `relation,row,values...`.
+void WriteSolutionCsv(std::ostream& out, const ConjunctiveQuery& q,
+                      const Database& db, const std::vector<TupleRef>& tuples);
+
+}  // namespace adp
+
+#endif  // ADP_IO_CSV_H_

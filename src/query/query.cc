@@ -1,0 +1,109 @@
+#include "query/query.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace adp {
+
+AttrId ConjunctiveQuery::AddAttribute(const std::string& name) {
+  AttrId existing = FindAttribute(name);
+  if (existing >= 0) return existing;
+  assert(num_attributes() < kMaxAttrs && "too many attributes in query");
+  attr_names_.push_back(name);
+  return num_attributes() - 1;
+}
+
+int ConjunctiveQuery::AddRelation(std::string name,
+                                  std::vector<AttrId> attrs) {
+  body_.push_back(RelationSchema{std::move(name), std::move(attrs)});
+  selections_.emplace_back();
+  return num_relations() - 1;
+}
+
+void ConjunctiveQuery::AddSelection(int rel, AttrId attr, Value value) {
+  selections_[rel].push_back(Selection{attr, value});
+}
+
+AttrId ConjunctiveQuery::FindAttribute(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attr_names_[i] == name) return i;
+  }
+  return -1;
+}
+
+int ConjunctiveQuery::FindRelation(const std::string& name) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (body_[i].name == name) return i;
+  }
+  return -1;
+}
+
+bool ConjunctiveQuery::HasSelections() const {
+  for (const auto& s : selections_) {
+    if (!s.empty()) return true;
+  }
+  return false;
+}
+
+AttrSet ConjunctiveQuery::SelectedAttrs() const {
+  AttrSet out;
+  for (const auto& preds : selections_) {
+    for (const Selection& s : preds) out.Add(s.attr);
+  }
+  return out;
+}
+
+AttrSet ConjunctiveQuery::all_attrs() const {
+  AttrSet out;
+  for (const auto& r : body_) out = out.Union(r.attr_set());
+  return out;
+}
+
+AttrSet ConjunctiveQuery::UniversalAttrs() const {
+  AttrSet u = head_;
+  for (const auto& r : body_) u = u.Intersect(r.attr_set());
+  return u;
+}
+
+bool ConjunctiveQuery::HasVacuumRelation() const {
+  for (const auto& r : body_) {
+    if (r.vacuum()) return true;
+  }
+  return false;
+}
+
+std::vector<int> ConjunctiveQuery::RelationsWith(AttrId a) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_relations(); ++i) {
+    if (body_[i].attr_set().Contains(a)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  os << "Q(";
+  bool first = true;
+  for (AttrId a : head_) {
+    if (!first) os << ",";
+    os << attr_name(a);
+    first = false;
+  }
+  os << ") :- ";
+  for (int i = 0; i < num_relations(); ++i) {
+    if (i > 0) os << ", ";
+    os << body_[i].name << "(";
+    for (std::size_t c = 0; c < body_[i].attrs.size(); ++c) {
+      if (c > 0) os << ",";
+      const AttrId a = body_[i].attrs[c];
+      os << attr_name(a);
+      for (const Selection& s : selections_[i]) {
+        if (s.attr == a) os << "=" << s.value;
+      }
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace adp

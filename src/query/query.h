@@ -1,0 +1,105 @@
+// Self-join-free conjunctive queries (§3.1–3.2).
+//
+//   Q(A) :- R1(A1), R2(A2), ..., Rp(Ap)          [optionally with selections]
+//
+// Attributes live in a per-query catalog mapping names to dense AttrIds.
+// Every query derived by a transform *shares the catalog of its root query*,
+// so AttrIds remain stable across simplification steps — a removed attribute
+// simply no longer occurs in any relation or in the head.
+
+#ifndef ADP_QUERY_QUERY_H_
+#define ADP_QUERY_QUERY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/value.h"
+#include "util/attr_set.h"
+
+namespace adp {
+
+/// One selection predicate `attr = value` (§7.5).
+struct Selection {
+  AttrId attr;
+  Value value;
+};
+
+/// A conjunctive query without self-joins.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  // --- Construction -------------------------------------------------------
+
+  /// Interns an attribute name, returning its id (existing id if known).
+  AttrId AddAttribute(const std::string& name);
+
+  /// Appends a relation to the body; `attrs` is the column order.
+  /// Returns the relation's body index.
+  int AddRelation(std::string name, std::vector<AttrId> attrs);
+
+  /// Declares the output attributes (head(Q)). Boolean queries use the
+  /// empty set; full CQs use all_attrs().
+  void SetHead(AttrSet head) { head_ = head; }
+
+  /// Attaches a selection predicate to relation `rel` (§7.5).
+  void AddSelection(int rel, AttrId attr, Value value);
+
+  // --- Accessors -----------------------------------------------------------
+
+  int num_attributes() const { return static_cast<int>(attr_names_.size()); }
+  const std::string& attr_name(AttrId a) const { return attr_names_[a]; }
+  /// Id of a named attribute, or -1.
+  AttrId FindAttribute(const std::string& name) const;
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+
+  int num_relations() const { return static_cast<int>(body_.size()); }
+  const RelationSchema& relation(int i) const { return body_[i]; }
+  const std::vector<RelationSchema>& body() const { return body_; }
+  /// Body index of a named relation, or -1.
+  int FindRelation(const std::string& name) const;
+
+  AttrSet head() const { return head_; }
+  const std::vector<std::vector<Selection>>& selections() const {
+    return selections_;
+  }
+  bool HasSelections() const;
+  /// Union of all selected attributes (Aθ in §7.5).
+  AttrSet SelectedAttrs() const;
+
+  // --- Derived properties (§3.1, §4) ---------------------------------------
+
+  /// Union of attributes over the body (attr(Q)).
+  AttrSet all_attrs() const;
+
+  /// head(Q) = ∅.
+  bool IsBoolean() const { return head_.Empty(); }
+
+  /// head(Q) = attr(Q): the natural join, no projection.
+  bool IsFull() const { return head_ == all_attrs(); }
+
+  /// Output attributes occurring in every relation (the attributes removed
+  /// by the first simplification step of IsPtime / Universe).
+  AttrSet UniversalAttrs() const;
+
+  /// True if some relation has no attributes (Lemma 1).
+  bool HasVacuumRelation() const;
+
+  /// rels(A): body indices of relations containing attribute `a`.
+  std::vector<int> RelationsWith(AttrId a) const;
+
+  /// Datalog-style rendering, e.g. "Q(A,B) :- R1(A,B), R2(B,C=5)".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attr_names_;
+  std::vector<RelationSchema> body_;
+  AttrSet head_;
+  std::vector<std::vector<Selection>> selections_;  // parallel to body_
+};
+
+}  // namespace adp
+
+#endif  // ADP_QUERY_QUERY_H_

@@ -1,0 +1,187 @@
+#include "query/transform.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "query/graph.h"
+#include "util/hash.h"
+
+namespace adp {
+namespace {
+
+// Copies the attribute catalog of `q` into a fresh query (ids stay stable).
+ConjunctiveQuery CloneCatalog(const ConjunctiveQuery& q) {
+  ConjunctiveQuery out;
+  for (const std::string& name : q.attr_names()) out.AddAttribute(name);
+  return out;
+}
+
+}  // namespace
+
+ConjunctiveQuery RemoveAttributes(const ConjunctiveQuery& q, AttrSet attrs) {
+  ConjunctiveQuery out = CloneCatalog(q);
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const RelationSchema& r = q.relation(i);
+    std::vector<AttrId> kept;
+    for (AttrId a : r.attrs) {
+      if (!attrs.Contains(a)) kept.push_back(a);
+    }
+    int rel = out.AddRelation(r.name, std::move(kept));
+    for (const Selection& s : q.selections()[i]) {
+      if (!attrs.Contains(s.attr)) out.AddSelection(rel, s.attr, s.value);
+    }
+  }
+  out.SetHead(q.head().Minus(attrs));
+  return out;
+}
+
+ConjunctiveQuery HeadJoin(const ConjunctiveQuery& q) {
+  return RemoveAttributes(q, q.all_attrs().Minus(q.head()));
+}
+
+Subquery RestrictTo(const ConjunctiveQuery& q, const std::vector<int>& rels) {
+  Subquery sub;
+  sub.query = CloneCatalog(q);
+  AttrSet sub_attrs;
+  for (int i : rels) {
+    const RelationSchema& r = q.relation(i);
+    int idx = sub.query.AddRelation(r.name, r.attrs);
+    for (const Selection& s : q.selections()[i]) {
+      sub.query.AddSelection(idx, s.attr, s.value);
+    }
+    sub.parent_relation.push_back(i);
+    sub_attrs = sub_attrs.Union(r.attr_set());
+  }
+  sub.query.SetHead(q.head().Intersect(sub_attrs));
+  return sub;
+}
+
+std::vector<Subquery> DecomposeQuery(const ConjunctiveQuery& q) {
+  std::vector<Subquery> out;
+  for (const std::vector<int>& comp : ConnectedComponents(q)) {
+    out.push_back(RestrictTo(q, comp));
+  }
+  return out;
+}
+
+Database SubDatabase(const Subquery& sub, const Database& db) {
+  Database out;
+  for (int parent : sub.parent_relation) {
+    out.Append(db.rel(parent));
+  }
+  return out;
+}
+
+QueryDb ApplySelections(const ConjunctiveQuery& q, const Database& db) {
+  const AttrSet selected = q.SelectedAttrs();
+  QueryDb out;
+  out.query = RemoveAttributes(q, selected);
+  // RemoveAttributes keeps predicates on surviving attributes; none survive
+  // because every selected attribute was removed. Rebuild the instances.
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const RelationSchema& schema = q.relation(i);
+    const RelationInstance& inst = db.rel(i);
+    RelationInstance derived;
+    derived.set_root_relation(inst.root_relation());
+
+    std::vector<std::pair<int, Value>> preds;  // (column, required value)
+    for (const Selection& s : q.selections()[i]) {
+      preds.emplace_back(schema.ColumnOf(s.attr), s.value);
+    }
+    std::vector<int> kept_cols;
+    for (std::size_t c = 0; c < schema.attrs.size(); ++c) {
+      if (!selected.Contains(schema.attrs[c])) {
+        kept_cols.push_back(static_cast<int>(c));
+      }
+    }
+
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      const Tuple& row = inst.tuple(t);
+      bool pass = true;
+      for (const auto& [col, val] : preds) {
+        if (row[col] != val) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      Tuple kept;
+      kept.reserve(kept_cols.size());
+      for (int c : kept_cols) kept.push_back(row[c]);
+      derived.AddWithOrigin(std::move(kept), inst.OriginOf(t));
+    }
+    derived.Dedup();
+    out.db.Append(std::move(derived));
+  }
+  return out;
+}
+
+std::vector<UniverseGroup> PartitionByAttrs(const ConjunctiveQuery& q,
+                                            const Database& db,
+                                            AttrSet attrs) {
+  const int p = q.num_relations();
+  // Column positions of the partition attributes (increasing AttrId order)
+  // and of the surviving attributes, per relation.
+  std::vector<std::vector<int>> key_cols(p), kept_cols(p);
+  for (int i = 0; i < p; ++i) {
+    const RelationSchema& schema = q.relation(i);
+    for (AttrId a : attrs) key_cols[i].push_back(schema.ColumnOf(a));
+    for (std::size_t c = 0; c < schema.attrs.size(); ++c) {
+      if (!attrs.Contains(schema.attrs[c])) {
+        kept_cols[i].push_back(static_cast<int>(c));
+      }
+    }
+  }
+
+  // Group tuples of every relation by key; a std::map keeps group order
+  // deterministic.
+  std::map<Tuple, std::vector<std::vector<TupleId>>> groups;
+  for (int i = 0; i < p; ++i) {
+    const RelationInstance& inst = db.rel(i);
+    Tuple key(key_cols[i].size());
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      const Tuple& row = inst.tuple(t);
+      for (std::size_t j = 0; j < key_cols[i].size(); ++j) {
+        key[j] = row[key_cols[i][j]];
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) it->second.resize(p);
+      it->second[i].push_back(static_cast<TupleId>(t));
+    }
+  }
+
+  std::vector<UniverseGroup> out;
+  for (auto& [key, members] : groups) {
+    // Keys missing from some relation yield zero outputs; skip them.
+    bool complete = true;
+    for (int i = 0; i < p; ++i) {
+      if (members[i].empty()) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+
+    UniverseGroup group;
+    group.key = key;
+    for (int i = 0; i < p; ++i) {
+      const RelationInstance& inst = db.rel(i);
+      RelationInstance derived;
+      derived.set_root_relation(inst.root_relation());
+      derived.Reserve(members[i].size());
+      for (TupleId t : members[i]) {
+        const Tuple& row = inst.tuple(t);
+        Tuple kept;
+        kept.reserve(kept_cols[i].size());
+        for (int c : kept_cols[i]) kept.push_back(row[c]);
+        derived.AddWithOrigin(std::move(kept), inst.OriginOf(t));
+      }
+      group.db.Append(std::move(derived));
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace adp

@@ -1,0 +1,73 @@
+// Hardness/complexity-preserving query rewrites (§4.1, §7), with and without
+// carrying the database instance along.
+//
+// Every instance-carrying transform preserves origin tracking: tuples of the
+// derived database know which root-database row they came from, so solutions
+// computed downstream are reported in root coordinates.
+
+#ifndef ADP_QUERY_TRANSFORM_H_
+#define ADP_QUERY_TRANSFORM_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// A derived (query, instance) pair.
+struct QueryDb {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+/// A connected subquery with the mapping from its body indices back to the
+/// parent query's body indices.
+struct Subquery {
+  ConjunctiveQuery query;
+  std::vector<int> parent_relation;  // parent body index per subquery index
+};
+
+/// One class of the Universe partition: all tuples sharing `key` on the
+/// universal attributes, with those attributes projected away.
+struct UniverseGroup {
+  Tuple key;    // values of the universal attributes, increasing AttrId order
+  Database db;  // instance of the residual query (attributes removed)
+};
+
+/// Q^{-attrs}: removes `attrs` from every relation schema and from the head.
+/// The attribute catalog is shared with `q` (ids stay stable).
+ConjunctiveQuery RemoveAttributes(const ConjunctiveQuery& q, AttrSet attrs);
+
+/// The head join Q_head (§4.2.3): removes all non-output attributes from
+/// every relation.
+ConjunctiveQuery HeadJoin(const ConjunctiveQuery& q);
+
+/// Restriction of `q` to the body indices in `rels` (used for connected
+/// subqueries, Lemma 3). Selections on kept relations are preserved.
+Subquery RestrictTo(const ConjunctiveQuery& q, const std::vector<int>& rels);
+
+/// Connected subqueries of `q` (Lemma 3), in component order.
+std::vector<Subquery> DecomposeQuery(const ConjunctiveQuery& q);
+
+/// Builds the database for a subquery by copying the instances of its
+/// relations from `db` (root bookkeeping is inherited).
+Database SubDatabase(const Subquery& sub, const Database& db);
+
+/// Selection pushdown (Lemma 12): filters every relation instance by its
+/// predicates, removes the selected attributes Aθ from schemas, head and
+/// instances, and clears the predicates. The result is an ordinary CQ whose
+/// ADP solutions coincide with the original's.
+QueryDb ApplySelections(const ConjunctiveQuery& q, const Database& db);
+
+/// Universe partitioning (Algorithm 4): splits `db` into groups by the value
+/// combination on `attrs` (which must occur in every relation), projecting
+/// those attributes away. Only keys present in *every* relation are
+/// returned — other groups produce no outputs and removing their tuples is
+/// never useful. The residual query is RemoveAttributes(q, attrs).
+std::vector<UniverseGroup> PartitionByAttrs(const ConjunctiveQuery& q,
+                                            const Database& db, AttrSet attrs);
+
+}  // namespace adp
+
+#endif  // ADP_QUERY_TRANSFORM_H_

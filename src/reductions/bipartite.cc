@@ -1,0 +1,116 @@
+#include "reductions/bipartite.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+
+namespace adp {
+namespace {
+
+// Counts the objective achieved by deleting the given vertex subsets:
+// Problem 1 counts removed edges, Problems 2/3 count removed A-vertices.
+// An A-vertex counts as removed when it is deleted directly or all of its
+// incident edges are gone; initially isolated vertices never count (they
+// correspond to dangling tuples with no output).
+std::int64_t Achieved(const BipartiteGraph& g, BipartiteProblem problem,
+                      const std::vector<char>& del_a,
+                      const std::vector<char>& del_b) {
+  if (problem == BipartiteProblem::kPartialVertexCover) {
+    std::int64_t removed = 0;
+    for (const auto& [a, b] : g.edges) {
+      if (del_a[a] || del_b[b]) ++removed;
+    }
+    return removed;
+  }
+  std::vector<char> has_edge(g.na, 0), has_live_edge(g.na, 0);
+  for (const auto& [a, b] : g.edges) {
+    has_edge[a] = 1;
+    if (!del_a[a] && !del_b[b]) has_live_edge[a] = 1;
+  }
+  std::int64_t removed = 0;
+  for (int a = 0; a < g.na; ++a) {
+    if (has_edge[a] && !has_live_edge[a]) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace
+
+BipartiteResult SolveBipartiteExact(const BipartiteGraph& g,
+                                    BipartiteProblem problem,
+                                    std::int64_t k) {
+  // Candidate vertices: B always; A unless the problem restricts to B.
+  struct Candidate {
+    bool is_a;
+    int v;
+  };
+  std::vector<Candidate> cands;
+  if (problem != BipartiteProblem::kRemoveBKillA) {
+    for (int a = 0; a < g.na; ++a) cands.push_back({true, a});
+  }
+  for (int b = 0; b < g.nb; ++b) cands.push_back({false, b});
+  const int n = static_cast<int>(cands.size());
+
+  BipartiteResult result;
+  std::vector<char> del_a(g.na, 0), del_b(g.nb, 0);
+  if (k <= 0) {
+    result.cost = 0;
+    return result;
+  }
+  for (int size = 1; size <= n; ++size) {
+    std::vector<int> combo(size);
+    for (int i = 0; i < size; ++i) combo[i] = i;
+    while (true) {
+      std::fill(del_a.begin(), del_a.end(), 0);
+      std::fill(del_b.begin(), del_b.end(), 0);
+      for (int i : combo) {
+        (cands[i].is_a ? del_a[cands[i].v] : del_b[cands[i].v]) = 1;
+      }
+      if (Achieved(g, problem, del_a, del_b) >= k) {
+        result.cost = size;
+        for (int i : combo) {
+          (cands[i].is_a ? result.removed_a : result.removed_b)
+              .push_back(cands[i].v);
+        }
+        return result;
+      }
+      int i = size - 1;
+      while (i >= 0 && combo[i] == n - (size - i)) --i;
+      if (i < 0) break;
+      ++combo[i];
+      for (int jj = i + 1; jj < size; ++jj) combo[jj] = combo[jj - 1] + 1;
+    }
+  }
+  return result;  // infeasible
+}
+
+BipartiteAdpInstance EncodeAsAdp(const BipartiteGraph& g,
+                                 BipartiteProblem problem) {
+  BipartiteAdpInstance out;
+  switch (problem) {
+    case BipartiteProblem::kPartialVertexCover:
+      out.query = ParseQuery("Qcover(A,B) :- R1(A), R2(A,B), R3(B)");
+      break;
+    case BipartiteProblem::kRemoveBKillA:
+      out.query = ParseQuery("Qswing(A) :- R2(A,B), R3(B)");
+      break;
+    case BipartiteProblem::kRemoveAnyKillA:
+      out.query = ParseQuery("Qseesaw(A) :- R1(A), R2(A,B), R3(B)");
+      break;
+  }
+  out.db = Database(out.query.num_relations());
+  const int r1 = out.query.FindRelation("R1");
+  const int r2 = out.query.FindRelation("R2");
+  const int r3 = out.query.FindRelation("R3");
+  if (r1 >= 0) {
+    for (int a = 0; a < g.na; ++a) out.db.rel(r1).Add({a});
+  }
+  for (const auto& [a, b] : g.edges) {
+    out.db.rel(r2).Add({a, b});
+  }
+  for (int b = 0; b < g.nb; ++b) out.db.rel(r3).Add({b});
+  out.db.DedupAll();
+  return out;
+}
+
+}  // namespace adp

@@ -1,0 +1,73 @@
+// The bipartite optimization problems behind the NP-hardness proofs
+// (Lemma 5 and Appendix B), together with the encodings that relate them to
+// the three core hard queries of §4.2.1:
+//
+//   Problem 1 (partial vertex cover, PVCB):  remove fewest vertices of
+//     A ∪ B so that at least k edges disappear          <->  ADP(Qcover)
+//   Problem 2 (k-minimum-coverage flavour):  remove fewest vertices of B
+//     so that at least k vertices of A disappear        <->  ADP(Qswing)
+//   Problem 3 (side-constrained cover):      remove fewest vertices of
+//     A ∪ B so that at least k vertices of A disappear  <->  ADP(Qseesaw)
+//
+// Removal semantics (footnote 1 of the paper): deleting a vertex deletes
+// its incident edges; a vertex with no remaining incident edges is deleted.
+//
+// These solvers are exponential-time oracles (the problems are NP-hard);
+// they exist to machine-check the hardness reductions and to serve as exact
+// baselines in tests.
+
+#ifndef ADP_REDUCTIONS_BIPARTITE_H_
+#define ADP_REDUCTIONS_BIPARTITE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// An undirected bipartite graph over vertex sets A = {0..na-1} and
+/// B = {0..nb-1}.
+struct BipartiteGraph {
+  int na = 0;
+  int nb = 0;
+  std::vector<std::pair<int, int>> edges;  // (a, b)
+};
+
+/// Which of Lemma 5's problems to solve.
+enum class BipartiteProblem {
+  kPartialVertexCover,  // Problem 1
+  kRemoveBKillA,        // Problem 2
+  kRemoveAnyKillA,      // Problem 3
+};
+
+/// Result of an exact bipartite solve.
+struct BipartiteResult {
+  std::int64_t cost = -1;        // -1: infeasible target
+  std::vector<int> removed_a;    // removed vertices of A
+  std::vector<int> removed_b;    // removed vertices of B
+};
+
+/// Exact solve by subset enumeration in increasing size.
+BipartiteResult SolveBipartiteExact(const BipartiteGraph& g,
+                                    BipartiteProblem problem, std::int64_t k);
+
+/// The ADP instance a bipartite problem encodes into (§4.2.1):
+///   Problem 1 -> Qcover(A,B)  :- R1(A), R2(A,B), R3(B)  with k' = k edges
+///   Problem 2 -> Qswing(A)    :- R2(A,B), R3(B)         with k' = k A-vertices
+///   Problem 3 -> Qseesaw(A)   :- R1(A), R2(A,B), R3(B)  with k' = k A-vertices
+/// R1 holds the A vertices, R3 the B vertices, R2 the edges.
+struct BipartiteAdpInstance {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+/// Builds the ADP encoding of (g, problem).
+BipartiteAdpInstance EncodeAsAdp(const BipartiteGraph& g,
+                                 BipartiteProblem problem);
+
+}  // namespace adp
+
+#endif  // ADP_REDUCTIONS_BIPARTITE_H_

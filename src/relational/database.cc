@@ -1,0 +1,24 @@
+#include "relational/database.h"
+
+namespace adp {
+
+Database WithTuplesRemoved(const Database& db,
+                           const std::vector<std::vector<char>>& removed) {
+  Database out;
+  for (std::size_t r = 0; r < db.num_relations(); ++r) {
+    const RelationInstance& in = db.rel(r);
+    RelationInstance copy;
+    copy.set_root_relation(in.root_relation());
+    copy.Reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (r < removed.size() && i < removed[r].size() && removed[r][i]) {
+        continue;
+      }
+      copy.AddWithOrigin(in.tuple(i), in.OriginOf(i));
+    }
+    out.Append(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace adp

@@ -1,0 +1,66 @@
+// A database instance: one RelationInstance per relation in a query body,
+// positionally aligned with the query's relation list.
+
+#ifndef ADP_RELATIONAL_DATABASE_H_
+#define ADP_RELATIONAL_DATABASE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace adp {
+
+/// Instances for the relations of one query, in body order.
+///
+/// A *root* database is the one the user builds; its instances have identity
+/// origins and `root_relation(i) == i`. Query transforms produce derived
+/// (query, database) pairs whose instances still point back at the root, so
+/// solutions are always expressed in root coordinates.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::size_t num_relations) : rels_(num_relations) {
+    for (std::size_t i = 0; i < num_relations; ++i) {
+      rels_[i].set_root_relation(static_cast<int>(i));
+    }
+  }
+
+  std::size_t num_relations() const { return rels_.size(); }
+  RelationInstance& rel(std::size_t i) { return rels_[i]; }
+  const RelationInstance& rel(std::size_t i) const { return rels_[i]; }
+
+  /// Appends an instance (used by transforms building derived databases).
+  void Append(RelationInstance inst) { rels_.push_back(std::move(inst)); }
+
+  /// Total number of tuples across all relations (|D| in the paper).
+  std::size_t TotalTuples() const {
+    std::size_t n = 0;
+    for (const auto& r : rels_) n += r.size();
+    return n;
+  }
+
+  /// Convenience bulk loader: sets relation `i`'s tuples from a list of rows.
+  void Load(std::size_t i, std::initializer_list<Tuple> rows) {
+    for (const Tuple& t : rows) rels_[i].Add(t);
+  }
+
+  /// Dedups every relation instance.
+  void DedupAll() {
+    for (auto& r : rels_) r.Dedup();
+  }
+
+ private:
+  std::vector<RelationInstance> rels_;
+};
+
+/// Returns a copy of `db` without the tuples flagged in `removed`
+/// (`removed[r][i]` marks tuple `i` of relation `r`). Origins are preserved.
+/// Used by solution verification and the brute-force baseline.
+Database WithTuplesRemoved(const Database& db,
+                           const std::vector<std::vector<char>>& removed);
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_DATABASE_H_

@@ -1,0 +1,101 @@
+#include "relational/provenance.h"
+
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace adp {
+
+ProvenanceIndex::ProvenanceIndex(const std::vector<RelationSchema>& body,
+                                 AttrSet head, const Database& db) {
+  JoinResult join = FullJoin(body, db, /*with_support=*/true);
+  const std::size_t p = body.size();
+  const std::size_t rows = join.NumRows();
+
+  tuple_rows_.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    tuple_rows_[i].resize(db.rel(i).size());
+  }
+
+  AttrSet all;
+  for (AttrId a : join.attrs) all.Add(a);
+  const AttrSet proj = head.Intersect(all);
+
+  row_group_.resize(rows);
+  row_alive_.assign(rows, 1);
+  std::unordered_map<Tuple, std::uint32_t, VecHash> group_of;
+  group_of.reserve(rows * 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Tuple key = join.Project(r, proj);
+    auto [it, inserted] =
+        group_of.try_emplace(std::move(key),
+                             static_cast<std::uint32_t>(group_size_.size()));
+    if (inserted) group_size_.push_back(0);
+    row_group_[r] = it->second;
+    ++group_size_[it->second];
+    for (std::size_t i = 0; i < p; ++i) {
+      tuple_rows_[i][join.SupportOf(r, i)].push_back(
+          static_cast<std::uint32_t>(r));
+    }
+  }
+  group_alive_ = group_size_;
+  alive_groups_ = static_cast<std::int64_t>(group_size_.size());
+
+  scratch_count_.assign(group_size_.size(), 0);
+  scratch_version_.assign(group_size_.size(), 0);
+}
+
+std::int64_t ProvenanceIndex::Profit(int rel, TupleId t) const {
+  ++version_;
+  const auto& rows = tuple_rows_[rel][t];
+  std::int64_t profit = 0;
+  for (std::uint32_t r : rows) {
+    if (!row_alive_[r]) continue;
+    const std::uint32_t g = row_group_[r];
+    if (scratch_version_[g] != version_) {
+      scratch_version_[g] = version_;
+      scratch_count_[g] = 0;
+    }
+    if (++scratch_count_[g] == group_alive_[g]) ++profit;
+  }
+  return profit;
+}
+
+std::int64_t ProvenanceIndex::InitialProfit(int rel, TupleId t) const {
+  // With every row alive, a group dies iff all of its rows contain `t`.
+  ++version_;
+  const auto& rows = tuple_rows_[rel][t];
+  std::int64_t profit = 0;
+  for (std::uint32_t r : rows) {
+    const std::uint32_t g = row_group_[r];
+    if (scratch_version_[g] != version_) {
+      scratch_version_[g] = version_;
+      scratch_count_[g] = 0;
+    }
+    if (++scratch_count_[g] == group_size_[g]) ++profit;
+  }
+  return profit;
+}
+
+std::int64_t ProvenanceIndex::Delete(int rel, TupleId t) {
+  std::int64_t died = 0;
+  for (std::uint32_t r : tuple_rows_[rel][t]) {
+    if (!row_alive_[r]) continue;
+    row_alive_[r] = 0;
+    const std::uint32_t g = row_group_[r];
+    if (--group_alive_[g] == 0) {
+      ++died;
+      --alive_groups_;
+    }
+  }
+  return died;
+}
+
+bool ProvenanceIndex::IsRelevant(int rel, TupleId t) const {
+  for (std::uint32_t r : tuple_rows_[rel][t]) {
+    if (row_alive_[r]) return true;
+  }
+  return false;
+}
+
+}  // namespace adp

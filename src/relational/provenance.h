@@ -1,0 +1,77 @@
+// ProvenanceIndex: incremental deletion propagation over a materialized full
+// join. This is the data structure behind GreedyForCQ (Algorithm 6) and
+// DrasticGreedyForFullCQ (Algorithm 7): it answers "how many output tuples
+// would disappear if this input tuple were deleted right now?" exactly, and
+// applies deletions incrementally.
+//
+// Model: each full-join row belongs to one output *group* (its projection
+// onto the head). An output tuple is alive while its group has at least one
+// alive row; deleting an input tuple kills every alive row it supports.
+
+#ifndef ADP_RELATIONAL_PROVENANCE_H_
+#define ADP_RELATIONAL_PROVENANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/join.h"
+#include "util/attr_set.h"
+
+namespace adp {
+
+class ProvenanceIndex {
+ public:
+  /// Builds the index by materializing the full join of `body` over `db`
+  /// with support, then grouping rows by head projection.
+  ProvenanceIndex(const std::vector<RelationSchema>& body, AttrSet head,
+                  const Database& db);
+
+  /// Number of relations in the body.
+  std::size_t num_relations() const { return tuple_rows_.size(); }
+
+  /// Number of output tuples initially / still alive.
+  std::int64_t total_outputs() const { return group_size_.size(); }
+  std::int64_t alive_outputs() const { return alive_groups_; }
+
+  /// Exact current profit of deleting tuple `t` of relation `rel`:
+  /// |Q(D - S)| - |Q(D - S - t)| where S is the set already deleted.
+  std::int64_t Profit(int rel, TupleId t) const;
+
+  /// Initial profit (all rows alive). For a full CQ this equals the number
+  /// of join rows supported by the tuple; used by DrasticGreedy.
+  std::int64_t InitialProfit(int rel, TupleId t) const;
+
+  /// Deletes tuple `t` of relation `rel`; returns the number of output
+  /// tuples that died as a consequence.
+  std::int64_t Delete(int rel, TupleId t);
+
+  /// True if the tuple still supports at least one alive row (deleting it
+  /// can change the output).
+  bool IsRelevant(int rel, TupleId t) const;
+
+  /// Number of tuples of relation `rel` tracked by the index (== instance
+  /// size at construction).
+  std::size_t NumTuples(int rel) const { return tuple_rows_[rel].size(); }
+
+ private:
+  // Per relation, per tuple: ids of join rows the tuple supports.
+  std::vector<std::vector<std::vector<std::uint32_t>>> tuple_rows_;
+  // Per row: owning group and alive flag.
+  std::vector<std::uint32_t> row_group_;
+  std::vector<char> row_alive_;
+  // Per group: initial and alive row counts.
+  std::vector<std::uint32_t> group_size_;
+  std::vector<std::uint32_t> group_alive_;
+  std::int64_t alive_groups_ = 0;
+
+  // Scratch space for Profit(): per-group counters with versioning to avoid
+  // O(groups) clears.
+  mutable std::vector<std::uint32_t> scratch_count_;
+  mutable std::vector<std::uint32_t> scratch_version_;
+  mutable std::uint32_t version_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_PROVENANCE_H_

@@ -1,0 +1,46 @@
+#include "relational/relation.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace adp {
+
+void RelationInstance::AddWithOrigin(Tuple t, TupleId origin) {
+  if (origin_.empty() && !tuples_.empty()) {
+    // Promote the identity mapping to an explicit one.
+    origin_.reserve(tuples_.size() + 1);
+    for (std::size_t i = 0; i < tuples_.size(); ++i) {
+      origin_.push_back(static_cast<TupleId>(i));
+    }
+  }
+  tuples_.push_back(std::move(t));
+  origin_.push_back(origin);
+}
+
+void RelationInstance::Dedup() {
+  std::unordered_set<Tuple, VecHash> seen;
+  seen.reserve(tuples_.size() * 2);
+  std::vector<Tuple> kept;
+  std::vector<TupleId> kept_origin;
+  const bool identity = origin_.empty();
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (seen.insert(tuples_[i]).second) {
+      kept_origin.push_back(identity ? static_cast<TupleId>(i) : origin_[i]);
+      kept.push_back(std::move(tuples_[i]));
+    }
+  }
+  tuples_ = std::move(kept);
+  // Keep the cheap identity representation when nothing was dropped and the
+  // origins were already the identity.
+  bool identity_origin = true;
+  for (std::size_t i = 0; i < kept_origin.size(); ++i) {
+    if (kept_origin[i] != i) {
+      identity_origin = false;
+      break;
+    }
+  }
+  origin_ = identity_origin ? std::vector<TupleId>() : std::move(kept_origin);
+}
+
+}  // namespace adp

@@ -1,0 +1,85 @@
+// Relation schemas and relation instances.
+
+#ifndef ADP_RELATIONAL_RELATION_H_
+#define ADP_RELATIONAL_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/attr_set.h"
+
+namespace adp {
+
+/// Schema of one relation appearing in a query body: a name plus an ordered
+/// list of attribute ids (the column order of its instances).
+struct RelationSchema {
+  std::string name;
+  std::vector<AttrId> attrs;
+
+  /// The (unordered) set of attributes.
+  AttrSet attr_set() const {
+    AttrSet s;
+    for (AttrId a : attrs) s.Add(a);
+    return s;
+  }
+
+  /// True if the relation has no attributes (a "vacuum" relation, §3.1).
+  bool vacuum() const { return attrs.empty(); }
+
+  /// Position of attribute `a` in the column order, or -1 if absent.
+  int ColumnOf(AttrId a) const {
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == a) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// An instance of one relation. Tuples are stored densely; transforms that
+/// derive sub-instances (selection pushdown, universal-attribute removal,
+/// Universe partitioning) carry `origin` ids so that any solution computed on
+/// the transformed instance can be reported against the root database.
+class RelationInstance {
+ public:
+  RelationInstance() = default;
+
+  /// Number of tuples.
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& tuple(std::size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Root-database row id of local tuple `i` (identity in a root instance).
+  TupleId OriginOf(std::size_t i) const {
+    return origin_.empty() ? static_cast<TupleId>(i) : origin_[i];
+  }
+
+  /// Index of the corresponding relation in the root query's body.
+  int root_relation() const { return root_relation_; }
+  void set_root_relation(int r) { root_relation_ = r; }
+
+  /// Appends a tuple whose origin is itself (root instances).
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  /// Appends a tuple derived from root row `origin` (transformed instances).
+  void AddWithOrigin(Tuple t, TupleId origin);
+
+  /// Removes duplicate tuples, keeping the first occurrence (and its
+  /// origin). Instances handed to the solvers must be duplicate-free.
+  void Dedup();
+
+  /// Reserves storage for `n` tuples.
+  void Reserve(std::size_t n) { tuples_.reserve(n); }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::vector<TupleId> origin_;  // empty => identity mapping
+  int root_relation_ = -1;
+};
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_RELATION_H_

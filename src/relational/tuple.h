@@ -1,0 +1,23 @@
+// Tuples: rows over a relation's ordered attribute list.
+
+#ifndef ADP_RELATIONAL_TUPLE_H_
+#define ADP_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace adp {
+
+/// A tuple is a vector of values whose positions follow the owning relation
+/// schema's attribute order. A vacuum relation's tuple is the empty vector.
+using Tuple = std::vector<Value>;
+
+/// Index of a tuple within a relation instance. Solutions returned by the
+/// solvers reference tuples of the *root* database via (relation, TupleId).
+using TupleId = std::uint32_t;
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_TUPLE_H_

@@ -1,0 +1,20 @@
+// Value domain of the relational substrate.
+//
+// All attribute values are 64-bit integers. Workload generators and examples
+// that conceptually use strings (names, labels) intern them to integers; the
+// ADP algorithms only ever compare values for equality, so this loses
+// nothing.
+
+#ifndef ADP_RELATIONAL_VALUE_H_
+#define ADP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+
+namespace adp {
+
+/// A single attribute value.
+using Value = std::int64_t;
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_VALUE_H_

@@ -1,0 +1,114 @@
+#include "solver/boolean.h"
+
+#include <unordered_map>
+
+#include "dichotomy/linearize.h"
+#include "dichotomy/relations.h"
+#include "flow/max_flow.h"
+#include "util/hash.h"
+
+namespace adp {
+
+std::optional<BooleanResult> SolveBooleanExact(
+    const ConjunctiveQuery& q, const Database& db,
+    const DeletionRestrictions* restrictions) {
+  const auto order_opt = FindLinearOrder(q);
+  if (!order_opt) return std::nullopt;
+  const std::vector<int>& order = *order_opt;
+  const int p = q.num_relations();
+  const std::vector<char> exo = ExogenousFlags(q);
+
+  // Network: s -> [in(t) -> out(t)] per tuple, consecutive atoms linked
+  // through per-join-key hub nodes, last atom -> t. In a linear arrangement
+  // any s-t chain of pairwise-joining tuples is globally consistent (each
+  // attribute spans a contiguous block), so s-t connectivity == Q(D) true,
+  // and a minimum vertex cut == resilience.
+  MaxFlow flow(2);
+  const int source = 0;
+  const int sink = 1;
+
+  // Node ids for tuple splits, per linear position.
+  std::vector<std::vector<int>> in_node(p), out_node(p);
+  std::vector<std::vector<int>> tuple_edge(p);  // in->out edge ids
+  for (int pos = 0; pos < p; ++pos) {
+    const int rel = order[pos];
+    const RelationInstance& inst = db.rel(rel);
+    const std::int64_t rel_cap = exo[rel] ? kInfCapacity : 1;
+    in_node[pos].resize(inst.size());
+    out_node[pos].resize(inst.size());
+    tuple_edge[pos].resize(inst.size());
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      in_node[pos][t] = flow.AddNode();
+      out_node[pos][t] = flow.AddNode();
+      std::int64_t cap = rel_cap;
+      if (restrictions && restrictions->IsProtectedLocal(inst, t)) {
+        cap = kInfCapacity;  // §9 extension: undeletable tuple
+      }
+      tuple_edge[pos][t] = flow.AddEdge(in_node[pos][t], out_node[pos][t], cap);
+    }
+  }
+
+  // Source / sink attachment.
+  for (std::size_t t = 0; t < db.rel(order[0]).size(); ++t) {
+    flow.AddEdge(source, in_node[0][t], kInfCapacity);
+  }
+  for (std::size_t t = 0; t < db.rel(order[p - 1]).size(); ++t) {
+    flow.AddEdge(out_node[p - 1][t], sink, kInfCapacity);
+  }
+
+  // Consecutive atoms: hub node per shared-attribute key (avoids quadratic
+  // edge blowup).
+  for (int pos = 0; pos + 1 < p; ++pos) {
+    const int left = order[pos];
+    const int right = order[pos + 1];
+    const RelationSchema& ls = q.relation(left);
+    const RelationSchema& rs = q.relation(right);
+    const AttrSet shared = ls.attr_set().Intersect(rs.attr_set());
+    std::vector<int> lcols, rcols;
+    for (AttrId a : shared) {
+      lcols.push_back(ls.ColumnOf(a));
+      rcols.push_back(rs.ColumnOf(a));
+    }
+    std::unordered_map<Tuple, int, VecHash> hub;
+    auto hub_for = [&](const Tuple& key) {
+      auto [it, inserted] = hub.try_emplace(key, -1);
+      if (inserted) it->second = flow.AddNode();
+      return it->second;
+    };
+    Tuple key(lcols.size());
+    const RelationInstance& linst = db.rel(left);
+    for (std::size_t t = 0; t < linst.size(); ++t) {
+      for (std::size_t j = 0; j < lcols.size(); ++j) {
+        key[j] = linst.tuple(t)[lcols[j]];
+      }
+      flow.AddEdge(out_node[pos][t], hub_for(key), kInfCapacity);
+    }
+    const RelationInstance& rinst = db.rel(right);
+    for (std::size_t t = 0; t < rinst.size(); ++t) {
+      for (std::size_t j = 0; j < rcols.size(); ++j) {
+        key[j] = rinst.tuple(t)[rcols[j]];
+      }
+      flow.AddEdge(hub_for(key), in_node[pos + 1][t], kInfCapacity);
+    }
+  }
+
+  BooleanResult result;
+  result.resilience = flow.Compute(source, sink);
+
+  // Extract the vertex cut: tuples whose in-node is reachable from s in the
+  // residual graph while their out-node is not.
+  const std::vector<char> side = flow.SourceSide(source);
+  for (int pos = 0; pos < p; ++pos) {
+    const int rel = order[pos];
+    const RelationInstance& inst = db.rel(rel);
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      if (side[in_node[pos][t]] && !side[out_node[pos][t]]) {
+        result.cut.push_back(
+            TupleRef{inst.root_relation(), inst.OriginOf(t)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace adp

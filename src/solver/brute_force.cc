@@ -1,0 +1,100 @@
+#include "solver/brute_force.h"
+
+#include <algorithm>
+
+#include "query/transform.h"
+#include "relational/join.h"
+
+namespace adp {
+namespace {
+
+// Advances `combo` to the next size-c combination over [0, n); returns false
+// when exhausted.
+bool NextCombination(std::vector<int>& combo, int n) {
+  const int c = static_cast<int>(combo.size());
+  for (int i = c - 1; i >= 0; --i) {
+    if (combo[i] < n - (c - i)) {
+      ++combo[i];
+      for (int j = i + 1; j < c; ++j) combo[j] = combo[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<AdpSolution> BruteForceAdp(
+    const ConjunctiveQuery& q, const Database& db, std::int64_t k,
+    std::int64_t max_cost, const DeletionRestrictions* restrictions) {
+  const ConjunctiveQuery* query = &q;
+  const Database* data = &db;
+  QueryDb pushed;
+  if (q.HasSelections()) {
+    pushed = ApplySelections(q, db);
+    query = &pushed.query;
+    data = &pushed.db;
+  }
+
+  const std::int64_t total = static_cast<std::int64_t>(
+      CountOutputs(query->body(), query->head(), *data));
+  if (k > total) return std::nullopt;
+
+  AdpSolution solution;
+  solution.output_count = total;
+  solution.exact = true;
+  if (k <= 0) {
+    solution.removed_outputs = 0;
+    return solution;
+  }
+
+  // Flatten candidate tuples.
+  struct Candidate {
+    int rel;
+    TupleId local;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t r = 0; r < data->num_relations(); ++r) {
+    for (std::size_t t = 0; t < data->rel(r).size(); ++t) {
+      if (restrictions &&
+          restrictions->IsProtectedLocal(data->rel(r), t)) {
+        continue;
+      }
+      candidates.push_back(Candidate{static_cast<int>(r),
+                                     static_cast<TupleId>(t)});
+    }
+  }
+  const int n = static_cast<int>(candidates.size());
+
+  std::vector<std::vector<char>> removed(data->num_relations());
+  for (std::size_t r = 0; r < data->num_relations(); ++r) {
+    removed[r].assign(data->rel(r).size(), 0);
+  }
+
+  const std::int64_t cost_limit = max_cost >= 0 ? max_cost : n;
+  for (std::int64_t c = 1; c <= cost_limit && c <= n; ++c) {
+    std::vector<int> combo(static_cast<std::size_t>(c));
+    for (std::int64_t i = 0; i < c; ++i) combo[i] = static_cast<int>(i);
+    do {
+      for (int idx : combo) removed[candidates[idx].rel][candidates[idx].local] = 1;
+      const Database after = WithTuplesRemoved(*data, removed);
+      const std::int64_t remaining = static_cast<std::int64_t>(
+          CountOutputs(query->body(), query->head(), after));
+      for (int idx : combo) removed[candidates[idx].rel][candidates[idx].local] = 0;
+      if (total - remaining >= k) {
+        solution.cost = c;
+        solution.removed_outputs = total - remaining;
+        for (int idx : combo) {
+          const RelationInstance& inst = data->rel(candidates[idx].rel);
+          solution.tuples.push_back(TupleRef{
+              inst.root_relation(), inst.OriginOf(candidates[idx].local)});
+        }
+        NormalizeTupleRefs(solution.tuples);
+        return solution;
+      }
+    } while (NextCombination(combo, n));
+  }
+  return std::nullopt;
+}
+
+}  // namespace adp

@@ -1,0 +1,30 @@
+// BruteForce baseline (§8.2): enumerate subsets of input tuples in
+// increasing size; the first size that removes >= k outputs is optimal.
+// Exponential — usable only on small instances, as in Figures 12–13.
+
+#ifndef ADP_SOLVER_BRUTE_FORCE_H_
+#define ADP_SOLVER_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/restrictions.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// Exact ADP(Q, D, k) by subset enumeration. Selections are pushed down
+/// first (tuples violating a predicate are never candidates). Returns
+/// nullopt if k > |Q(D)| or if `max_cost` (when >= 0) is exhausted before a
+/// solution is found.
+std::optional<AdpSolution> BruteForceAdp(
+    const ConjunctiveQuery& q, const Database& db, std::int64_t k,
+    std::int64_t max_cost = -1,
+    const DeletionRestrictions* restrictions = nullptr);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_BRUTE_FORCE_H_

@@ -1,0 +1,162 @@
+#include "solver/compute_adp.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "query/graph.h"
+#include "query/transform.h"
+#include "relational/join.h"
+#include "flow/max_flow.h"
+#include "solver/boolean.h"
+#include "solver/decompose.h"
+#include "solver/drastic.h"
+#include "solver/greedy.h"
+#include "solver/singleton.h"
+#include "solver/universe.h"
+
+namespace adp {
+namespace {
+
+enum class Case { kBoolean, kSingleton, kUniverse, kDecompose, kHeuristic };
+
+// Algorithm 2 dispatch order.
+Case Classify(const ConjunctiveQuery& q, const AdpOptions& options) {
+  if (q.IsBoolean()) return Case::kBoolean;
+  // Singleton's optimality argument assumes any tuple may be deleted; with
+  // restrictions the recursion continues to restriction-aware leaves.
+  const bool restricted =
+      options.restrictions != nullptr && !options.restrictions->Empty();
+  if (options.use_singleton && !restricted && IsSingletonQuery(q, nullptr)) {
+    return Case::kSingleton;
+  }
+  if (!q.UniversalAttrs().Empty()) return Case::kUniverse;
+  if (!IsConnected(q)) return Case::kDecompose;
+  return Case::kHeuristic;
+}
+
+AdpNode TrivialNode(const AdpOptions& options) {
+  AdpNode node;
+  node.profile = CostProfile();
+  node.exact = true;
+  if (!options.counting_only) {
+    node.report = [](std::int64_t) { return std::vector<TupleRef>(); };
+  }
+  return node;
+}
+
+AdpNode HeuristicNode(const ConjunctiveQuery& q, const Database& db,
+                      std::int64_t cap, const AdpOptions& options) {
+  if (options.heuristic == AdpOptions::Heuristic::kDrastic && q.IsFull()) {
+    return DrasticNode(q, db, cap, options);
+  }
+  return GreedyNode(q, db, cap, options);
+}
+
+AdpNode BooleanNode(const ConjunctiveQuery& q, const Database& db,
+                    std::int64_t cap, const AdpOptions& options) {
+  const std::int64_t count = static_cast<std::int64_t>(
+      CountOutputs(q.body(), q.head(), db));
+  if (count == 0 || cap <= 0) return TrivialNode(options);
+  if (options.stats) ++options.stats->boolean_nodes;
+  if (auto exact = SolveBooleanExact(q, db, options.restrictions)) {
+    AdpNode node;
+    node.exact = true;
+    // A cut at or above kInfCapacity means the query cannot be falsified
+    // with the deletable tuples (possible only under §9 restrictions).
+    const std::int64_t res = exact->resilience >= kInfCapacity
+                                 ? kInfCost
+                                 : exact->resilience;
+    node.profile = CostProfile({0, res});
+    if (!options.counting_only) {
+      auto cut = std::make_shared<std::vector<TupleRef>>(
+          std::move(exact->cut));
+      node.report = [cut](std::int64_t j) {
+        return j > 0 ? *cut : std::vector<TupleRef>();
+      };
+    }
+    return node;
+  }
+  // No linear arrangement (possible only for NP-hard boolean queries, or
+  // exotic triad-free shapes outside the paper's scope): greedy fallback.
+  if (options.stats) ++options.stats->boolean_fallbacks;
+  return GreedyNode(q, db, cap, options);
+}
+
+}  // namespace
+
+AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
+                       std::int64_t cap, const AdpOptions& options) {
+  if (cap <= 0) return TrivialNode(options);
+  switch (Classify(q, options)) {
+    case Case::kBoolean:
+      return BooleanNode(q, db, cap, options);
+    case Case::kSingleton:
+      return SingletonNode(q, db, cap, options);
+    case Case::kUniverse:
+      return UniverseNode(q, db, cap, options);
+    case Case::kDecompose:
+      return DecomposeNode(q, db, cap, options);
+    case Case::kHeuristic:
+      return HeuristicNode(q, db, cap, options);
+  }
+  return TrivialNode(options);  // unreachable
+}
+
+AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
+                       std::int64_t k, const AdpOptions& options) {
+  // Lemma 12: push selections down first.
+  const ConjunctiveQuery* query = &q;
+  const Database* data = &db;
+  QueryDb pushed;
+  if (q.HasSelections()) {
+    pushed = ApplySelections(q, db);
+    query = &pushed.query;
+    data = &pushed.db;
+  }
+
+  AdpSolution solution;
+  solution.output_count = static_cast<std::int64_t>(
+      CountOutputs(query->body(), query->head(), *data));
+  if (k > solution.output_count) {
+    solution.feasible = false;
+    solution.cost = kInfCost;
+    return solution;
+  }
+  if (k <= 0) {
+    solution.removed_outputs = 0;
+    return solution;
+  }
+
+  if (Classify(*query, options) == Case::kDecompose) {
+    // Root fast path: avoids profiles of length k (k can be a fraction of a
+    // cross-product-sized |Q(D)|).
+    DecomposeSingleResult res =
+        SolveDecomposeSingleK(*query, *data, k, options);
+    solution.cost = res.cost;
+    solution.exact = res.exact;
+    solution.tuples = std::move(res.tuples);
+  } else {
+    AdpNode node = ComputeAdpNode(*query, *data, k, options);
+    solution.cost = node.profile.At(k);
+    solution.exact = node.exact;
+    if (!options.counting_only && node.report && solution.cost < kInfCost) {
+      solution.tuples = node.report(k);
+    }
+  }
+  if (solution.cost >= kInfCost) {
+    // Reachable only under deletion restrictions: the target cannot be met
+    // with the deletable tuples alone.
+    solution.feasible = false;
+    return solution;
+  }
+
+  if (!options.counting_only) {
+    NormalizeTupleRefs(solution.tuples);
+    if (options.verify) {
+      solution.removed_outputs = CountRemovedOutputs(q, db, solution.tuples);
+    }
+  }
+  return solution;
+}
+
+}  // namespace adp

@@ -1,0 +1,112 @@
+// ComputeADP (Algorithm 2): the unified poly-time algorithm. Exact on
+// poly-time-solvable queries, a heuristic on NP-hard ones.
+//
+// Dispatch order follows the paper:
+//   1. Boolean       — resilience via minimum vertex cut (§7.1);
+//   2. Singleton     — direct sorting algorithm (Algorithm 3, §7.2);
+//   3. Universe      — partition on universal attributes + DP (Algorithm 4);
+//   4. Decompose     — connected components + cross-product DP (Algorithm 5);
+//   5. Greedy leaf   — GreedyForCQ (Alg 6) or DrasticGreedy (Alg 7).
+// Selections are pushed down first (Lemma 12).
+//
+// Internally every recursion node produces a CostProfile plus a lazy
+// reporter; see solver/profile.h for the combination semantics.
+
+#ifndef ADP_SOLVER_COMPUTE_ADP_H_
+#define ADP_SOLVER_COMPUTE_ADP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/profile.h"
+#include "solver/restrictions.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// Recursion statistics, filled when AdpOptions::stats is set. Useful for
+/// understanding which of Algorithm 2's cases a query exercises.
+struct AdpStats {
+  int boolean_nodes = 0;
+  int boolean_fallbacks = 0;  // triad-free but not linearizable -> greedy
+  int singleton_nodes = 0;
+  int universe_nodes = 0;
+  int decompose_nodes = 0;
+  int greedy_leaves = 0;
+  int drastic_leaves = 0;
+  std::int64_t universe_groups = 0;
+};
+
+/// Tuning knobs. Defaults reproduce the paper's recommended configuration;
+/// the alternate strategies exist for the Figure 28/29 ablations.
+struct AdpOptions {
+  /// Heuristic used on NP-hard leaves.
+  enum class Heuristic { kGreedy, kDrastic };
+  Heuristic heuristic = Heuristic::kGreedy;
+
+  /// Skip materializing the witness tuples (the paper's "counting version").
+  bool counting_only = false;
+
+  /// Re-evaluate the query after deletion and fill removed_outputs.
+  bool verify = false;
+
+  /// Universe: remove all universal attributes as one combined attribute
+  /// (default, §7.3) or one at a time (Fig 28 strategy 1).
+  enum class UniverseStrategy { kAllAtOnce, kOneByOne };
+  UniverseStrategy universe_strategy = UniverseStrategy::kAllAtOnce;
+
+  /// Universe: allow the greedy marginal-merge fast path when every group
+  /// profile is convex. Disable to force the plain DP (Fig 28 strategy 2).
+  bool universe_convex_merge = true;
+
+  /// Decompose: improved DP (§7.3), the paper's original O(k^2)-inner-loop
+  /// DP, or full enumeration of (k1..ks) vectors (Fig 29 strategies 3/2/1).
+  enum class DecomposeStrategy { kImprovedDP, kPairwiseNaive,
+                                 kFullEnumeration };
+  DecomposeStrategy decompose_strategy = DecomposeStrategy::kImprovedDP;
+
+  /// Enable the Singleton base case (§7.2 optimization). When disabled the
+  /// recursion falls through to Universe/Decompose as in the un-optimized
+  /// variant.
+  bool use_singleton = true;
+
+  /// §9 extension: tuples that may not be deleted (root coordinates).
+  /// Boolean subproblems stay exact; other leaves become heuristic — see
+  /// solver/restrictions.h for the support matrix. Not owned.
+  const DeletionRestrictions* restrictions = nullptr;
+
+  /// If set, receives recursion statistics. Not owned.
+  AdpStats* stats = nullptr;
+};
+
+/// Solves ADP(Q, D, k). `q` may carry selections; `db` must be the root
+/// database (instances indexed as in `q`).
+AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
+                       std::int64_t k, const AdpOptions& options = {});
+
+// --- Internal recursion interface (exposed for sub-solvers and tests) -----
+
+/// Lazy witness producer: report(j) returns root-coordinate tuples whose
+/// removal removes >= j outputs of the node's subproblem, at profile cost.
+using Reporter = std::function<std::vector<TupleRef>(std::int64_t)>;
+
+/// One node of the ComputeADP recursion.
+struct AdpNode {
+  /// Profile with kmax == min(cap, |Q'(D')|); entries all finite.
+  CostProfile profile;
+  /// True iff every sub-solver on this subtree was exact.
+  bool exact = true;
+  /// Null iff counting_only.
+  Reporter report;
+};
+
+/// Recursion entry point; `q` must be selection-free.
+AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
+                       std::int64_t cap, const AdpOptions& options);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_COMPUTE_ADP_H_

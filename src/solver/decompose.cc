@@ -1,0 +1,280 @@
+#include "solver/decompose.h"
+
+#include <algorithm>
+#include <memory>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "query/transform.h"
+#include "relational/join.h"
+
+namespace adp {
+namespace {
+
+// Profiles longer than this indicate a target k proportional to a
+// cross-product-sized output; the root single-k path avoids them, so hitting
+// the limit means the caller nested Decompose under an enormous cap.
+constexpr std::int64_t kProfileLimit = std::int64_t{1} << 25;
+
+struct Components {
+  std::vector<Subquery> subs;
+  std::vector<Database> dbs;
+  std::vector<std::int64_t> m;       // |Q_i(D)| per component
+  std::vector<std::size_t> order;    // fold order: ascending m, largest last
+  std::int64_t total = 1;            // saturated product of m
+};
+
+Components SplitComponents(const ConjunctiveQuery& q, const Database& db) {
+  Components parts;
+  parts.subs = DecomposeQuery(q);
+  for (const Subquery& sub : parts.subs) {
+    parts.dbs.push_back(SubDatabase(sub, db));
+    parts.m.push_back(static_cast<std::int64_t>(CountOutputs(
+        sub.query.body(), sub.query.head(), parts.dbs.back())));
+    parts.total = SatMul(parts.total, parts.m.back());
+  }
+  parts.order.resize(parts.subs.size());
+  std::iota(parts.order.begin(), parts.order.end(), 0);
+  std::sort(parts.order.begin(), parts.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return parts.m[a] < parts.m[b];
+            });
+  return parts;
+}
+
+void CheckProfileLimit(std::int64_t len) {
+  if (len > kProfileLimit) {
+    throw std::runtime_error(
+        "Decompose: requested profile length exceeds the supported limit; "
+        "the target k is proportional to a cross-product-sized output count");
+  }
+}
+
+// State shared with reporters.
+struct DecomposeState {
+  std::vector<AdpNode> children;                 // in fold order
+  std::vector<std::int64_t> m;                   // in fold order
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> choices;
+};
+
+// Reconstructs tuples for target `j` of the fold prefix ending at `level`
+// (inclusive). Level 0 means children[0] alone.
+void ReportFold(const DecomposeState& s, std::size_t level, std::int64_t j,
+                std::vector<TupleRef>& out) {
+  std::int64_t target = j;
+  for (std::size_t i = level; i >= 1; --i) {
+    const auto [k1, k2] = s.choices[i][target];
+    if (k2 > 0) {
+      std::vector<TupleRef> part = s.children[i].report(k2);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    target = k1;
+  }
+  if (target > 0) {
+    std::vector<TupleRef> part = s.children[0].report(target);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+}
+
+// Full-enumeration (Eq. 2) support: finds the cheapest (k1..ks) vector with
+// >= j outputs removed; returns its cost and (optionally) the vector.
+//
+// This is deliberately the *literal* enumeration of Lemma 3's proof — every
+// k_i ranges over [0, j] with no pruning, Θ(k^s) combinations — because the
+// Figure 29 ablation measures exactly that strategy. Vectors with
+// k_i beyond a component's removable outputs carry infinite cost and are
+// skipped at the comparison, not in the loop bounds.
+std::int64_t EnumerateVectors(const DecomposeState& s, std::int64_t j,
+                              std::vector<std::int64_t>* best_vec) {
+  const std::size_t n = s.children.size();
+  std::vector<std::int64_t> vec(n, 0);
+  std::int64_t best = kInfCost;
+  std::int64_t total = 1;
+  for (std::int64_t mi : s.m) total = SatMul(total, mi);
+
+  // Depth-first enumeration over per-component removal counts; `surviving`
+  // is the partial product of (m_i - k_i), so removed = total - surviving.
+  std::function<void(std::size_t, std::int64_t, std::int64_t)> rec =
+      [&](std::size_t i, std::int64_t cost, std::int64_t surviving) {
+        if (i == n) {
+          if (cost < best && total - surviving >= j) {
+            best = cost;
+            if (best_vec) *best_vec = vec;
+          }
+          return;
+        }
+        for (std::int64_t ki = 0; ki <= j; ++ki) {
+          vec[i] = ki;
+          rec(i + 1, cost + s.children[i].profile.At(ki),
+              SatMul(surviving, std::max<std::int64_t>(0, s.m[i] - ki)));
+        }
+      };
+  rec(0, 0, 1);
+  return best;
+}
+
+std::shared_ptr<DecomposeState> BuildChildren(const Components& parts,
+                                              std::int64_t cap,
+                                              const AdpOptions& options) {
+  auto state = std::make_shared<DecomposeState>();
+  for (std::size_t idx : parts.order) {
+    const std::int64_t child_cap = std::min(parts.m[idx], cap);
+    state->children.push_back(ComputeAdpNode(
+        parts.subs[idx].query, parts.dbs[idx], child_cap, options));
+    state->m.push_back(parts.m[idx]);
+  }
+  return state;
+}
+
+}  // namespace
+
+AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
+                      std::int64_t cap, const AdpOptions& options) {
+  if (options.stats) ++options.stats->decompose_nodes;
+  const Components parts = SplitComponents(q, db);
+  const std::int64_t out_kmax = std::min(cap, parts.total);
+  CheckProfileLimit(out_kmax);
+  auto state = BuildChildren(parts, out_kmax, options);
+
+  AdpNode node;
+  for (const AdpNode& c : state->children) node.exact &= c.exact;
+
+  if (options.decompose_strategy ==
+      AdpOptions::DecomposeStrategy::kFullEnumeration) {
+    // Build the profile by probing every target (ablation-only path).
+    std::vector<std::int64_t> cost(static_cast<std::size_t>(out_kmax) + 1, 0);
+    for (std::int64_t j = 1; j <= out_kmax; ++j) {
+      cost[j] = EnumerateVectors(*state, j, nullptr);
+    }
+    node.profile = CostProfile(std::move(cost));
+    if (!options.counting_only) {
+      auto s = state;
+      node.report = [s](std::int64_t j) {
+        std::vector<std::int64_t> vec(s->children.size(), 0);
+        EnumerateVectors(*s, j, &vec);
+        std::vector<TupleRef> out;
+        for (std::size_t i = 0; i < vec.size(); ++i) {
+          if (vec[i] == 0) continue;
+          std::vector<TupleRef> part = s->children[i].report(vec[i]);
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      };
+    }
+    return node;
+  }
+
+  const bool naive = options.decompose_strategy ==
+                     AdpOptions::DecomposeStrategy::kPairwiseNaive;
+  CostProfile acc = state->children[0].profile;
+  acc.TruncateTo(out_kmax);
+  std::int64_t prefix_m = state->m[0];
+  state->choices.resize(state->children.size());
+  for (std::size_t i = 1; i < state->children.size(); ++i) {
+    acc = CombineProduct(acc, prefix_m, state->children[i].profile,
+                         state->m[i], out_kmax, naive,
+                         options.counting_only ? nullptr
+                                               : &state->choices[i]);
+    prefix_m = SatMul(prefix_m, state->m[i]);
+  }
+  node.profile = std::move(acc);
+
+  if (!options.counting_only) {
+    auto s = state;
+    node.report = [s](std::int64_t j) {
+      std::vector<TupleRef> out;
+      ReportFold(*s, s->children.size() - 1, j, out);
+      return out;
+    };
+  }
+  return node;
+}
+
+DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
+                                            const Database& db,
+                                            std::int64_t k,
+                                            const AdpOptions& options) {
+  if (options.stats) ++options.stats->decompose_nodes;
+  const Components parts = SplitComponents(q, db);
+  DecomposeSingleResult result;
+
+  if (options.decompose_strategy ==
+      AdpOptions::DecomposeStrategy::kFullEnumeration) {
+    auto state = BuildChildren(parts, k, options);
+    for (const AdpNode& c : state->children) result.exact &= c.exact;
+    std::vector<std::int64_t> vec(state->children.size(), 0);
+    result.cost = EnumerateVectors(*state, k,
+                                   options.counting_only ? nullptr : &vec);
+    if (!options.counting_only) {
+      for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i] == 0) continue;
+        std::vector<TupleRef> part = state->children[i].report(vec[i]);
+        result.tuples.insert(result.tuples.end(), part.begin(), part.end());
+      }
+    }
+    return result;
+  }
+
+  // Fold all but the largest component into a prefix profile, then scan the
+  // largest component's removal count k2 once, deriving the minimal prefix
+  // target k1 in closed form. This never materializes an array of length k.
+  auto state = BuildChildren(parts, k, options);
+  for (const AdpNode& c : state->children) result.exact &= c.exact;
+  const std::size_t n = state->children.size();
+  const bool naive = options.decompose_strategy ==
+                     AdpOptions::DecomposeStrategy::kPairwiseNaive;
+
+  CostProfile prefix = state->children[0].profile;
+  std::int64_t prefix_m = state->m[0];
+  state->choices.resize(n);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const std::int64_t prefix_cap =
+        std::min(k, SatMul(prefix_m, state->m[i]));
+    CheckProfileLimit(prefix_cap);
+    prefix = CombineProduct(prefix, prefix_m, state->children[i].profile,
+                            state->m[i], prefix_cap, naive,
+                            options.counting_only ? nullptr
+                                                  : &state->choices[i]);
+    prefix_m = SatMul(prefix_m, state->m[i]);
+  }
+
+  const AdpNode& last = state->children[n - 1];
+  const std::int64_t mb = state->m[n - 1];
+  std::int64_t best_k1 = 0;
+  std::int64_t best_k2 = 0;
+  for (std::int64_t k2 = 0; k2 <= last.profile.kmax(); ++k2) {
+    std::int64_t k1;
+    if (k2 >= mb) {
+      k1 = 0;
+    } else {
+      const std::int64_t need = k - SatMul(k2, prefix_m);
+      if (need <= 0) {
+        k1 = 0;
+      } else {
+        const std::int64_t den = mb - k2;
+        k1 = (need + den - 1) / den;
+      }
+    }
+    if (k1 > prefix.kmax()) continue;
+    const std::int64_t c = prefix.At(k1) + last.profile.At(k2);
+    if (c < result.cost) {
+      result.cost = c;
+      best_k1 = k1;
+      best_k2 = k2;
+    }
+  }
+
+  if (!options.counting_only && result.cost < kInfCost) {
+    if (best_k2 > 0) {
+      std::vector<TupleRef> part = last.report(best_k2);
+      result.tuples.insert(result.tuples.end(), part.begin(), part.end());
+    }
+    if (best_k1 > 0) {
+      ReportFold(*state, n - 2, best_k1, result.tuples);
+    }
+  }
+  return result;
+}
+
+}  // namespace adp

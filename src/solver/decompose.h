@@ -1,0 +1,47 @@
+// Decompose(Q, D, k) (Algorithm 5): solve each connected subquery
+// recursively and combine under cross-product semantics.
+//
+// Three combination strategies are provided (Figure 29 ablation):
+//   * kImprovedDP       — §7.3 recurrence with the closed-form minimal k1
+//                         per (j, k2) pair;
+//   * kPairwiseNaive    — Algorithm 5 as printed, enumerating (k1, k2);
+//   * kFullEnumeration  — Eq. 2 of Lemma 3: enumerate all (k1..ks) vectors.
+//
+// The root of a ComputeADP call additionally uses a single-target scan
+// (SolveDecomposeSingleK) that avoids materializing a profile of length k —
+// essential when k is a fraction of a cross-product-sized |Q(D)|.
+
+#ifndef ADP_SOLVER_DECOMPOSE_H_
+#define ADP_SOLVER_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/compute_adp.h"
+
+namespace adp {
+
+/// Builds the recursion node with a full profile up to `cap`.
+/// Precondition: q is disconnected (>= 2 components).
+AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
+                      std::int64_t cap, const AdpOptions& options);
+
+/// Result of the root-optimized single-target solve.
+struct DecomposeSingleResult {
+  std::int64_t cost = kInfCost;
+  bool exact = true;
+  std::vector<TupleRef> tuples;  // empty when counting_only
+};
+
+/// Solves exactly one target k at the recursion root. Preconditions: q is
+/// disconnected and 1 <= k <= |Q(D)|.
+DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
+                                            const Database& db,
+                                            std::int64_t k,
+                                            const AdpOptions& options);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_DECOMPOSE_H_

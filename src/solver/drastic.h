@@ -1,0 +1,22 @@
+// DrasticGreedyForFullCQ (Algorithm 7): the cheap heuristic for full CQs.
+// Profits are computed once per tuple (distinct tuples of one relation
+// remove disjoint full-join rows), each endogenous relation proposes the
+// smallest profit-sorted prefix reaching the target, and the cheapest
+// relation wins. Not applicable under projections (§7.4).
+
+#ifndef ADP_SOLVER_DRASTIC_H_
+#define ADP_SOLVER_DRASTIC_H_
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/compute_adp.h"
+
+namespace adp {
+
+/// Builds the (non-exact) recursion node. Precondition: q.IsFull().
+AdpNode DrasticNode(const ConjunctiveQuery& q, const Database& db,
+                    std::int64_t cap, const AdpOptions& options);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_DRASTIC_H_

@@ -1,0 +1,36 @@
+// The §3.3 special case: ADP on a *full* CQ is poly-time solvable for every
+// fixed k. The paper's argument enumerates all (|Q(D)| choose k) ways of
+// choosing the k outputs to remove and observes that, for a fixed choice,
+// input tuples collapse into at most 2^k equivalence classes by which of
+// the chosen outputs they would remove.
+//
+// This implementation follows that argument: for each k-subset of outputs
+// the candidate tuples are the (at most k*p) supporters of those outputs;
+// each is reduced to its coverage bitmask and a minimum mask cover is found
+// by subset DP. Practical for small k (the point of the special case);
+// guarded against combinatorial blowup.
+
+#ifndef ADP_SOLVER_FIXED_K_H_
+#define ADP_SOLVER_FIXED_K_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// Exact ADP(Q, D, k) for a full CQ and small k. Returns nullopt if
+/// q is not full, k exceeds |Q(D)|, k > max_k, or the subset enumeration
+/// would exceed `max_subsets`.
+std::optional<AdpSolution> SolveFixedKFullCq(const ConjunctiveQuery& q,
+                                             const Database& db,
+                                             std::int64_t k, int max_k = 4,
+                                             std::int64_t max_subsets =
+                                                 2000000);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_FIXED_K_H_

@@ -1,0 +1,92 @@
+#include "solver/greedy.h"
+
+#include <memory>
+
+#include "dichotomy/relations.h"
+#include "relational/provenance.h"
+
+namespace adp {
+
+GreedyTrace RunGreedyForCQ(const ConjunctiveQuery& q, const Database& db,
+                           std::int64_t target,
+                           const DeletionRestrictions* restrictions) {
+  ProvenanceIndex index(q.body(), q.head(), db);
+  GreedyTrace trace;
+  trace.total_outputs = index.total_outputs();
+  // Lemma 13 lets the unrestricted greedy consider endogenous relations
+  // only; with protected tuples the exogenous substitute of a protected
+  // endogenous tuple may be the only deletable option, so consider all.
+  std::vector<int> candidates = EndogenousRelations(q);
+  if (restrictions && !restrictions->Empty()) {
+    candidates.clear();
+    for (int i = 0; i < q.num_relations(); ++i) candidates.push_back(i);
+  }
+
+  std::int64_t removed = 0;
+  while (removed < target && index.alive_outputs() > 0) {
+    int best_rel = -1;
+    TupleId best_tuple = 0;
+    std::int64_t best_profit = -1;
+    for (int rel : candidates) {
+      const std::size_t n = index.NumTuples(rel);
+      for (TupleId t = 0; t < n; ++t) {
+        if (restrictions &&
+            restrictions->IsProtectedLocal(db.rel(rel), t)) {
+          continue;
+        }
+        if (!index.IsRelevant(rel, t)) continue;
+        const std::int64_t profit = index.Profit(rel, t);
+        if (profit > best_profit) {
+          best_profit = profit;
+          best_rel = rel;
+          best_tuple = t;
+        }
+      }
+    }
+    if (best_rel < 0) break;  // nothing deletable remains
+    removed += index.Delete(best_rel, best_tuple);
+    const RelationInstance& inst = db.rel(best_rel);
+    trace.picks.push_back(
+        TupleRef{inst.root_relation(), inst.OriginOf(best_tuple)});
+    trace.removed_after.push_back(removed);
+  }
+  return trace;
+}
+
+AdpNode GreedyNode(const ConjunctiveQuery& q, const Database& db,
+                   std::int64_t cap, const AdpOptions& options) {
+  if (options.stats) ++options.stats->greedy_leaves;
+  GreedyTrace trace = RunGreedyForCQ(q, db, std::min(cap, std::int64_t{1} << 62),
+                                     options.restrictions);
+
+  // Profile from the trajectory: cost[j] = first pick count reaching j.
+  const std::int64_t kmax = std::min<std::int64_t>(
+      cap, trace.removed_after.empty() ? 0 : trace.removed_after.back());
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(kmax) + 1, 0);
+  {
+    std::size_t pick = 0;
+    for (std::int64_t j = 1; j <= kmax; ++j) {
+      while (trace.removed_after[pick] < j) ++pick;
+      cost[j] = static_cast<std::int64_t>(pick) + 1;
+    }
+  }
+
+  AdpNode node;
+  node.exact = false;
+  node.profile = CostProfile(std::move(cost));
+  if (!options.counting_only) {
+    auto shared = std::make_shared<GreedyTrace>(std::move(trace));
+    node.report = [shared](std::int64_t j) {
+      std::vector<TupleRef> out;
+      for (std::size_t i = 0; i < shared->picks.size(); ++i) {
+        out.push_back(shared->picks[i]);
+        if (shared->removed_after[i] >= j) break;
+      }
+      if (j <= 0) out.clear();
+      return out;
+    };
+  }
+  return node;
+}
+
+}  // namespace adp

@@ -1,0 +1,39 @@
+// GreedyForCQ (Algorithm 6): the general heuristic leaf for NP-hard queries.
+// Repeatedly deletes the endogenous-relation tuple whose removal kills the
+// most remaining outputs (exact profits via the ProvenanceIndex), until the
+// target is met. Achieves the O(log k) set-cover ratio on full CQs; no
+// guarantee under projections (§7.4).
+
+#ifndef ADP_SOLVER_GREEDY_H_
+#define ADP_SOLVER_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+#include "solver/compute_adp.h"
+
+namespace adp {
+
+/// The full deletion trajectory of one greedy run.
+struct GreedyTrace {
+  std::vector<TupleRef> picks;              // deletion order, root coords
+  std::vector<std::int64_t> removed_after;  // cumulative outputs removed
+  std::int64_t total_outputs = 0;           // |Q(D)| before any deletion
+};
+
+/// Runs GreedyForCQ until at least `target` outputs are removed (or no
+/// deletable tuple can make further progress).
+GreedyTrace RunGreedyForCQ(const ConjunctiveQuery& q, const Database& db,
+                           std::int64_t target,
+                           const DeletionRestrictions* restrictions = nullptr);
+
+/// Wraps a greedy run as a (non-exact) recursion node with kmax
+/// min(cap, |Q(D)|).
+AdpNode GreedyNode(const ConjunctiveQuery& q, const Database& db,
+                   std::int64_t cap, const AdpOptions& options);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_GREEDY_H_

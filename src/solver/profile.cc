@@ -1,0 +1,141 @@
+#include "solver/profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adp {
+
+CostProfile::CostProfile(std::vector<std::int64_t> cost)
+    : cost_(std::move(cost)) {
+  assert(!cost_.empty() && cost_[0] == 0);
+#ifndef NDEBUG
+  for (std::size_t j = 1; j < cost_.size(); ++j) {
+    assert(cost_[j] >= cost_[j - 1]);
+  }
+#endif
+}
+
+std::int64_t CostProfile::MaxRemovedWithin(std::int64_t budget) const {
+  // Largest j with cost[j] <= budget; cost_ is nondecreasing.
+  auto it = std::upper_bound(cost_.begin(), cost_.end(), budget);
+  return static_cast<std::int64_t>(it - cost_.begin()) - 1;
+}
+
+bool CostProfile::HasConcaveGains() const {
+  const std::int64_t budget_max = cost_.back();
+  if (budget_max >= kInfCost) return false;
+  std::int64_t prev_gain = kMaxOutputs;
+  std::int64_t prev_f = 0;
+  for (std::int64_t c = 1; c <= budget_max; ++c) {
+    const std::int64_t f = MaxRemovedWithin(c);
+    const std::int64_t gain = f - prev_f;
+    if (gain > prev_gain) return false;
+    prev_gain = gain;
+    prev_f = f;
+  }
+  return true;
+}
+
+bool CostProfile::IsConvex() const {
+  std::int64_t prev_inc = 0;
+  for (std::size_t j = 1; j < cost_.size(); ++j) {
+    if (cost_[j] >= kInfCost) return false;
+    const std::int64_t inc = cost_[j] - cost_[j - 1];
+    if (inc < prev_inc) return false;
+    prev_inc = inc;
+  }
+  return true;
+}
+
+void CostProfile::TruncateTo(std::int64_t cap) {
+  if (cap < kmax()) cost_.resize(static_cast<std::size_t>(cap) + 1);
+}
+
+CostProfile CombineDisjoint(const CostProfile& a, const CostProfile& b,
+                            std::int64_t cap,
+                            std::vector<std::int64_t>* choice_b) {
+  const std::int64_t out_kmax = std::min(cap, SatAdd(a.kmax(), b.kmax()));
+  std::vector<std::int64_t> out(static_cast<std::size_t>(out_kmax) + 1,
+                                kInfCost);
+  if (choice_b) choice_b->assign(out.size(), 0);
+  for (std::int64_t j = 0; j <= out_kmax; ++j) {
+    const std::int64_t mmax = std::min(j, b.kmax());
+    const std::int64_t mmin = std::max<std::int64_t>(0, j - a.kmax());
+    for (std::int64_t m = mmin; m <= mmax; ++m) {
+      const std::int64_t c = a.At(j - m) + b.At(m);
+      if (c < out[j]) {
+        out[j] = c;
+        if (choice_b) (*choice_b)[j] = m;
+      }
+    }
+  }
+  return CostProfile(std::move(out));
+}
+
+CostProfile CombineProduct(
+    const CostProfile& a, std::int64_t ma, const CostProfile& b,
+    std::int64_t mb, std::int64_t cap, bool naive_inner,
+    std::vector<std::pair<std::int64_t, std::int64_t>>* choice) {
+  const std::int64_t total = SatMul(ma, mb);
+  const std::int64_t out_kmax = std::min(cap, total);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(out_kmax) + 1,
+                                kInfCost);
+  if (choice) choice->assign(out.size(), {0, 0});
+  out[0] = 0;
+
+  auto removed = [&](std::int64_t k1, std::int64_t k2) {
+    // k1*mb + k2*ma - k1*k2, saturated.
+    return SatAdd(SatMul(k1, mb - k2), SatMul(k2, ma));
+  };
+
+  for (std::int64_t j = 1; j <= out_kmax; ++j) {
+    const std::int64_t k2_hi = std::min(b.kmax(), std::min(mb, j));
+    for (std::int64_t k2 = 0; k2 <= k2_hi; ++k2) {
+      const std::int64_t cb = b.At(k2);
+      if (cb >= kInfCost) break;  // profiles are monotone
+      if (naive_inner) {
+        // Original Algorithm 5 inner loop: enumerate every (k1, k2) pair
+        // and keep the cheapest feasible one — the Figure 29 "pairwise"
+        // strategy measures exactly this full scan.
+        const std::int64_t k1_hi = std::min(a.kmax(), std::min(ma, j));
+        for (std::int64_t k1 = 0; k1 <= k1_hi; ++k1) {
+          if (removed(k1, k2) < j) continue;
+          const std::int64_t c = a.At(k1) + cb;
+          if (c < out[j]) {
+            out[j] = c;
+            if (choice) (*choice)[j] = {k1, k2};
+          }
+        }
+      } else {
+        // Improved scan (§7.3): minimal feasible k1 in closed form.
+        std::int64_t k1;
+        if (k2 >= mb) {
+          k1 = 0;  // the whole b-factor is gone; everything is removed
+        } else {
+          const std::int64_t need = j - SatMul(k2, ma);
+          if (need <= 0) {
+            k1 = 0;
+          } else {
+            const std::int64_t den = mb - k2;
+            k1 = (need + den - 1) / den;
+          }
+        }
+        if (k1 > ma || k1 > a.kmax()) continue;
+        if (removed(k1, k2) < j) continue;  // paranoia vs. saturation
+        const std::int64_t c = a.At(k1) + cb;
+        if (c < out[j]) {
+          out[j] = c;
+          if (choice) (*choice)[j] = {k1, k2};
+        }
+      }
+    }
+    if (out[j] >= kInfCost) {
+      // Unreachable targets stay infeasible; keep monotonicity by clamping.
+      out[j] = kInfCost;
+    }
+    if (out[j] < out[j - 1]) out[j] = out[j - 1];
+  }
+  return CostProfile(std::move(out));
+}
+
+}  // namespace adp

@@ -1,0 +1,61 @@
+// §9 extension ("as a first step, one might want to consider a scenario
+// where only a subset of input tuples can be removed"): deletion
+// restrictions mark root tuples as protected — no solver may delete them.
+//
+// Support matrix:
+//   * Boolean/resilience: exact (protected tuples get infinite capacity in
+//     the vertex-cut network);
+//   * GreedyForCQ / DrasticGreedy / BruteForce: respected exactly;
+//   * Singleton / the profile DPs: their exchange arguments assume free
+//     choice, so when restrictions are present the dispatcher skips the
+//     Singleton base case and marks non-boolean leaves heuristic
+//     (exact = false). Universe/Decompose combinations remain valid since
+//     they only combine child results.
+
+#ifndef ADP_SOLVER_RESTRICTIONS_H_
+#define ADP_SOLVER_RESTRICTIONS_H_
+
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace adp {
+
+/// A set of protected root tuples.
+class DeletionRestrictions {
+ public:
+  /// Marks root tuple (relation, row) as undeletable.
+  void Protect(int relation, TupleId row) {
+    if (static_cast<int>(protected_.size()) <= relation) {
+      protected_.resize(relation + 1);
+    }
+    auto& rows = protected_[relation];
+    if (rows.size() <= row) rows.resize(row + 1, 0);
+    rows[row] = 1;
+  }
+
+  /// True if the root tuple may not be deleted.
+  bool IsProtected(int relation, TupleId row) const {
+    if (relation < 0 || relation >= static_cast<int>(protected_.size())) {
+      return false;
+    }
+    const auto& rows = protected_[relation];
+    return row < rows.size() && rows[row];
+  }
+
+  /// True for a tuple of a (possibly derived) instance, resolved through
+  /// its origin bookkeeping.
+  bool IsProtectedLocal(const RelationInstance& inst, std::size_t i) const {
+    return IsProtected(inst.root_relation(), inst.OriginOf(i));
+  }
+
+  bool Empty() const { return protected_.empty(); }
+
+ private:
+  std::vector<std::vector<char>> protected_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_RESTRICTIONS_H_

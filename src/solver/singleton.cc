@@ -1,0 +1,193 @@
+#include "solver/singleton.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "relational/join.h"
+#include "util/hash.h"
+
+namespace adp {
+namespace {
+
+// Builds a profile from per-pick gains sorted descending: the c-th deletion
+// removes gains[c-1] further outputs.
+CostProfile ProfileFromGains(const std::vector<std::int64_t>& gains,
+                             std::int64_t cap) {
+  std::vector<std::int64_t> cost;
+  cost.push_back(0);
+  std::int64_t removed = 0;
+  for (std::size_t c = 0; c < gains.size(); ++c) {
+    const std::int64_t next = removed + gains[c];
+    for (std::int64_t j = removed + 1;
+         j <= next && static_cast<std::int64_t>(cost.size()) <= cap; ++j) {
+      cost.push_back(static_cast<std::int64_t>(c) + 1);
+    }
+    removed = next;
+    if (static_cast<std::int64_t>(cost.size()) > cap) break;
+  }
+  return CostProfile(std::move(cost));
+}
+
+}  // namespace
+
+bool IsSingletonQuery(const ConjunctiveQuery& q, int* which) {
+  int best = -1;
+  for (int i = 0; i < q.num_relations(); ++i) {
+    if (best < 0 || q.relation(i).attrs.size() < q.relation(best).attrs.size()) {
+      best = i;
+    }
+  }
+  if (best < 0) return false;
+  const AttrSet ai = q.relation(best).attr_set();
+  for (int j = 0; j < q.num_relations(); ++j) {
+    if (!ai.SubsetOf(q.relation(j).attr_set())) return false;
+  }
+  if (!ai.SubsetOf(q.head()) && !q.head().SubsetOf(ai)) return false;
+  if (which) *which = best;
+  return true;
+}
+
+AdpNode SingletonNode(const ConjunctiveQuery& q, const Database& db,
+                      std::int64_t cap, const AdpOptions& options) {
+  int ri = -1;
+  IsSingletonQuery(q, &ri);
+  const RelationSchema& schema = q.relation(ri);
+  const RelationInstance& inst = db.rel(ri);
+  const AttrSet ai = schema.attr_set();
+
+  AdpNode node;
+  node.exact = true;
+  if (options.stats) ++options.stats->singleton_nodes;
+
+  if (ai.SubsetOf(q.head())) {
+    // Case 1: profit of an Ri tuple = number of outputs inheriting it.
+    // Outputs are grouped by their projection onto attr(Ri); each group
+    // corresponds to exactly one Ri tuple (instances are duplicate-free).
+    const std::vector<Tuple> outputs =
+        DistinctOutputs(q.body(), q.head(), db);
+    // Column positions of attr(Ri) inside the head projection (both use
+    // increasing AttrId order).
+    std::vector<int> cols;
+    {
+      int pos = 0;
+      for (AttrId a : q.head()) {
+        if (ai.Contains(a)) cols.push_back(pos);
+        ++pos;
+      }
+    }
+    std::unordered_map<Tuple, std::int64_t, VecHash> profit_of;
+    profit_of.reserve(outputs.size() * 2);
+    Tuple key(cols.size());
+    for (const Tuple& out : outputs) {
+      for (std::size_t j = 0; j < cols.size(); ++j) key[j] = out[cols[j]];
+      ++profit_of[key];
+    }
+    // Match profits to Ri tuples (tuple column order may differ from
+    // AttrId order; normalize).
+    std::vector<int> tcols;
+    for (AttrId a : ai) tcols.push_back(schema.ColumnOf(a));
+    struct Pick {
+      std::int64_t profit;
+      TupleId t;
+    };
+    std::vector<Pick> picks;
+    picks.reserve(inst.size());
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      for (std::size_t j = 0; j < tcols.size(); ++j) {
+        key[j] = inst.tuple(t)[tcols[j]];
+      }
+      auto it = profit_of.find(key);
+      if (it != profit_of.end() && it->second > 0) {
+        picks.push_back(Pick{it->second, static_cast<TupleId>(t)});
+      }
+    }
+    std::sort(picks.begin(), picks.end(),
+              [](const Pick& a, const Pick& b) { return a.profit > b.profit; });
+
+    std::vector<std::int64_t> gains;
+    gains.reserve(picks.size());
+    for (const Pick& p : picks) gains.push_back(p.profit);
+    node.profile = ProfileFromGains(gains, cap);
+
+    if (!options.counting_only) {
+      auto shared = std::make_shared<std::vector<Pick>>(std::move(picks));
+      const int root_rel = inst.root_relation();
+      std::vector<TupleId> origins(inst.size());
+      for (std::size_t t = 0; t < inst.size(); ++t) {
+        origins[t] = inst.OriginOf(t);
+      }
+      auto shared_origins =
+          std::make_shared<std::vector<TupleId>>(std::move(origins));
+      node.report = [shared, shared_origins, root_rel](std::int64_t j) {
+        std::vector<TupleRef> out;
+        std::int64_t removed = 0;
+        for (const Pick& p : *shared) {
+          if (removed >= j) break;
+          out.push_back(TupleRef{root_rel, (*shared_origins)[p.t]});
+          removed += p.profit;
+        }
+        return out;
+      };
+    }
+    return node;
+  }
+
+  // Case 2: head(Q) ⊆ attr(Ri). Discard dangling Ri tuples, group the rest
+  // by head projection (one group per output), delete cheapest groups first.
+  const std::vector<std::vector<char>> live = NonDanglingFlags(q.body(), db);
+  std::vector<int> hcols;
+  for (AttrId a : q.head()) hcols.push_back(schema.ColumnOf(a));
+  std::unordered_map<Tuple, std::vector<TupleId>, VecHash> groups;
+  Tuple key(hcols.size());
+  for (std::size_t t = 0; t < inst.size(); ++t) {
+    if (!live[ri][t]) continue;
+    for (std::size_t j = 0; j < hcols.size(); ++j) {
+      key[j] = inst.tuple(t)[hcols[j]];
+    }
+    groups[key].push_back(static_cast<TupleId>(t));
+  }
+  std::vector<std::vector<TupleId>> sorted_groups;
+  sorted_groups.reserve(groups.size());
+  for (auto& [k, members] : groups) sorted_groups.push_back(std::move(members));
+  std::sort(sorted_groups.begin(), sorted_groups.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+
+  // Removing the j cheapest groups costs sum of their sizes and removes
+  // exactly j outputs.
+  std::vector<std::int64_t> cost;
+  cost.push_back(0);
+  for (std::size_t g = 0;
+       g < sorted_groups.size() &&
+       static_cast<std::int64_t>(cost.size()) <= cap;
+       ++g) {
+    cost.push_back(cost.back() +
+                   static_cast<std::int64_t>(sorted_groups[g].size()));
+  }
+  node.profile = CostProfile(std::move(cost));
+
+  if (!options.counting_only) {
+    auto shared =
+        std::make_shared<std::vector<std::vector<TupleId>>>(
+            std::move(sorted_groups));
+    const int root_rel = inst.root_relation();
+    std::vector<TupleId> origins(inst.size());
+    for (std::size_t t = 0; t < inst.size(); ++t) origins[t] = inst.OriginOf(t);
+    auto shared_origins =
+        std::make_shared<std::vector<TupleId>>(std::move(origins));
+    node.report = [shared, shared_origins, root_rel](std::int64_t j) {
+      std::vector<TupleRef> out;
+      for (std::int64_t g = 0; g < j && g < static_cast<std::int64_t>(
+                                               shared->size());
+           ++g) {
+        for (TupleId t : (*shared)[g]) {
+          out.push_back(TupleRef{root_rel, (*shared_origins)[t]});
+        }
+      }
+      return out;
+    };
+  }
+  return node;
+}
+
+}  // namespace adp

@@ -1,0 +1,55 @@
+#include "solver/solution.h"
+
+#include <algorithm>
+
+#include "query/transform.h"
+#include "relational/join.h"
+
+namespace adp {
+
+std::int64_t CountRemovedOutputs(const ConjunctiveQuery& q, const Database& db,
+                                 const std::vector<TupleRef>& tuples) {
+  const ConjunctiveQuery* query = &q;
+  const Database* data = &db;
+  QueryDb pushed;
+  if (q.HasSelections()) {
+    pushed = ApplySelections(q, db);
+    query = &pushed.query;
+    data = &pushed.db;
+  }
+
+  const std::int64_t before = static_cast<std::int64_t>(
+      CountOutputs(query->body(), query->head(), *data));
+
+  // Translate root coordinates into masks over the (possibly derived)
+  // instances via their origin ids.
+  std::vector<std::vector<char>> removed(data->num_relations());
+  for (std::size_t r = 0; r < data->num_relations(); ++r) {
+    const RelationInstance& inst = data->rel(r);
+    removed[r].assign(inst.size(), 0);
+    const int root_rel =
+        inst.root_relation() < 0 ? static_cast<int>(r) : inst.root_relation();
+    std::vector<char> root_rows;  // mask over root row ids
+    for (const TupleRef& ref : tuples) {
+      if (ref.relation != root_rel) continue;
+      if (root_rows.size() <= ref.row) root_rows.resize(ref.row + 1, 0);
+      root_rows[ref.row] = 1;
+    }
+    if (root_rows.empty()) continue;
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      const TupleId o = inst.OriginOf(i);
+      if (o < root_rows.size() && root_rows[o]) removed[r][i] = 1;
+    }
+  }
+  const Database after = WithTuplesRemoved(*data, removed);
+  const std::int64_t remaining = static_cast<std::int64_t>(
+      CountOutputs(query->body(), query->head(), after));
+  return before - remaining;
+}
+
+void NormalizeTupleRefs(std::vector<TupleRef>& tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+}
+
+}  // namespace adp

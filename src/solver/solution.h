@@ -1,0 +1,61 @@
+// Solution types shared by every solver, plus verification.
+
+#ifndef ADP_SOLVER_SOLUTION_H_
+#define ADP_SOLVER_SOLUTION_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// A reference to one input tuple of the *root* database.
+struct TupleRef {
+  int relation = 0;  // body index in the root query
+  TupleId row = 0;   // row index in the root instance
+
+  friend bool operator==(const TupleRef& a, const TupleRef& b) {
+    return a.relation == b.relation && a.row == b.row;
+  }
+  friend bool operator<(const TupleRef& a, const TupleRef& b) {
+    return std::tie(a.relation, a.row) < std::tie(b.relation, b.row);
+  }
+};
+
+/// Result of ADP(Q, D, k).
+struct AdpSolution {
+  /// Number of input tuples removed (the objective value).
+  std::int64_t cost = 0;
+
+  /// The removed tuples (empty when counting_only was requested).
+  std::vector<TupleRef> tuples;
+
+  /// True iff every step of the recursion was exact — i.e. `cost` is the
+  /// optimum. Heuristic leaves (GreedyForCQ / Drastic) clear this.
+  bool exact = true;
+
+  /// False iff k exceeded |Q(D)| (no solution exists).
+  bool feasible = true;
+
+  /// |Q(D)| before any deletion.
+  std::int64_t output_count = 0;
+
+  /// Outputs actually removed by `tuples`; -1 unless verification ran.
+  std::int64_t removed_outputs = -1;
+};
+
+/// Re-evaluates the query and returns how many outputs disappear when
+/// `tuples` (root coordinates) are removed from `db`. `q` and `db` must be
+/// the root query/database (selections allowed; they are applied first).
+std::int64_t CountRemovedOutputs(const ConjunctiveQuery& q, const Database& db,
+                                 const std::vector<TupleRef>& tuples);
+
+/// Sorts and deduplicates a tuple list in place.
+void NormalizeTupleRefs(std::vector<TupleRef>& tuples);
+
+}  // namespace adp
+
+#endif  // ADP_SOLVER_SOLUTION_H_

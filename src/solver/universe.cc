@@ -1,0 +1,163 @@
+#include "solver/universe.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "query/transform.h"
+
+namespace adp {
+namespace {
+
+// Children plus everything the reporter needs.
+struct UniverseState {
+  std::vector<AdpNode> children;
+  // Generic DP path: per fold level i >= 1, choice[i][j] = outputs taken
+  // from child i when the combined target is j.
+  std::vector<std::vector<std::int64_t>> choices;
+  // Convex path: all marginal steps sorted by gain descending.
+  struct Step {
+    std::int64_t gain;
+    int child;
+  };
+  std::vector<Step> steps;
+  bool convex = false;
+};
+
+AdpNode CombineChildren(std::shared_ptr<UniverseState> state, std::int64_t cap,
+                        const AdpOptions& options) {
+  AdpNode node;
+  for (const AdpNode& c : state->children) node.exact &= c.exact;
+
+  bool all_convex = options.universe_convex_merge;
+  for (const AdpNode& c : state->children) {
+    all_convex = all_convex && c.profile.HasConcaveGains();
+  }
+  state->convex = all_convex;
+
+  if (all_convex) {
+    // Global greedy over marginal gains: the c-th unit of budget spent on a
+    // child buys MaxRemovedWithin(c) - MaxRemovedWithin(c-1) outputs; for
+    // convex profiles these gains are nonincreasing per child, so merging
+    // all steps by gain is optimal for the disjoint union.
+    for (std::size_t i = 0; i < state->children.size(); ++i) {
+      const CostProfile& prof = state->children[i].profile;
+      const std::int64_t budget_max = prof.At(prof.kmax());
+      std::int64_t prev = 0;
+      for (std::int64_t c = 1; c <= budget_max; ++c) {
+        const std::int64_t now = prof.MaxRemovedWithin(c);
+        if (now > prev) {
+          state->steps.push_back(
+              UniverseState::Step{now - prev, static_cast<int>(i)});
+        }
+        prev = now;
+      }
+    }
+    std::sort(state->steps.begin(), state->steps.end(),
+              [](const auto& a, const auto& b) { return a.gain > b.gain; });
+    std::vector<std::int64_t> cost;
+    cost.push_back(0);
+    std::int64_t removed = 0;
+    for (std::size_t s = 0;
+         s < state->steps.size() &&
+         static_cast<std::int64_t>(cost.size()) <= cap;
+         ++s) {
+      const std::int64_t next = removed + state->steps[s].gain;
+      for (std::int64_t j = removed + 1;
+           j <= next && static_cast<std::int64_t>(cost.size()) <= cap; ++j) {
+        cost.push_back(static_cast<std::int64_t>(s) + 1);
+      }
+      removed = next;
+    }
+    node.profile = CostProfile(std::move(cost));
+  } else {
+    // Sequential fold with the plain min-plus DP (Eq. 1), recording split
+    // choices for reporting.
+    CostProfile acc = state->children[0].profile;
+    acc.TruncateTo(cap);
+    state->choices.resize(state->children.size());
+    for (std::size_t i = 1; i < state->children.size(); ++i) {
+      acc = CombineDisjoint(acc, state->children[i].profile, cap,
+                            options.counting_only ? nullptr
+                                                  : &state->choices[i]);
+    }
+    node.profile = std::move(acc);
+  }
+
+  if (!options.counting_only) {
+    const std::shared_ptr<UniverseState> s = state;
+    node.report = [s](std::int64_t j) {
+      std::vector<TupleRef> out;
+      if (s->convex) {
+        // Budget per child from the sorted step prefix covering j.
+        std::vector<std::int64_t> budget(s->children.size(), 0);
+        std::int64_t removed = 0;
+        for (const auto& step : s->steps) {
+          if (removed >= j) break;
+          ++budget[step.child];
+          removed += step.gain;
+        }
+        for (std::size_t i = 0; i < s->children.size(); ++i) {
+          if (budget[i] == 0) continue;
+          const std::int64_t ji =
+              s->children[i].profile.MaxRemovedWithin(budget[i]);
+          std::vector<TupleRef> part = s->children[i].report(ji);
+          out.insert(out.end(), part.begin(), part.end());
+        }
+      } else {
+        std::int64_t target = j;
+        for (std::size_t i = s->children.size(); i-- > 1;) {
+          const std::int64_t m = s->choices[i].empty()
+                                     ? 0
+                                     : s->choices[i][target];
+          if (m > 0) {
+            std::vector<TupleRef> part = s->children[i].report(m);
+            out.insert(out.end(), part.begin(), part.end());
+          }
+          target -= m;
+        }
+        if (target > 0) {
+          std::vector<TupleRef> part = s->children[0].report(target);
+          out.insert(out.end(), part.begin(), part.end());
+        }
+      }
+      return out;
+    };
+  }
+  return node;
+}
+
+}  // namespace
+
+AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
+                     std::int64_t cap, const AdpOptions& options) {
+  AttrSet to_remove = q.UniversalAttrs();
+  if (options.universe_strategy == AdpOptions::UniverseStrategy::kOneByOne) {
+    // Figure 28 strategy 1: peel a single universal attribute; the residual
+    // query still has the rest, so the recursion stacks partitions.
+    to_remove = AttrSet::Of(*to_remove.begin());
+  }
+
+  const ConjunctiveQuery residual = RemoveAttributes(q, to_remove);
+  std::vector<UniverseGroup> groups = PartitionByAttrs(q, db, to_remove);
+  if (options.stats) {
+    ++options.stats->universe_nodes;
+    options.stats->universe_groups +=
+        static_cast<std::int64_t>(groups.size());
+  }
+
+  auto state = std::make_shared<UniverseState>();
+  state->children.reserve(groups.size());
+  for (UniverseGroup& g : groups) {
+    state->children.push_back(ComputeAdpNode(residual, g.db, cap, options));
+  }
+  if (state->children.empty()) {
+    // No complete class: Q(D) is empty.
+    return AdpNode{CostProfile(), true,
+                   options.counting_only
+                       ? Reporter()
+                       : [](std::int64_t) { return std::vector<TupleRef>(); }};
+  }
+  return CombineChildren(state, cap, options);
+}
+
+}  // namespace adp

@@ -1,0 +1,87 @@
+// Compact attribute-set representation used throughout the query layer.
+//
+// A conjunctive query in this library has query complexity O(1): the number
+// of distinct attributes is bounded by kMaxAttrs = 64, so a set of attributes
+// fits into a single machine word and all set algebra is branch-free.
+
+#ifndef ADP_UTIL_ATTR_SET_H_
+#define ADP_UTIL_ATTR_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+
+namespace adp {
+
+/// Index of an attribute in a query's attribute catalog.
+using AttrId = int;
+
+/// Maximum number of distinct attributes per query (word-sized bitset).
+inline constexpr int kMaxAttrs = 64;
+
+/// A set of attribute ids backed by a 64-bit mask.
+class AttrSet {
+ public:
+  constexpr AttrSet() = default;
+  constexpr explicit AttrSet(std::uint64_t mask) : mask_(mask) {}
+  constexpr AttrSet(std::initializer_list<AttrId> attrs) {
+    for (AttrId a : attrs) Add(a);
+  }
+
+  /// Singleton set {a}.
+  static constexpr AttrSet Of(AttrId a) { return AttrSet(std::uint64_t{1} << a); }
+  /// The set {0, 1, ..., n-1}.
+  static constexpr AttrSet FirstN(int n) {
+    return n >= kMaxAttrs ? AttrSet(~std::uint64_t{0})
+                          : AttrSet((std::uint64_t{1} << n) - 1);
+  }
+
+  constexpr void Add(AttrId a) { mask_ |= std::uint64_t{1} << a; }
+  constexpr void Remove(AttrId a) { mask_ &= ~(std::uint64_t{1} << a); }
+  constexpr bool Contains(AttrId a) const {
+    return (mask_ >> a) & std::uint64_t{1};
+  }
+
+  constexpr bool Empty() const { return mask_ == 0; }
+  constexpr int Size() const { return std::popcount(mask_); }
+  constexpr std::uint64_t mask() const { return mask_; }
+
+  constexpr AttrSet Union(AttrSet o) const { return AttrSet(mask_ | o.mask_); }
+  constexpr AttrSet Intersect(AttrSet o) const {
+    return AttrSet(mask_ & o.mask_);
+  }
+  constexpr AttrSet Minus(AttrSet o) const { return AttrSet(mask_ & ~o.mask_); }
+  constexpr bool SubsetOf(AttrSet o) const { return (mask_ & ~o.mask_) == 0; }
+  constexpr bool StrictSubsetOf(AttrSet o) const {
+    return SubsetOf(o) && mask_ != o.mask_;
+  }
+  constexpr bool Intersects(AttrSet o) const { return (mask_ & o.mask_) != 0; }
+
+  constexpr bool operator==(const AttrSet&) const = default;
+
+  /// Iterates set bits in increasing AttrId order.
+  class Iterator {
+   public:
+    constexpr explicit Iterator(std::uint64_t mask) : mask_(mask) {}
+    constexpr AttrId operator*() const { return std::countr_zero(mask_); }
+    constexpr Iterator& operator++() {
+      mask_ &= mask_ - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& o) const {
+      return mask_ != o.mask_;
+    }
+
+   private:
+    std::uint64_t mask_;
+  };
+  constexpr Iterator begin() const { return Iterator(mask_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_UTIL_ATTR_SET_H_

@@ -1,0 +1,25 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adp {
+
+ZipfSampler::ZipfSampler(int n, double alpha) : n_(n), alpha_(alpha) {
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha_);
+    cdf_[i] = total;
+  }
+  for (int i = 0; i < n_; ++i) cdf_[i] /= total;
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+}  // namespace adp

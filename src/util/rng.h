@@ -1,0 +1,66 @@
+// Deterministic random number generation for workload generators and tests.
+//
+// All generators in this library take an explicit seed so that every
+// experiment in EXPERIMENTS.md is exactly reproducible.
+
+#ifndef ADP_UTIL_RNG_H_
+#define ADP_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adp {
+
+/// SplitMix64: tiny, fast, well-distributed PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Uniform(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Samples ranks from a Zipfian distribution over {0, ..., n-1}: the
+/// frequency of rank i is proportional to (i+1)^-alpha (alpha = 0 is
+/// uniform). Uses a precomputed inverse-CDF table; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double alpha);
+
+  /// Draws one rank in [0, n).
+  int Sample(Rng& rng) const;
+
+  int n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  int n_;
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_UTIL_RNG_H_

@@ -1,0 +1,30 @@
+// Saturating arithmetic for output counts. Cross products of component
+// output counts overflow 64 bits quickly; all combination math saturates at
+// kMaxOutputs instead.
+
+#ifndef ADP_UTIL_SATURATING_H_
+#define ADP_UTIL_SATURATING_H_
+
+#include <cstdint>
+
+namespace adp {
+
+/// Saturation bound for output counts.
+inline constexpr std::int64_t kMaxOutputs = std::int64_t{1} << 62;
+
+/// a * b saturated at kMaxOutputs (both non-negative).
+inline std::int64_t SatMul(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMaxOutputs / b) return kMaxOutputs;
+  return a * b;
+}
+
+/// a + b saturated at kMaxOutputs (both non-negative).
+inline std::int64_t SatAdd(std::int64_t a, std::int64_t b) {
+  if (a > kMaxOutputs - b) return kMaxOutputs;
+  return a + b;
+}
+
+}  // namespace adp
+
+#endif  // ADP_UTIL_SATURATING_H_

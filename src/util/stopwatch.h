@@ -1,0 +1,31 @@
+// Minimal monotonic stopwatch used by harness code (examples, ad-hoc timing).
+
+#ifndef ADP_UTIL_STOPWATCH_H_
+#define ADP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adp {
+
+/// Wall-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction/Reset.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_UTIL_STOPWATCH_H_

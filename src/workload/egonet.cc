@@ -1,0 +1,101 @@
+#include "workload/egonet.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace adp {
+
+EgonetTables MakeEgonet(int nodes, int circles,
+                        std::int64_t target_directed_edges,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  EgonetTables out;
+  out.tables.resize(4);
+  out.num_nodes = nodes;
+
+  // Assign each node to one or two circles.
+  std::vector<std::vector<int>> circle_members(circles);
+  for (int v = 0; v < nodes; ++v) {
+    circle_members[rng.Uniform(circles)].push_back(v);
+    if (rng.UniformDouble() < 0.3) {
+      circle_members[rng.Uniform(circles)].push_back(v);
+    }
+  }
+
+  // Sample undirected intra-circle edges until the target is met; sprinkle
+  // 5% inter-circle edges for realism.
+  const std::int64_t target_undirected = target_directed_edges / 2;
+  std::set<std::pair<int, int>> edges;
+  std::int64_t attempts = 0;
+  while (static_cast<std::int64_t>(edges.size()) < target_undirected &&
+         attempts < target_undirected * 100) {
+    ++attempts;
+    int u, v;
+    if (rng.UniformDouble() < 0.95) {
+      const auto& members = circle_members[rng.Uniform(circles)];
+      if (members.size() < 2) continue;
+      u = members[rng.Uniform(members.size())];
+      v = members[rng.Uniform(members.size())];
+    } else {
+      u = static_cast<int>(rng.Uniform(nodes));
+      v = static_cast<int>(rng.Uniform(nodes));
+    }
+    if (u == v) continue;
+    edges.insert({std::min(u, v), std::max(u, v)});
+  }
+
+  // Bi-direct and split by rank mod 4 (paper's construction).
+  std::int64_t rank = 0;
+  for (const auto& [u, v] : edges) {
+    out.tables[rank % 4].emplace_back(u, v);
+    ++rank;
+    out.tables[rank % 4].emplace_back(v, u);
+    ++rank;
+  }
+  out.num_directed_edges = rank;
+  return out;
+}
+
+EgonetTables MakePaperEgonet(std::uint64_t seed) {
+  return MakeEgonet(150, 7, 3386, seed);
+}
+
+Database MakeEdgeDatabase(const ConjunctiveQuery& q,
+                          const EgonetTables& tables) {
+  Database db(q.num_relations());
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const std::string& name = q.relation(i).name;
+    if (name.size() != 2 || name[0] != 'R' || name[1] < '1' || name[1] > '4') {
+      throw std::invalid_argument("MakeEdgeDatabase: relation name " + name +
+                                  " is not R1..R4");
+    }
+    const int table = name[1] - '1';
+    for (const auto& [a, b] : tables.tables[table]) {
+      db.rel(i).Add({a, b});
+    }
+    db.rel(i).Dedup();
+  }
+  return db;
+}
+
+ConjunctiveQuery MakeQ2() {
+  return ParseQuery("Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)");
+}
+
+ConjunctiveQuery MakeQ3() {
+  return ParseQuery("Q(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)");
+}
+
+ConjunctiveQuery MakeQ4() {
+  return ParseQuery("Q(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)");
+}
+
+ConjunctiveQuery MakeQ5() {
+  return ParseQuery("Q(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)");
+}
+
+}  // namespace adp

@@ -1,0 +1,54 @@
+// Synthetic ego-network workload (§8.1 SNAP substitution; see DESIGN.md).
+//
+// The paper uses the Facebook ego network of user 414 (7 circles, 150 nodes,
+// 3386 directed edges), splits the bi-directed edge list into four tables
+// R1..R4 by rank mod 4, and evaluates:
+//   Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)            (3-path, full)
+//   Q3(A,B,C)   :- R1(A,B), R2(B,C), R3(C,A)            (triangle, full)
+//   Q4(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)   (2x 2-path, proj.)
+//   Q5(A,B,C)   :- R1(A,E), R2(B,E), R3(C,E)            (common friend)
+// We generate a clustered social graph of the same size.
+
+#ifndef ADP_WORKLOAD_EGONET_H_
+#define ADP_WORKLOAD_EGONET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// The four edge tables (bi-directed edges, split by rank mod 4).
+struct EgonetTables {
+  std::vector<std::vector<std::pair<Value, Value>>> tables;  // size 4
+  int num_nodes = 0;
+  std::int64_t num_directed_edges = 0;
+};
+
+/// Generates a clustered graph: `circles` overlapping groups over `nodes`
+/// vertices, intra-circle edges sampled to hit ~`target_directed_edges`
+/// after bi-direction, plus a few inter-circle edges.
+EgonetTables MakeEgonet(int nodes, int circles,
+                        std::int64_t target_directed_edges,
+                        std::uint64_t seed);
+
+/// The paper's configuration (150 nodes, 7 circles, 3386 directed edges).
+EgonetTables MakePaperEgonet(std::uint64_t seed);
+
+/// Loads the tables into a database aligned with `q`: body relation "Ri"
+/// (binary) receives tables[i-1].
+Database MakeEdgeDatabase(const ConjunctiveQuery& q,
+                          const EgonetTables& tables);
+
+/// The four evaluation queries.
+ConjunctiveQuery MakeQ2();
+ConjunctiveQuery MakeQ3();
+ConjunctiveQuery MakeQ4();
+ConjunctiveQuery MakeQ5();
+
+}  // namespace adp
+
+#endif  // ADP_WORKLOAD_EGONET_H_

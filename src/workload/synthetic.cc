@@ -1,0 +1,78 @@
+#include "workload/synthetic.h"
+
+#include <unordered_set>
+
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace adp {
+
+ConjunctiveQuery MakeQ7() {
+  return ParseQuery(
+      "Q(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), "
+      "R4(A,B,C,F)");
+}
+
+ConjunctiveQuery MakeQ8() {
+  return ParseQuery(
+      "Q(A1,B1,A2,B2,A3,B3) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2), "
+      "R31(A3), R32(A3,B3)");
+}
+
+Database MakeQ7Database(const ConjunctiveQuery& q, int num_keys,
+                        int rows_per_key, std::uint64_t seed) {
+  Rng rng(seed);
+  Database db(q.num_relations());
+  // Distinct key triples over a domain wide enough to host them.
+  std::int64_t side = 2;
+  while (side * side * side < num_keys * 2) ++side;
+  std::vector<Tuple> keys;
+  {
+    std::unordered_set<std::int64_t> used;
+    while (static_cast<int>(keys.size()) < num_keys) {
+      const Value a = static_cast<Value>(rng.Uniform(side));
+      const Value b = static_cast<Value>(rng.Uniform(side));
+      const Value c = static_cast<Value>(rng.Uniform(side));
+      const std::int64_t code = (a * side + b) * side + c;
+      if (used.insert(code).second) keys.push_back({a, b, c});
+    }
+  }
+  const std::int64_t d_domain = 4;
+  const std::int64_t eg_domain = 6;
+  for (const Tuple& key : keys) {
+    db.rel(0).Add(key);  // R1(A,B,C)
+    for (int r = 0; r < rows_per_key; ++r) {
+      const Value d = static_cast<Value>(rng.Uniform(d_domain));
+      db.rel(1).Add({key[0], key[1], key[2], d,
+                     static_cast<Value>(rng.Uniform(eg_domain))});
+      db.rel(2).Add({key[0], key[1], key[2], d,
+                     static_cast<Value>(rng.Uniform(eg_domain))});
+      db.rel(3).Add(
+          {key[0], key[1], key[2], static_cast<Value>(rng.Uniform(eg_domain))});
+    }
+  }
+  db.DedupAll();
+  return db;
+}
+
+Database MakeUniformDatabase(const ConjunctiveQuery& q,
+                             const std::vector<std::int64_t>& sizes,
+                             std::int64_t domain, std::uint64_t seed) {
+  Rng rng(seed);
+  Database db(q.num_relations());
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const std::size_t arity = q.relation(i).attrs.size();
+    const std::int64_t count = sizes[i % sizes.size()];
+    for (std::int64_t t = 0; t < count; ++t) {
+      Tuple row(arity);
+      for (std::size_t c = 0; c < arity; ++c) {
+        row[c] = static_cast<Value>(1 + rng.Uniform(domain));
+      }
+      db.rel(i).Add(std::move(row));
+    }
+    db.rel(i).Dedup();
+  }
+  return db;
+}
+
+}  // namespace adp

@@ -1,0 +1,45 @@
+// Uniform random instances for the §8.5 optimization studies.
+//
+//   Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G),
+//                        R4(A,B,C,F)
+//     — singleton query: A, B, C are universal.
+//   Q8(A1,B1,...,A3,B3) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2),
+//                          R31(A3), R32(A3,B3)
+//     — disconnected query with three easy components.
+
+#ifndef ADP_WORKLOAD_SYNTHETIC_H_
+#define ADP_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// Q7 as printed in §8.5.
+ConjunctiveQuery MakeQ7();
+
+/// Q8 as printed in §8.5.
+ConjunctiveQuery MakeQ8();
+
+/// Fills every relation of `q` with `sizes[i]` random tuples whose values
+/// are uniform in [1, domain], deduplicated (so instances may be slightly
+/// smaller than requested).
+Database MakeUniformDatabase(const ConjunctiveQuery& q,
+                             const std::vector<std::int64_t>& sizes,
+                             std::int64_t domain, std::uint64_t seed);
+
+/// Correlated instance for Q7: `num_keys` distinct (A,B,C) combinations
+/// shared by all four relations (so the join is dense and the Universe
+/// partition has `num_keys` classes), with `rows_per_key` rows per key in
+/// R2/R3/R4 over small secondary domains. Independent uniform draws — the
+/// literal reading of §8.5 — would leave the four-way join empty; see
+/// EXPERIMENTS.md.
+Database MakeQ7Database(const ConjunctiveQuery& q, int num_keys,
+                        int rows_per_key, std::uint64_t seed);
+
+}  // namespace adp
+
+#endif  // ADP_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,89 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+ConjunctiveQuery MakeQ1(bool with_selection) {
+  ConjunctiveQuery q;
+  const AttrId nk = q.AddAttribute("NK");
+  const AttrId sk = q.AddAttribute("SK");
+  const AttrId pk = q.AddAttribute("PK");
+  const AttrId ok = q.AddAttribute("OK");
+  q.AddRelation("Supplier", {nk, sk});
+  const int partsupp = q.AddRelation("PartSupp", {sk, pk});
+  const int lineitem = q.AddRelation("LineItem", {ok, pk});
+  q.SetHead(AttrSet({nk, sk, pk, ok}));
+  if (with_selection) {
+    q.AddSelection(partsupp, pk, kSelectedPart);
+    q.AddSelection(lineitem, pk, kSelectedPart);
+  }
+  return q;
+}
+
+}  // namespace
+
+TpchWorkload MakeTpchHard(std::int64_t n, std::uint64_t seed) {
+  TpchWorkload w;
+  w.query = MakeQ1(/*with_selection=*/false);
+  w.db = Database(3);
+  Rng rng(seed);
+
+  const std::int64_t ns = std::max<std::int64_t>(1, n / 3);
+  const std::int64_t num_parts = std::max<std::int64_t>(1, ns / 4);
+  const std::int64_t num_nations = 25;
+
+  // Suppliers: unique keys, round-robin nations.
+  for (std::int64_t i = 0; i < ns; ++i) {
+    w.db.rel(0).Add({i % num_nations, i});
+  }
+  // PartSupp: ~4 suppliers per part, suppliers drawn uniformly.
+  for (std::int64_t i = 0; i < ns; ++i) {
+    const Value part = static_cast<Value>(i % num_parts);
+    const Value supplier = static_cast<Value>(rng.Uniform(ns));
+    w.db.rel(1).Add({supplier, part});
+  }
+  // LineItems: sequential order keys over uniformly random parts.
+  for (std::int64_t i = 0; i < ns; ++i) {
+    const Value part = static_cast<Value>(rng.Uniform(num_parts));
+    w.db.rel(2).Add({i, part});
+  }
+  w.db.DedupAll();
+  return w;
+}
+
+TpchWorkload MakeTpchSelected(std::int64_t n, std::uint64_t seed) {
+  TpchWorkload w;
+  w.query = MakeQ1(/*with_selection=*/true);
+  w.db = Database(3);
+  Rng rng(seed);
+
+  const std::int64_t num_nations = 25;
+  // The order-side factor of the selected cross product is bounded so that
+  // |σθQ1(D)| grows linearly in n (TPC-H has ~tens of lineitems per part);
+  // suppliers/partsupp absorb the rest of the budget.
+  const std::int64_t orders = std::min<std::int64_t>(100, std::max<std::int64_t>(1, n / 3));
+  const std::int64_t suppliers = std::max<std::int64_t>(1, (n - orders) / 2);
+
+  for (std::int64_t i = 0; i < suppliers; ++i) {
+    w.db.rel(0).Add({i % num_nations, i});
+    w.db.rel(1).Add({i, kSelectedPart});
+  }
+  for (std::int64_t i = 0; i < orders; ++i) {
+    w.db.rel(2).Add({i, kSelectedPart});
+  }
+  // Noise: rows on other parts, filtered out by the selection.
+  const std::int64_t noise = suppliers / 10;
+  for (std::int64_t i = 0; i < noise; ++i) {
+    const Value other_part = static_cast<Value>(1 + rng.Uniform(1000));
+    w.db.rel(1).Add({static_cast<Value>(rng.Uniform(suppliers)), other_part});
+    w.db.rel(2).Add({orders + i, other_part});
+  }
+  w.db.DedupAll();
+  return w;
+}
+
+}  // namespace adp

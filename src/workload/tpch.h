@@ -1,0 +1,45 @@
+// TPC-H-like workload (§8.1–8.2 substitution; see DESIGN.md).
+//
+// Schema: Supplier(NK, SK), PartSupp(SK, PK), LineItem(OK, PK).
+// Queries:
+//   Q1(NK,SK,PK,OK) :- Supplier(NK,SK), PartSupp(SK,PK), LineItem(OK,PK)
+//     — full CQ, NP-hard (connected, non-boolean, no universal attribute).
+//   σθ Q1 with θ: PK = kSelectedPart
+//     — poly-time solvable after selection pushdown (Lemma 12): the residual
+//       query decomposes into {Supplier, PartSupp} and {LineItem}, both
+//       Singleton.
+
+#ifndef ADP_WORKLOAD_TPCH_H_
+#define ADP_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// The paper's selected part key.
+inline constexpr Value kSelectedPart = 13370;
+
+/// A generated workload: query plus aligned root database.
+struct TpchWorkload {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+/// Builds the hard query Q1 with a full instance of ~`n` tuples:
+/// n/3 suppliers, n/3 partsupp rows (~4 suppliers per part), n/3 lineitems
+/// over uniformly random parts.
+TpchWorkload MakeTpchHard(std::int64_t n, std::uint64_t seed);
+
+/// Builds σθ Q1 (selection PK = kSelectedPart baked into the query) with an
+/// instance whose *selected* portion has ~`n` tuples, plus ~10% noise rows
+/// on other parts that the selection filters out. Supplier keys are unique;
+/// lineitem order counts per supplier follow a mild skew so the exact
+/// algorithm has non-trivial choices.
+TpchWorkload MakeTpchSelected(std::int64_t n, std::uint64_t seed);
+
+}  // namespace adp
+
+#endif  // ADP_WORKLOAD_TPCH_H_

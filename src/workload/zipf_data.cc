@@ -1,0 +1,57 @@
+#include "workload/zipf_data.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace adp {
+
+ConjunctiveQuery MakeQ6() { return ParseQuery("Q(A,B) :- R1(A), R2(A,B)"); }
+
+ConjunctiveQuery MakeQPath() {
+  return ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+}
+
+Database MakeZipfDatabase(const ConjunctiveQuery& q, std::int64_t n,
+                          double alpha, std::uint64_t seed) {
+  Rng rng(seed);
+  const int distinct =
+      static_cast<int>(std::max<std::int64_t>(2, n / 5));  // 0.2 * n
+  ZipfSampler zipf(distinct, alpha);
+
+  std::set<std::pair<Value, Value>> pairs;
+  std::int64_t attempts = 0;
+  while (static_cast<std::int64_t>(pairs.size()) < n && attempts < n * 50) {
+    ++attempts;
+    const Value a = zipf.Sample(rng);
+    const Value b = static_cast<Value>(rng.Uniform(distinct));
+    pairs.insert({a, b});
+  }
+
+  std::set<Value> avals, bvals;
+  for (const auto& [a, b] : pairs) {
+    avals.insert(a);
+    bvals.insert(b);
+  }
+
+  Database db(q.num_relations());
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const std::string& name = q.relation(i).name;
+    if (name == "R1") {
+      for (Value a : avals) db.rel(i).Add({a});
+    } else if (name == "R2") {
+      for (const auto& [a, b] : pairs) db.rel(i).Add({a, b});
+    } else if (name == "R3") {
+      for (Value b : bvals) db.rel(i).Add({b});
+    } else {
+      throw std::invalid_argument("MakeZipfDatabase: unexpected relation " +
+                                  name);
+    }
+  }
+  return db;
+}
+
+}  // namespace adp

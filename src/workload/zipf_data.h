@@ -1,0 +1,34 @@
+// Zipfian synthetic data (§8.4): degree-skewed instances for the easy
+// singleton query Q6 and the hard Qpath query.
+//
+//   Q6(A,B)    :- R1(A), R2(A,B)
+//   Qpath(A,B) :- R1(A), R2(A,B), R3(B)
+//
+// R2 holds n pairs; the A side is drawn from Zipf(alpha) over 0.2*n distinct
+// keys (alpha = 0 is uniform; larger alpha = more skew), the B side
+// uniformly over 0.2*n keys. R1/R3 hold the distinct A/B values in use.
+
+#ifndef ADP_WORKLOAD_ZIPF_DATA_H_
+#define ADP_WORKLOAD_ZIPF_DATA_H_
+
+#include <cstdint>
+
+#include "query/query.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// Q6(A,B) :- R1(A), R2(A,B).
+ConjunctiveQuery MakeQ6();
+
+/// Qpath(A,B) :- R1(A), R2(A,B), R3(B).
+ConjunctiveQuery MakeQPath();
+
+/// Builds a database aligned with `q` (which must use relation names R1, R2
+/// and optionally R3 with the shapes above).
+Database MakeZipfDatabase(const ConjunctiveQuery& q, std::int64_t n,
+                          double alpha, std::uint64_t seed);
+
+}  // namespace adp
+
+#endif  // ADP_WORKLOAD_ZIPF_DATA_H_

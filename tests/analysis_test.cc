@@ -1,0 +1,130 @@
+// Tests for the analysis module: resilience wrapper, disruption curves, and
+// the incremental deletion monitor.
+
+#include <gtest/gtest.h>
+
+#include "analysis/monitor.h"
+#include "analysis/resilience.h"
+#include "analysis/robustness.h"
+#include "query/parser.h"
+#include "relational/join.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+TEST(ResilienceTest, ChainResilience) {
+  // Two disjoint chains: resilience 2.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {2, 6}}},
+                                 {"R3", {{5}, {6}}}});
+  const ResilienceResult res = ComputeResilience(q, db);
+  EXPECT_TRUE(res.exact);
+  EXPECT_EQ(res.resilience, 2);
+  EXPECT_EQ(res.tuples.size(), 2u);
+}
+
+TEST(ResilienceTest, FalseQueryCostsNothing) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}}}, {"R2", {{2}}}});
+  const ResilienceResult res = ComputeResilience(q, db);
+  EXPECT_EQ(res.resilience, 0);
+  EXPECT_TRUE(res.tuples.empty());
+}
+
+TEST(ResilienceTest, HeadIsIgnored) {
+  // Resilience is a property of the boolean query: identical for any head.
+  Rng rng(91);
+  const ConjunctiveQuery full =
+      ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const ConjunctiveQuery boolean =
+      ParseQuery("Q() :- R1(A), R2(A,B), R3(B)");
+  const Database db = RandomDb(full, rng, 8, 3);
+  EXPECT_EQ(ComputeResilience(full, db).resilience,
+            ComputeResilience(boolean, db).resilience);
+}
+
+TEST(ResilienceTest, MatchesOracleOnRandomChains) {
+  Rng rng(93);
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A), R2(A,B), R3(B)");
+  for (int iter = 0; iter < 10; ++iter) {
+    const Database db = RandomDb(q, rng, 4, 2);
+    if (OracleCount(q, db) == 0 || db.TotalTuples() > 12) continue;
+    EXPECT_EQ(ComputeResilience(q, db).resilience, OracleAdp(q, db, 1));
+  }
+}
+
+TEST(RobustnessTest, CurveIsMonotone) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(95);
+  const Database db = RandomDb(q, rng, 20, 6);
+  if (OracleCount(q, db) < 4) GTEST_SKIP();
+  const DisruptionCurve curve =
+      ComputeDisruptionCurve(q, db, {0.2, 0.4, 0.6, 0.8});
+  ASSERT_EQ(curve.points.size(), 4u);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].deletions, curve.points[i - 1].deletions);
+    EXPECT_GE(curve.points[i].k, curve.points[i - 1].k);
+  }
+  EXPECT_GT(curve.output_count, 0);
+  EXPECT_EQ(curve.input_count,
+            static_cast<std::int64_t>(db.TotalTuples()));
+  EXPECT_LE(curve.InputFraction(0), curve.InputFraction(3));
+}
+
+TEST(RobustnessTest, EmptyOutputMarksInfeasible) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}}}, {"R2", {{2}}}});
+  const DisruptionCurve curve = ComputeDisruptionCurve(q, db, {0.5});
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_FALSE(curve.points[0].feasible);
+}
+
+TEST(MonitorTest, IncrementalCountsMatchRecount) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  Rng rng(97);
+  const Database db = RandomDb(q, rng, 10, 4);
+  DeletionMonitor monitor(q, db);
+  EXPECT_EQ(monitor.initial_count(), OracleCount(q, db));
+
+  // Delete tuples one by one and compare against full recount.
+  std::vector<std::vector<char>> removed(q.num_relations());
+  for (int r = 0; r < q.num_relations(); ++r) {
+    removed[r].assign(db.rel(r).size(), 0);
+  }
+  Rng pick(98);
+  for (int step = 0; step < 8; ++step) {
+    const int rel = static_cast<int>(pick.Uniform(q.num_relations()));
+    if (db.rel(rel).empty()) continue;
+    const TupleId row =
+        static_cast<TupleId>(pick.Uniform(db.rel(rel).size()));
+    const std::int64_t impact = monitor.Impact(rel, row);
+    const std::int64_t died = monitor.Delete(rel, row);
+    EXPECT_EQ(impact, died) << "impact must predict the deletion";
+    removed[rel][row] = 1;
+    const Database after = WithTuplesRemoved(db, removed);
+    EXPECT_EQ(monitor.current_count(),
+              static_cast<std::int64_t>(
+                  CountOutputs(q.body(), q.head(), after)));
+  }
+}
+
+TEST(MonitorTest, RelevanceTracksAliveRows) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  const Database db = MakeDb(q, {{"R1", {{1}}}, {"R2", {{1, 5}, {1, 6}}}});
+  DeletionMonitor monitor(q, db);
+  EXPECT_TRUE(monitor.IsRelevant(1, 0));
+  monitor.Delete(0, 0);  // kills everything
+  EXPECT_FALSE(monitor.IsRelevant(1, 0));
+  EXPECT_EQ(monitor.current_count(), 0);
+  EXPECT_EQ(monitor.removed(), 2);
+}
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,120 @@
+// Boolean (resilience) solver tests: pinned instances plus a randomized
+// sweep against the exhaustive oracle.
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/is_ptime.h"
+#include "query/parser.h"
+#include "solver/boolean.h"
+#include "solver/solution.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+TEST(BooleanSolverTest, SingleRelationNeedsFullDeletion) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}, {3}}}});
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->resilience, 3);
+  EXPECT_EQ(res->cut.size(), 3u);
+}
+
+TEST(BooleanSolverTest, ChainCutAtNarrowestRelation) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A), R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {2, 5}, {2, 6}}},
+                                 {"R3", {{5}, {6}}}});
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value());
+  // Cheapest: delete R1(1), R1(2) (2 tuples) or R3(5), R3(6); R2 would need
+  // 3. Exogenous R2 is excluded anyway.
+  EXPECT_EQ(res->resilience, 2);
+}
+
+TEST(BooleanSolverTest, SharedMiddleValueCutCheaply) {
+  // All chains pass through B=5: cutting R3(5) alone kills the query.
+  const ConjunctiveQuery q = ParseQuery("Q() :- R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R2", {{1, 5}, {2, 5}, {3, 5}}},
+                                 {"R3", {{5}}}});
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->resilience, 1);
+  ASSERT_EQ(res->cut.size(), 1u);
+  EXPECT_EQ(res->cut[0].relation, 1);
+}
+
+TEST(BooleanSolverTest, VacuumRelationCutOfOne) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A), R2()");
+  Database db(2);
+  db.Load(0, {{1}, {2}, {3}});
+  db.rel(1).Add({});
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->resilience, 1);  // delete the vacuum tuple
+}
+
+TEST(BooleanSolverTest, CutIsVerifiable) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,E)");
+  Rng rng(31);
+  const Database db = RandomDb(q, rng, 15, 3);
+  if (OracleCount(q, db) == 0) GTEST_SKIP();
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value());
+  // Removing the cut makes the query false.
+  EXPECT_EQ(CountRemovedOutputs(q, db, res->cut), 1);
+}
+
+TEST(BooleanSolverTest, TriangleIsNotLinearizable) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)");
+  const Database db = MakeDb(q, {{"R1", {{1, 2}}},
+                                 {"R2", {{2, 3}}},
+                                 {"R3", {{3, 1}}}});
+  EXPECT_FALSE(SolveBooleanExact(q, db).has_value());
+}
+
+// Randomized sweep: on linearizable boolean queries, the min-cut resilience
+// must equal the exhaustive optimum (ADP with k = 1 on a true query).
+struct BooleanSweepCase {
+  const char* query;
+  int rows;
+  int domain;
+};
+
+class BooleanOracleSweep
+    : public ::testing::TestWithParam<std::tuple<BooleanSweepCase, int>> {};
+
+TEST_P(BooleanOracleSweep, MatchesExhaustiveOptimum) {
+  const auto& [c, seed] = GetParam();
+  const ConjunctiveQuery q = ParseQuery(c.query);
+  Rng rng(400 + seed);
+  const Database db = RandomDb(q, rng, c.rows, c.domain);
+  if (OracleCount(q, db) == 0) GTEST_SKIP() << "query already false";
+  const auto res = SolveBooleanExact(q, db);
+  ASSERT_TRUE(res.has_value()) << c.query;
+  EXPECT_EQ(res->resilience, OracleAdp(q, db, 1)) << c.query;
+  EXPECT_EQ(static_cast<std::int64_t>(res->cut.size()), res->resilience);
+  EXPECT_EQ(CountRemovedOutputs(q, db, res->cut), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, BooleanOracleSweep,
+    ::testing::Combine(
+        ::testing::Values(
+            BooleanSweepCase{"Q() :- R1(A), R2(A,B), R3(B)", 4, 3},
+            BooleanSweepCase{"Q() :- R1(A,B), R2(B,C)", 4, 2},
+            BooleanSweepCase{"Q() :- R1(A,B), R2(B,C), R3(C,E)", 3, 2},
+            BooleanSweepCase{"Q() :- R1(A), R2(A)", 4, 3},
+            BooleanSweepCase{"Q() :- R1(A,B,C), R2(A), R3(B)", 4, 2}),
+        ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace adp

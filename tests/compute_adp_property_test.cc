@@ -1,0 +1,116 @@
+// The central correctness property of the unified algorithm: on random
+// poly-time queries and instances, ComputeADP's cost equals the exhaustive
+// optimum for every feasible k; on NP-hard queries the reported tuple set
+// is always feasible (removes >= k outputs). Exactness flags must agree
+// with the dichotomy.
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/is_ptime.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+using testing::RandomQuery;
+
+class AdpExactnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdpExactnessSweep, PtimeQueriesMatchOracle) {
+  Rng rng(2000 + GetParam());
+  int tested = 0;
+  for (int iter = 0; iter < 60 && tested < 6; ++iter) {
+    const ConjunctiveQuery q = RandomQuery(rng, 4, 3);
+    if (!IsPtime(q)) continue;
+    const Database db = RandomDb(q, rng, 4, 2);
+    if (db.TotalTuples() > 12) continue;
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    ++tested;
+    AdpOptions options;
+    options.verify = true;
+    for (std::int64_t k = 1; k <= total; ++k) {
+      const AdpSolution sol = ComputeAdp(q, db, k, options);
+      ASSERT_TRUE(sol.feasible) << q.ToString() << " k=" << k;
+      EXPECT_TRUE(sol.exact) << q.ToString();
+      EXPECT_EQ(sol.cost, OracleAdp(q, db, k))
+          << q.ToString() << " k=" << k;
+      EXPECT_GE(sol.removed_outputs, k) << q.ToString() << " k=" << k;
+      EXPECT_EQ(static_cast<std::int64_t>(sol.tuples.size()), sol.cost);
+    }
+  }
+  EXPECT_GT(tested, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPtime, AdpExactnessSweep,
+                         ::testing::Range(0, 25));
+
+class AdpFeasibilitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdpFeasibilitySweep, AnyQueryProducesFeasibleSolutions) {
+  Rng rng(3000 + GetParam());
+  for (int iter = 0; iter < 8; ++iter) {
+    const ConjunctiveQuery q = RandomQuery(rng, 5, 4);
+    const Database db = RandomDb(q, rng, 8, 3);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    AdpOptions options;
+    options.verify = true;
+    for (std::int64_t k :
+         {std::int64_t{1}, (total + 1) / 2, total}) {
+      if (k <= 0) continue;
+      const AdpSolution sol = ComputeAdp(q, db, k, options);
+      ASSERT_TRUE(sol.feasible) << q.ToString();
+      EXPECT_GE(sol.removed_outputs, k) << q.ToString() << " k=" << k;
+      EXPECT_LE(static_cast<std::int64_t>(sol.tuples.size()), sol.cost)
+          << q.ToString();
+      // Heuristic cost is never better than the optimum.
+      const std::int64_t opt = OracleAdp(q, db, k);
+      EXPECT_GE(sol.cost, opt) << q.ToString() << " k=" << k;
+      if (sol.exact) {
+        EXPECT_EQ(sol.cost, opt) << q.ToString() << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, AdpFeasibilitySweep,
+                         ::testing::Range(0, 25));
+
+TEST(AdpExactFlagTest, ExactImpliedByPtimeOnRandomQueries) {
+  Rng rng(4444);
+  for (int iter = 0; iter < 150; ++iter) {
+    const ConjunctiveQuery q = RandomQuery(rng, 5, 4);
+    const Database db = RandomDb(q, rng, 6, 3);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    const AdpSolution sol = ComputeAdp(q, db, 1, AdpOptions{});
+    if (IsPtime(q)) {
+      EXPECT_TRUE(sol.exact) << q.ToString();
+    }
+  }
+}
+
+TEST(AdpDeterminismTest, SameSeedSameSolution) {
+  Rng rng(555);
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const Database db = RandomDb(q, rng, 20, 6);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0) GTEST_SKIP();
+  const AdpSolution a = ComputeAdp(q, db, total / 2 + 1, AdpOptions{});
+  const AdpSolution b = ComputeAdp(q, db, total / 2 + 1, AdpOptions{});
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.tuples.size(), b.tuples.size());
+  for (std::size_t i = 0; i < a.tuples.size(); ++i) {
+    EXPECT_EQ(a.tuples[i].relation, b.tuples[i].relation);
+    EXPECT_EQ(a.tuples[i].row, b.tuples[i].row);
+  }
+}
+
+}  // namespace
+}  // namespace adp

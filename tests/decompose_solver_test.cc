@@ -1,0 +1,120 @@
+// Decompose solver tests (Algorithm 5): cross-product accounting, agreement
+// of the three strategies (Fig 29), the root single-k fast path, and an
+// oracle sweep.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "solver/decompose.h"
+#include "solver/solution.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+ConjunctiveQuery TwoParts() {
+  return ParseQuery("Q(A,B) :- R1(A), R2(B)");
+}
+
+TEST(DecomposeTest, CrossProductCosts) {
+  const ConjunctiveQuery q = TwoParts();
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}}, {"R2", {{5}, {6}, {7}}}});
+  // |Q(D)| = 6. Removing one R1 tuple removes 3 products; one R2 tuple, 2.
+  AdpOptions options;
+  const AdpNode node = DecomposeNode(q, db, 6, options);
+  EXPECT_TRUE(node.exact);
+  EXPECT_EQ(node.profile.At(1), 1);
+  EXPECT_EQ(node.profile.At(3), 1);   // one R1 tuple
+  EXPECT_EQ(node.profile.At(4), 2);   // R1 tuple + R2 tuple = 3+2-1 = 4? No:
+  // k1=1 (R1 outputs), k2=1 (R2 outputs): removed = 1*3 + 1*2 - 1 = 4. Yes.
+  EXPECT_EQ(node.profile.At(5), 2);   // 2 R1 tuples = whole factor -> 6
+  EXPECT_EQ(node.profile.At(6), 2);
+}
+
+TEST(DecomposeTest, StrategiesAgreeOnOptimalCosts) {
+  const ConjunctiveQuery q = ParseQuery(
+      "Q(A1,B1,A2,B2,A3,B3) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2), "
+      "R31(A3), R32(A3,B3)");
+  Rng rng(81);
+  const Database db = RandomDb(q, rng, 4, 3);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0) GTEST_SKIP();
+  const std::int64_t cap = std::min<std::int64_t>(total, 20);
+
+  AdpOptions improved;
+  AdpOptions naive;
+  naive.decompose_strategy = AdpOptions::DecomposeStrategy::kPairwiseNaive;
+  AdpOptions full;
+  full.decompose_strategy = AdpOptions::DecomposeStrategy::kFullEnumeration;
+
+  const AdpNode a = DecomposeNode(q, db, cap, improved);
+  const AdpNode b = DecomposeNode(q, db, cap, naive);
+  const AdpNode c = DecomposeNode(q, db, cap, full);
+  for (std::int64_t j = 0; j <= cap; ++j) {
+    EXPECT_EQ(a.profile.At(j), b.profile.At(j)) << "j=" << j;
+    EXPECT_EQ(a.profile.At(j), c.profile.At(j)) << "j=" << j;
+  }
+}
+
+TEST(DecomposeTest, SingleKMatchesProfile) {
+  const ConjunctiveQuery q = TwoParts();
+  Rng rng(83);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Database db = RandomDb(q, rng, 5, 6);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    AdpOptions options;
+    const AdpNode node = DecomposeNode(q, db, total, options);
+    for (std::int64_t k = 1; k <= total; ++k) {
+      const DecomposeSingleResult single =
+          SolveDecomposeSingleK(q, db, k, options);
+      EXPECT_EQ(single.cost, node.profile.At(k)) << "k=" << k;
+      EXPECT_GE(CountRemovedOutputs(q, db, single.tuples), k);
+    }
+  }
+}
+
+TEST(DecomposeTest, ThreeComponentsSingleK) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C) :- R1(A), R2(B), R3(C)");
+  const Database db = MakeDb(
+      q, {{"R1", {{1}, {2}}}, {"R2", {{1}, {2}}}, {"R3", {{1}, {2}}}});
+  // |Q(D)| = 8; removing one tuple removes 4 products.
+  AdpOptions options;
+  EXPECT_EQ(SolveDecomposeSingleK(q, db, 4, options).cost, 1);
+  EXPECT_EQ(SolveDecomposeSingleK(q, db, 5, options).cost, 2);
+  // 2 tuples from different factors: 4+4-2=6; same factor: 8.
+  EXPECT_EQ(SolveDecomposeSingleK(q, db, 6, options).cost, 2);
+  EXPECT_EQ(SolveDecomposeSingleK(q, db, 7, options).cost, 2);  // whole factor
+  EXPECT_EQ(SolveDecomposeSingleK(q, db, 8, options).cost, 2);
+}
+
+class DecomposeOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeOracleSweep, OptimalForAllK) {
+  Rng rng(800 + GetParam());
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C) :- R1(A,B), R2(C)");
+  const Database db = RandomDb(q, rng, 4, 3);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0 || db.TotalTuples() > 12) GTEST_SKIP();
+  AdpOptions options;
+  const AdpNode node = DecomposeNode(q, db, total, options);
+  ASSERT_TRUE(node.exact);
+  for (std::int64_t k = 1; k <= total; ++k) {
+    EXPECT_EQ(node.profile.At(k), OracleAdp(q, db, k)) << "k=" << k;
+    const auto tuples = node.report(k);
+    EXPECT_GE(CountRemovedOutputs(q, db, tuples), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DecomposeOracleSweep,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,123 @@
+// Machine-checks Theorem 3 against Theorem 2: on thousands of random
+// self-join-free CQs, the procedural dichotomy (IsPtime, Algorithm 1) and
+// the structural dichotomy (hard structures) must agree exactly. Also
+// validates the hardness-preservation lemmas for the two simplification
+// steps (Lemmas 2/3/8/9) and for selections (Lemma 12).
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/is_ptime.h"
+#include "dichotomy/structures.h"
+#include "query/parser.h"
+#include "query/transform.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::RandomQuery;
+
+class DichotomyAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DichotomyAgreement, ProceduralEqualsStructural) {
+  Rng rng(5000 + GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const ConjunctiveQuery q = RandomQuery(rng, 6, 5);
+    EXPECT_EQ(IsPtime(q), !HasHardStructure(q))
+        << q.ToString() << "\nstructural: "
+        << FindHardStructure(q).description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, DichotomyAgreement,
+                         ::testing::Range(0, 40));
+
+class DichotomyAgreementWithVacuum : public ::testing::TestWithParam<int> {};
+
+TEST_P(DichotomyAgreementWithVacuum, ProceduralEqualsStructural) {
+  Rng rng(9000 + GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const ConjunctiveQuery q = RandomQuery(rng, 5, 5, /*allow_vacuum=*/true);
+    EXPECT_EQ(IsPtime(q), !HasHardStructure(q)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, DichotomyAgreementWithVacuum,
+                         ::testing::Range(0, 20));
+
+class UniversalRemovalPreservesHardness
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniversalRemovalPreservesHardness, Lemma8) {
+  Rng rng(7000 + GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    ConjunctiveQuery q = RandomQuery(rng, 6, 4);
+    const AttrSet universal = q.UniversalAttrs();
+    if (universal.Empty()) continue;
+    const ConjunctiveQuery reduced = RemoveAttributes(q, universal);
+    EXPECT_EQ(IsPtime(q), IsPtime(reduced)) << q.ToString();
+    EXPECT_EQ(HasHardStructure(q), HasHardStructure(reduced))
+        << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, UniversalRemovalPreservesHardness,
+                         ::testing::Range(0, 20));
+
+class DecompositionPreservesHardness : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(DecompositionPreservesHardness, Lemma9) {
+  Rng rng(8000 + GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    ConjunctiveQuery q = RandomQuery(rng, 6, 5);
+    const auto subs = DecomposeQuery(q);
+    if (subs.size() < 2) continue;
+    bool any_hard_component = false;
+    for (const Subquery& sub : subs) {
+      any_hard_component |= !IsPtime(sub.query);
+    }
+    EXPECT_EQ(!IsPtime(q), any_hard_component) << q.ToString();
+    bool any_structural = false;
+    for (const Subquery& sub : subs) {
+      any_structural |= HasHardStructure(sub.query);
+    }
+    EXPECT_EQ(HasHardStructure(q), any_structural) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, DecompositionPreservesHardness,
+                         ::testing::Range(0, 20));
+
+TEST(SelectionEquivalence, Lemma12OnRandomQueries) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    ConjunctiveQuery q = RandomQuery(rng, 6, 4);
+    // Attach a selection on a random attribute of a random relation.
+    const int rel = static_cast<int>(rng.Uniform(q.num_relations()));
+    const AttrSet attrs = q.relation(rel).attr_set();
+    if (attrs.Empty()) continue;
+    std::vector<AttrId> list;
+    for (AttrId a : attrs) list.push_back(a);
+    const AttrId sel = list[rng.Uniform(list.size())];
+    q.AddSelection(rel, sel, 1);
+    const ConjunctiveQuery residual =
+        RemoveAttributes(q, q.SelectedAttrs());
+    EXPECT_EQ(IsPtime(q), IsPtime(residual)) << q.ToString();
+  }
+}
+
+TEST(IsPtimeSanity, FullCqWithOneRelationIsEasy) {
+  EXPECT_TRUE(IsPtime(ParseQuery("Q(A,B) :- R1(A,B)")));
+}
+
+TEST(IsPtimeSanity, BooleanSingleRelationIsEasy) {
+  EXPECT_TRUE(IsPtime(ParseQuery("Q() :- R1(A,B)")));
+}
+
+TEST(IsPtimeSanity, ProjectionOfSingleRelationIsEasy) {
+  EXPECT_TRUE(IsPtime(ParseQuery("Q(A) :- R1(A,B)")));
+}
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,284 @@
+// Dichotomy tests pinning the paper's worked examples: endogenous /
+// dominated classification, triads, triad-like structures, strands,
+// hierarchical head joins, and IsPtime on the full query zoo of §4–§5.
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/is_ptime.h"
+#include "dichotomy/relations.h"
+#include "dichotomy/structures.h"
+#include "dichotomy/triad.h"
+#include "query/parser.h"
+
+namespace adp {
+namespace {
+
+TEST(EndogenousTest, StrictSupersetIsExogenous) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const auto exo = ExogenousFlags(q);
+  EXPECT_FALSE(exo[0]);
+  EXPECT_TRUE(exo[1]);  // attr(R1) ⊊ attr(R2)
+  EXPECT_FALSE(exo[2]);
+}
+
+TEST(EndogenousTest, PaperExampleWithDuplicateAttrSets) {
+  // Q :- R1(A), R2(A,B), R3(B,C), R4(B,C), R5(B,C): endogenous relations
+  // are R1 and one of R3/R4/R5 (we pick the first).
+  ConjunctiveQuery q;
+  const AttrId a = q.AddAttribute("A");
+  const AttrId b = q.AddAttribute("B");
+  const AttrId c = q.AddAttribute("C");
+  q.AddRelation("R1", {a});
+  q.AddRelation("R2", {a, b});
+  q.AddRelation("R3", {b, c});
+  q.AddRelation("R4", {b, c});
+  q.AddRelation("R5", {b, c});
+  q.SetHead(AttrSet());
+  EXPECT_EQ(EndogenousRelations(q), (std::vector<int>{0, 2}));
+}
+
+TEST(DominatedTest, FullCqBinaryOverUnary) {
+  // Full CQ Q(A,B) :- R1(A), R2(A,B): R2 is dominated by R1 (Def 6).
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  EXPECT_EQ(NonDominatedRelations(q), (std::vector<int>{0}));
+}
+
+TEST(DominatedTest, QcoverHasNoDominatedRelations) {
+  // In Qcover, R2's intersection with R3 escapes R1, so nothing dominates.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  EXPECT_EQ(NonDominatedRelations(q), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DominatedTest, VacuumDominatesEverything) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2(), R3(A,B)");
+  EXPECT_EQ(NonDominatedRelations(q), (std::vector<int>{1}));
+}
+
+TEST(DominatedTest, HeadComparabilityConditionMatters) {
+  // Qswing: R3(B) ⊆ R2(A,B) but attr(R3) and head {A} are incomparable,
+  // so condition (3) of Def 7 blocks domination.
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  EXPECT_EQ(NonDominatedRelations(q), (std::vector<int>{0, 1}));
+}
+
+TEST(TriadTest, TriangleIsTriad) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)");
+  const auto triad = FindTriad(q);
+  ASSERT_TRUE(triad.has_value());
+  EXPECT_EQ(triad->r1, 0);
+  EXPECT_EQ(triad->r2, 1);
+  EXPECT_EQ(triad->r3, 2);
+}
+
+TEST(TriadTest, QtIsTriad) {
+  // QT :- R1(A,B,C), R2(A), R3(B), R4(C): the three unary atoms form a
+  // triad (R1 is exogenous).
+  const ConjunctiveQuery q =
+      ParseQuery("Q() :- R1(A,B,C), R2(A), R3(B), R4(C)");
+  const auto triad = FindTriad(q);
+  ASSERT_TRUE(triad.has_value());
+  EXPECT_EQ(triad->r1, 1);
+  EXPECT_EQ(triad->r2, 2);
+  EXPECT_EQ(triad->r3, 3);
+}
+
+TEST(TriadTest, BooleanChainIsTriadFree) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,E)");
+  EXPECT_FALSE(FindTriad(q).has_value());
+}
+
+TEST(TriadTest, TwoAtomsCannotFormTriad) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A,B), R2(B,C)");
+  EXPECT_FALSE(FindTriad(q).has_value());
+}
+
+TEST(TriadLikeTest, OutputAttributesDoNotHelp) {
+  // §5.2.1: Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G) keeps Q△ inside the
+  // existential attributes.
+  const ConjunctiveQuery q =
+      ParseQuery("Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)");
+  EXPECT_TRUE(FindTriadLike(q).has_value());
+}
+
+TEST(TriadLikeTest, HeadAttributesBlockPaths) {
+  // The same triangle with all attributes output has no triad-like
+  // structure (connecting attributes must avoid the head).
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)");
+  EXPECT_FALSE(FindTriadLike(q).has_value());
+}
+
+TEST(StrandTest, SwingAndSeesawContainStrands) {
+  EXPECT_TRUE(FindStrand(ParseQuery("Q(A) :- R2(A,B), R3(B)")).has_value());
+  EXPECT_TRUE(
+      FindStrand(ParseQuery("Q(A) :- R1(A), R2(A,B), R3(B)")).has_value());
+}
+
+TEST(StrandTest, SharedExistentialAttributeMakesStrand) {
+  // §5.2.3: Q(A,B,C) :- R1(A,B,E), R2(A,C,E) is NP-hard via a strand.
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C) :- R1(A,B,E), R2(A,C,E)");
+  const auto strand = FindStrand(q);
+  ASSERT_TRUE(strand.has_value());
+  EXPECT_EQ(strand->first, 0);
+  EXPECT_EQ(strand->second, 1);
+}
+
+TEST(StrandTest, FullCqHasNoStrand) {
+  // Full CQs have no existential attributes, hence no strands.
+  EXPECT_FALSE(
+      FindStrand(ParseQuery("Q(A,B,C) :- R1(A,B), R2(A,C)")).has_value());
+}
+
+TEST(HierarchyTest, Figure5IsHierarchical) {
+  const ConjunctiveQuery q = ParseQuery(
+      "Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)");
+  std::vector<int> all = {0, 1, 2, 3};
+  EXPECT_TRUE(IsHierarchical(q, all, q.head()));
+}
+
+TEST(HierarchyTest, QcoverIsNonHierarchical) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  std::vector<int> all = {0, 1, 2};
+  EXPECT_FALSE(IsHierarchical(q, all, q.head()));
+  EXPECT_TRUE(NonDominatedHeadJoinNonHierarchical(q));
+}
+
+TEST(HierarchyTest, NonHierarchicalButStillPtime) {
+  // §5.2.2: Q(A,B,E) :- R1(A,E), R2(A,B,E), R3(B,E), R4(E) is
+  // non-hierarchical as a whole, yet IsPtime returns true: R4 and the rest
+  // are dominated appropriately once E (universal) is handled.
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,E) :- R1(A,E), R2(A,B,E), R3(B,E), R4(E)");
+  std::vector<int> all = {0, 1, 2, 3};
+  EXPECT_FALSE(IsHierarchical(q, all, q.head()));
+  EXPECT_TRUE(IsPtime(q));
+  EXPECT_FALSE(HasHardStructure(q));
+}
+
+struct DichotomyCase {
+  const char* query;
+  bool ptime;
+  const char* why;
+};
+
+class DichotomyZoo : public ::testing::TestWithParam<DichotomyCase> {};
+
+TEST_P(DichotomyZoo, IsPtimeMatchesPaper) {
+  const DichotomyCase& c = GetParam();
+  const ConjunctiveQuery q = ParseQuery(c.query);
+  EXPECT_EQ(IsPtime(q), c.ptime) << c.query << " — " << c.why;
+}
+
+TEST_P(DichotomyZoo, StructuralMatchesProcedural) {
+  const DichotomyCase& c = GetParam();
+  const ConjunctiveQuery q = ParseQuery(c.query);
+  if (q.HasSelections()) GTEST_SKIP() << "structures defined on plain CQs";
+  EXPECT_EQ(!HasHardStructure(q), c.ptime)
+      << c.query << " — " << FindHardStructure(q).description;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperZoo, DichotomyZoo,
+    ::testing::Values(
+        // Core hard queries (§4.2.1).
+        DichotomyCase{"Q(A,B) :- R1(A), R2(A,B), R3(B)", false, "Qcover"},
+        DichotomyCase{"Q(A) :- R2(A,B), R3(B)", false, "Qswing"},
+        DichotomyCase{"Q(A) :- R1(A), R2(A,B), R3(B)", false, "Qseesaw"},
+        // Boolean triads (§5.1).
+        DichotomyCase{"Q() :- R1(A,B), R2(B,C), R3(C,A)", false, "Qtriangle"},
+        DichotomyCase{"Q() :- R1(A,B,C), R2(A), R3(B), R4(C)", false, "QT"},
+        // Boolean triad-free chains are easy.
+        DichotomyCase{"Q() :- R1(A,B), R2(B,C), R3(C,E)", true,
+                      "boolean chain"},
+        DichotomyCase{"Q() :- R1(A), R2(A,B), R3(B)", true,
+                      "boolean path"},
+        // Example 4.
+        DichotomyCase{"Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), "
+                      "R5(G,H)",
+                      false, "Example 4: component {R1,R3,R4} is hard"},
+        DichotomyCase{"Q(F,G,H) :- R2(F,G), R5(G,H)", true,
+                      "Example 4's easy component"},
+        // §5.2.2 hierarchical / non-hierarchical pairs.
+        DichotomyCase{"Q(A) :- R1(A,C,E), R2(A,E,F), R3(A,F,H)", true,
+                      "universal A then triad-free boolean chain"},
+        DichotomyCase{"Q(A,B) :- R1(A,C,E), R2(A,B,E,F), R3(B,F,H)", false,
+                      "selective output attrs make it hard"},
+        DichotomyCase{"Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), "
+                      "R4(A,E,H)",
+                      true, "hierarchical full CQ (Fig 5)"},
+        // §5.2.3 strand examples.
+        DichotomyCase{"Q(A,B,C) :- R1(A,B,E), R2(A,C,E)", false, "strand"},
+        DichotomyCase{"Q(A,B,C) :- R1(A,B), R2(A,C)", true,
+                      "same head join, no shared existential"},
+        DichotomyCase{"Q() :- R1(E), R2(E)", true, "boolean, no triad"},
+        // Triad-like (§5.2.1).
+        DichotomyCase{"Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)", false,
+                      "triad-like"},
+        // Example 6 family (case 2 of the hardness proof).
+        DichotomyCase{"Q(A,B) :- R1(A), R2(A,C), R3(C,B), R4(B)", false,
+                      "disconnected head join"},
+        DichotomyCase{"Q(A) :- R2(A,C), R3(C)", false, "swing-like"},
+        // Example 7 (case 3).
+        DichotomyCase{"Q(A,B,C,E) :- R1(A,C), R2(C,E), R3(E,B)", false,
+                      "full 3-chain maps to Qpath"},
+        DichotomyCase{"Q(A,B,C,E,F) :- R1(A,B,C,E,F), R2(B,C,E), R3(A,C)",
+                      false, "case 3.2 full CQ"},
+        // Vacuum relations are always easy (Lemma 1).
+        DichotomyCase{"Q(A) :- R1(A), R2()", true, "vacuum relation"},
+        // Workload queries (§8.1).
+        DichotomyCase{"Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)",
+                      false, "TPC-H Q1 hard"},
+        DichotomyCase{"Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)", false,
+                      "Q2 3-path"},
+        DichotomyCase{"Q(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)", false,
+                      "Q3 triangle"},
+        DichotomyCase{"Q(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)",
+                      false, "Q4 double 2-path"},
+        DichotomyCase{"Q(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)", false,
+                      "Q5 common friend"},
+        DichotomyCase{"Q(A,B) :- R1(A), R2(A,B)", true, "Q6 singleton"},
+        DichotomyCase{"Q(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), "
+                      "R3(A,B,C,D,G), R4(A,B,C,F)",
+                      true, "Q7 singleton via universal A,B,C"},
+        DichotomyCase{"Q(A1,B1,A2,B2,A3,B3) :- R11(A1), R12(A1,B1), "
+                      "R21(A2), R22(A2,B2), R31(A3), R32(A3,B3)",
+                      true, "Q8 three easy components"},
+        // Intro examples are NP-hard (heuristics apply).
+        DichotomyCase{"QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)", false,
+                      "waitlist query"},
+        DichotomyCase{"QP(C) :- Teaches(P,C), NotOnLeave(P)", false,
+                      "course robustness query"}));
+
+TEST(SelectionDichotomyTest, SelectionMakesQ1Easy) {
+  // Lemma 12 + §8.1: σ(PK=13370) Q1 is poly-time solvable.
+  const ConjunctiveQuery hard =
+      ParseQuery("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)");
+  const ConjunctiveQuery easy = ParseQuery(
+      "Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK=13370), L(OK,PK=13370)");
+  EXPECT_FALSE(IsPtime(hard));
+  EXPECT_TRUE(IsPtime(easy));
+}
+
+TEST(HardStructureTest, ReportsKindAndWitness) {
+  const HardStructure triad = FindHardStructure(
+      ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)"));
+  EXPECT_EQ(triad.kind, HardStructureKind::kTriadLike);
+  EXPECT_EQ(triad.relations.size(), 3u);
+
+  const HardStructure strand =
+      FindHardStructure(ParseQuery("Q(A) :- R2(A,B), R3(B)"));
+  EXPECT_EQ(strand.kind, HardStructureKind::kStrand);
+
+  const HardStructure none =
+      FindHardStructure(ParseQuery("Q(A,B) :- R1(A), R2(A,B)"));
+  EXPECT_EQ(none.kind, HardStructureKind::kNone);
+
+  const HardStructure head_join =
+      FindHardStructure(ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)"));
+  EXPECT_EQ(head_join.kind, HardStructureKind::kNonHierarchicalHeadJoin);
+}
+
+}  // namespace
+}  // namespace adp

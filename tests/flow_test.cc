@@ -1,0 +1,121 @@
+// Max-flow / min-cut substrate tests.
+
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.h"
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5);
+  EXPECT_EQ(f.Compute(0, 1), 5);
+}
+
+TEST(MaxFlowTest, SerialEdgesBottleneck) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 5);
+  f.AddEdge(1, 2, 3);
+  EXPECT_EQ(f.Compute(0, 2), 3);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 2);
+  f.AddEdge(1, 3, 2);
+  f.AddEdge(0, 2, 3);
+  f.AddEdge(2, 3, 3);
+  EXPECT_EQ(f.Compute(0, 3), 5);
+}
+
+TEST(MaxFlowTest, ClassicDiamondWithCross) {
+  // CLRS-style example.
+  MaxFlow f(6);
+  f.AddEdge(0, 1, 16);
+  f.AddEdge(0, 2, 13);
+  f.AddEdge(1, 3, 12);
+  f.AddEdge(2, 1, 4);
+  f.AddEdge(3, 2, 9);
+  f.AddEdge(2, 4, 14);
+  f.AddEdge(4, 3, 7);
+  f.AddEdge(3, 5, 20);
+  f.AddEdge(4, 5, 4);
+  EXPECT_EQ(f.Compute(0, 5), 23);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 10);
+  f.AddEdge(2, 3, 10);
+  EXPECT_EQ(f.Compute(0, 3), 0);
+}
+
+TEST(MaxFlowTest, SourceSideSeparatesCut) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 1);
+  f.AddEdge(1, 2, 7);
+  f.Compute(0, 2);
+  const auto side = f.SourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[1]);  // the unit edge saturates first
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(MaxFlowTest, InfiniteCapacityNeverCut) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, kInfCapacity);
+  f.AddEdge(1, 2, 1);
+  f.AddEdge(2, 3, kInfCapacity);
+  EXPECT_EQ(f.Compute(0, 3), 1);
+  const auto side = f.SourceSide(0);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+}
+
+// Property: max-flow equals the capacity of the extracted cut on random
+// graphs (weak duality check from the source side).
+TEST(MaxFlowTest, FlowEqualsCutCapacityOnRandomGraphs) {
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(100 + seed);
+    const int n = 8;
+    MaxFlow f(n);
+    struct E {
+      int u, v, id;
+      std::int64_t cap;
+    };
+    std::vector<E> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.UniformDouble() < 0.35) {
+          const std::int64_t cap = 1 + static_cast<std::int64_t>(
+                                           rng.Uniform(9));
+          const int id = f.AddEdge(u, v, cap);
+          edges.push_back({u, v, id, cap});
+        }
+      }
+    }
+    const std::int64_t flow = f.Compute(0, n - 1);
+    const auto side = f.SourceSide(0);
+    std::int64_t cut = 0;
+    for (const E& e : edges) {
+      if (side[e.u] && !side[e.v]) cut += e.cap;
+    }
+    EXPECT_EQ(flow, cut) << "seed " << seed;
+  }
+}
+
+TEST(MaxFlowTest, GrowableGraph) {
+  MaxFlow f;
+  const int s = f.AddNode();
+  const int a = f.AddNode();
+  const int t = f.AddNode();
+  f.AddEdge(s, a, 4);
+  f.AddEdge(a, t, 2);
+  EXPECT_EQ(f.Compute(s, t), 2);
+}
+
+}  // namespace
+}  // namespace adp

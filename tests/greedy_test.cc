@@ -1,0 +1,151 @@
+// GreedyForCQ and DrasticGreedy tests: feasibility, trajectory shape, and
+// the paper's qualitative claims (greedy finds optimal on friendly
+// distributions; drastic restricted to full CQs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/parser.h"
+#include "solver/drastic.h"
+#include "solver/greedy.h"
+#include "solver/solution.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+TEST(GreedyTest, PicksHighestProfitFirst) {
+  // Qpath with a hub: deleting R3(5) removes three outputs at once.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}, {3}}},
+                                 {"R2", {{1, 5}, {2, 5}, {3, 5}, {1, 6}}},
+                                 {"R3", {{5}, {6}}}});
+  const GreedyTrace trace = RunGreedyForCQ(q, db, 3);
+  ASSERT_GE(trace.picks.size(), 1u);
+  EXPECT_EQ(trace.picks[0].relation, 2);  // R3
+  EXPECT_EQ(trace.picks[0].row, 0u);      // tuple (5)
+  EXPECT_EQ(trace.removed_after[0], 3);
+}
+
+TEST(GreedyTest, TrajectoryIsMonotone) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(41);
+  const Database db = RandomDb(q, rng, 15, 5);
+  const std::int64_t total = OracleCount(q, db);
+  const GreedyTrace trace = RunGreedyForCQ(q, db, total);
+  for (std::size_t i = 1; i < trace.removed_after.size(); ++i) {
+    EXPECT_GE(trace.removed_after[i], trace.removed_after[i - 1]);
+  }
+  if (!trace.removed_after.empty()) {
+    EXPECT_EQ(trace.removed_after.back(), total);
+  }
+}
+
+TEST(GreedyTest, FeasibleOnProjections) {
+  // Qswing — inapproximable in general, but greedy must still be feasible.
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  Rng rng(43);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Database db = RandomDb(q, rng, 10, 4);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    const std::int64_t k = std::max<std::int64_t>(1, total / 2);
+    const GreedyTrace trace = RunGreedyForCQ(q, db, k);
+    ASSERT_FALSE(trace.removed_after.empty());
+    EXPECT_GE(trace.removed_after.back(), k);
+    // Verify against re-evaluation.
+    EXPECT_GE(CountRemovedOutputs(q, db, trace.picks), k);
+  }
+}
+
+TEST(GreedyTest, ZeroProfitPlateauStillTerminates) {
+  // Boolean-ish trap: every single deletion has profit 0 until a whole
+  // output group is gone.
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R2", {{1, 5}, {1, 6}}},
+                                 {"R3", {{5}, {6}}}});
+  const GreedyTrace trace = RunGreedyForCQ(q, db, 1);
+  EXPECT_GE(trace.removed_after.back(), 1);
+  EXPECT_LE(trace.picks.size(), 4u);
+}
+
+TEST(GreedyNodeTest, ProfileMatchesTrajectory) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(47);
+  const Database db = RandomDb(q, rng, 12, 4);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0) GTEST_SKIP();
+  AdpOptions options;
+  const AdpNode node = GreedyNode(q, db, total, options);
+  EXPECT_FALSE(node.exact);
+  EXPECT_EQ(node.profile.kmax(), total);
+  for (std::int64_t k = 1; k <= total; ++k) {
+    const auto tuples = node.report(k);
+    EXPECT_EQ(static_cast<std::int64_t>(tuples.size()), node.profile.At(k));
+    EXPECT_GE(CountRemovedOutputs(q, db, tuples), k);
+  }
+}
+
+TEST(DrasticTest, SingleRelationPrefixIsChosen) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {1, 6}, {2, 5}}},
+                                 {"R3", {{5}, {6}}}});
+  // Full join rows: (1,5),(1,6),(2,5). Profits: R1(1)=2, R3(5)=2.
+  AdpOptions options;
+  options.heuristic = AdpOptions::Heuristic::kDrastic;
+  const AdpNode node = DrasticNode(q, db, 3, options);
+  EXPECT_EQ(node.profile.At(2), 1);
+  EXPECT_EQ(node.profile.At(3), 2);
+  const auto tuples = node.report(2);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_GE(CountRemovedOutputs(q, db, tuples), 2);
+}
+
+TEST(DrasticTest, AllPicksFromOneRelation) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(53);
+  const Database db = RandomDb(q, rng, 12, 4);
+  const std::int64_t total = OracleCount(q, db);
+  if (total < 3) GTEST_SKIP();
+  AdpOptions options;
+  const AdpNode node = DrasticNode(q, db, total, options);
+  const auto tuples = node.report(total / 2 + 1);
+  ASSERT_FALSE(tuples.empty());
+  for (const TupleRef& t : tuples) {
+    EXPECT_EQ(t.relation, tuples[0].relation);
+  }
+  EXPECT_GE(CountRemovedOutputs(q, db, tuples), total / 2 + 1);
+}
+
+TEST(DrasticVsGreedyTest, GreedyNeverWorseOnSmallFullCqs) {
+  // Greedy re-evaluates profits after every deletion; drastic does not.
+  // On small instances both should land within a small factor of optimal.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(59);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Database db = RandomDb(q, rng, 5, 3);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    const std::int64_t k = (total + 1) / 2;
+    const std::int64_t opt = OracleAdp(q, db, k);
+    AdpOptions options;
+    const AdpNode greedy = GreedyNode(q, db, total, options);
+    const AdpNode drastic = DrasticNode(q, db, total, options);
+    EXPECT_GE(greedy.profile.At(k), opt);
+    EXPECT_GE(drastic.profile.At(k), opt);
+    // ln(k)+1 bound for greedy on full CQs (Theorem 5).
+    const double bound =
+        (std::log(static_cast<double>(k)) + 1.0) * static_cast<double>(opt);
+    EXPECT_LE(static_cast<double>(greedy.profile.At(k)), bound + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace adp

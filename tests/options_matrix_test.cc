@@ -1,0 +1,93 @@
+// Options-matrix stress test: every combination of solver options must
+// produce feasible solutions, identical optimal costs on exact paths, and
+// verified effects, across a fixed pool of random queries/instances.
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/is_ptime.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::OracleCount;
+using testing::RandomDb;
+using testing::RandomQuery;
+
+struct OptionCombo {
+  AdpOptions::Heuristic heuristic;
+  bool counting_only;
+  AdpOptions::UniverseStrategy universe;
+  bool convex_merge;
+  AdpOptions::DecomposeStrategy decompose;
+  bool use_singleton;
+};
+
+std::vector<OptionCombo> AllCombos() {
+  std::vector<OptionCombo> out;
+  for (auto h : {AdpOptions::Heuristic::kGreedy,
+                 AdpOptions::Heuristic::kDrastic}) {
+    for (bool counting : {false, true}) {
+      for (auto u : {AdpOptions::UniverseStrategy::kAllAtOnce,
+                     AdpOptions::UniverseStrategy::kOneByOne}) {
+        for (bool cm : {true, false}) {
+          for (auto d : {AdpOptions::DecomposeStrategy::kImprovedDP,
+                         AdpOptions::DecomposeStrategy::kPairwiseNaive,
+                         AdpOptions::DecomposeStrategy::kFullEnumeration}) {
+            for (bool s : {true, false}) {
+              out.push_back({h, counting, u, cm, d, s});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class OptionsMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionsMatrix, AllCombosConsistent) {
+  Rng rng(16000 + GetParam());
+  const ConjunctiveQuery q = RandomQuery(rng, 4, 3);
+  const Database db = RandomDb(q, rng, 6, 3);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0) GTEST_SKIP();
+  const std::int64_t k = (total + 1) / 2;
+  const bool ptime = IsPtime(q);
+
+  std::int64_t exact_cost = -1;
+  for (const OptionCombo& combo : AllCombos()) {
+    AdpOptions options;
+    options.heuristic = combo.heuristic;
+    options.counting_only = combo.counting_only;
+    options.universe_strategy = combo.universe;
+    options.universe_convex_merge = combo.convex_merge;
+    options.decompose_strategy = combo.decompose;
+    options.use_singleton = combo.use_singleton;
+    options.verify = !combo.counting_only;
+
+    const AdpSolution sol = ComputeAdp(q, db, k, options);
+    ASSERT_TRUE(sol.feasible) << q.ToString();
+    if (!combo.counting_only) {
+      EXPECT_GE(sol.removed_outputs, k) << q.ToString();
+    } else {
+      EXPECT_TRUE(sol.tuples.empty());
+    }
+    if (ptime) {
+      // Every combination stays exact on poly-time queries and all exact
+      // costs agree.
+      EXPECT_TRUE(sol.exact) << q.ToString();
+      if (exact_cost < 0) exact_cost = sol.cost;
+      EXPECT_EQ(sol.cost, exact_cost) << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OptionsMatrix,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,179 @@
+// CostProfile tests: invariants, convexity, and both combination semantics
+// against brute-force convolutions.
+
+#include <gtest/gtest.h>
+
+#include "solver/profile.h"
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+TEST(ProfileTest, TrivialProfile) {
+  CostProfile p;
+  EXPECT_EQ(p.kmax(), 0);
+  EXPECT_EQ(p.At(0), 0);
+  EXPECT_EQ(p.At(1), kInfCost);
+  EXPECT_FALSE(p.Feasible(1));
+}
+
+TEST(ProfileTest, AtAndMaxRemovedWithin) {
+  CostProfile p({0, 1, 1, 3, 7});
+  EXPECT_EQ(p.kmax(), 4);
+  EXPECT_EQ(p.At(2), 1);
+  EXPECT_EQ(p.MaxRemovedWithin(0), 0);
+  EXPECT_EQ(p.MaxRemovedWithin(1), 2);
+  EXPECT_EQ(p.MaxRemovedWithin(3), 3);
+  EXPECT_EQ(p.MaxRemovedWithin(100), 4);
+}
+
+TEST(ProfileTest, ConvexityDetection) {
+  EXPECT_TRUE(CostProfile({0, 1, 2, 3}).IsConvex());
+  EXPECT_TRUE(CostProfile({0, 0, 1, 3, 6}).IsConvex());
+  EXPECT_FALSE(CostProfile({0, 3, 3, 4}).IsConvex());  // inc 3 then 0
+  EXPECT_TRUE(CostProfile({0}).IsConvex());
+}
+
+TEST(ProfileTest, TruncateTo) {
+  CostProfile p({0, 1, 2, 3});
+  p.TruncateTo(2);
+  EXPECT_EQ(p.kmax(), 2);
+  p.TruncateTo(10);  // no-op
+  EXPECT_EQ(p.kmax(), 2);
+}
+
+TEST(ProfileTest, SaturatingArithmetic) {
+  EXPECT_EQ(SatMul(kMaxOutputs, 2), kMaxOutputs);
+  EXPECT_EQ(SatMul(3, 4), 12);
+  EXPECT_EQ(SatMul(0, kMaxOutputs), 0);
+  EXPECT_EQ(SatAdd(kMaxOutputs, 1), kMaxOutputs);
+  EXPECT_EQ(SatAdd(3, 4), 7);
+}
+
+TEST(CombineDisjointTest, SimpleMerge) {
+  // a removes outputs at cost 1 each; b removes 2 outputs for cost 1.
+  const CostProfile a({0, 1, 2});
+  const CostProfile b({0, 1, 1});
+  std::vector<std::int64_t> choice;
+  const CostProfile c = CombineDisjoint(a, b, 4, &choice);
+  EXPECT_EQ(c.At(1), 1);
+  EXPECT_EQ(c.At(2), 1);  // take b's pair
+  EXPECT_EQ(c.At(3), 2);  // b pair + one from a
+  EXPECT_EQ(c.At(4), 3);
+  EXPECT_EQ(choice[2], 2);  // 2 outputs from b
+}
+
+TEST(CombineDisjointTest, MatchesBruteForce) {
+  Rng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    auto random_profile = [&](int len) {
+      std::vector<std::int64_t> c = {0};
+      for (int i = 1; i <= len; ++i) {
+        c.push_back(c.back() + static_cast<std::int64_t>(rng.Uniform(4)));
+      }
+      return CostProfile(c);
+    };
+    const CostProfile a = random_profile(static_cast<int>(rng.Uniform(6)));
+    const CostProfile b = random_profile(static_cast<int>(rng.Uniform(6)));
+    const std::int64_t cap = a.kmax() + b.kmax();
+    const CostProfile c = CombineDisjoint(a, b, cap, nullptr);
+    for (std::int64_t j = 0; j <= cap; ++j) {
+      std::int64_t want = kInfCost;
+      for (std::int64_t m = 0; m <= j; ++m) {
+        if (a.Feasible(j - m) && b.Feasible(m)) {
+          want = std::min(want, a.At(j - m) + b.At(m));
+        }
+      }
+      EXPECT_EQ(c.At(j), want) << "j=" << j;
+    }
+  }
+}
+
+TEST(CombineProductTest, TwoByTwoCrossProduct) {
+  // Two factors with 2 outputs each, unit cost per removed output.
+  const CostProfile a({0, 1, 2});
+  const CostProfile b({0, 1, 2});
+  const CostProfile c =
+      CombineProduct(a, 2, b, 2, 4, /*naive_inner=*/false, nullptr);
+  // Removing 1 of a's outputs removes 2 products.
+  EXPECT_EQ(c.At(1), 1);
+  EXPECT_EQ(c.At(2), 1);
+  // 3 products: kill one whole factor output (2 products) + one more needs
+  // k1=1,k2=1 -> removed = 1*2+1*2-1 = 3, cost 2.
+  EXPECT_EQ(c.At(3), 2);
+  // All 4: cheapest is both outputs of one factor (cost 2).
+  EXPECT_EQ(c.At(4), 2);
+}
+
+TEST(CombineProductTest, ImprovedMatchesNaive) {
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto random_profile = [&](std::int64_t m) {
+      std::vector<std::int64_t> c = {0};
+      for (std::int64_t i = 1; i <= m; ++i) {
+        c.push_back(c.back() + 1 +
+                    static_cast<std::int64_t>(rng.Uniform(3)));
+      }
+      return CostProfile(c);
+    };
+    const std::int64_t ma = 1 + static_cast<std::int64_t>(rng.Uniform(5));
+    const std::int64_t mb = 1 + static_cast<std::int64_t>(rng.Uniform(5));
+    const CostProfile a = random_profile(ma);
+    const CostProfile b = random_profile(mb);
+    const std::int64_t cap = ma * mb;
+    const CostProfile fast =
+        CombineProduct(a, ma, b, mb, cap, /*naive_inner=*/false, nullptr);
+    const CostProfile slow =
+        CombineProduct(a, ma, b, mb, cap, /*naive_inner=*/true, nullptr);
+    for (std::int64_t j = 0; j <= cap; ++j) {
+      EXPECT_EQ(fast.At(j), slow.At(j)) << "iter " << iter << " j=" << j;
+    }
+  }
+}
+
+TEST(CombineProductTest, MatchesExhaustivePairEnumeration) {
+  Rng rng(123);
+  for (int iter = 0; iter < 40; ++iter) {
+    auto random_profile = [&](std::int64_t m) {
+      std::vector<std::int64_t> c = {0};
+      for (std::int64_t i = 1; i <= m; ++i) {
+        c.push_back(c.back() + static_cast<std::int64_t>(rng.Uniform(4)));
+      }
+      return CostProfile(c);
+    };
+    const std::int64_t ma = 1 + static_cast<std::int64_t>(rng.Uniform(4));
+    const std::int64_t mb = 1 + static_cast<std::int64_t>(rng.Uniform(4));
+    const CostProfile a = random_profile(ma);
+    const CostProfile b = random_profile(mb);
+    const std::int64_t cap = ma * mb;
+    const CostProfile got =
+        CombineProduct(a, ma, b, mb, cap, /*naive_inner=*/false, nullptr);
+    for (std::int64_t j = 0; j <= cap; ++j) {
+      std::int64_t want = kInfCost;
+      for (std::int64_t k1 = 0; k1 <= ma; ++k1) {
+        for (std::int64_t k2 = 0; k2 <= mb; ++k2) {
+          if (!a.Feasible(k1) || !b.Feasible(k2)) continue;
+          if (k1 * mb + k2 * ma - k1 * k2 >= j) {
+            want = std::min(want, a.At(k1) + b.At(k2));
+          }
+        }
+      }
+      EXPECT_EQ(got.At(j), want) << "iter " << iter << " j=" << j;
+    }
+  }
+}
+
+TEST(CombineProductTest, ChoiceReconstructsCost) {
+  const CostProfile a({0, 2, 5});
+  const CostProfile b({0, 1, 4, 6});
+  std::vector<std::pair<std::int64_t, std::int64_t>> choice;
+  const CostProfile c = CombineProduct(a, 2, b, 3, 6, false, &choice);
+  for (std::int64_t j = 1; j <= c.kmax(); ++j) {
+    const auto [k1, k2] = choice[j];
+    EXPECT_EQ(a.At(k1) + b.At(k2), c.At(j)) << j;
+    EXPECT_GE(k1 * 3 + k2 * 2 - k1 * k2, j) << j;
+  }
+}
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,94 @@
+// ProvenanceIndex tests: profits, incremental deletion, group accounting.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "relational/provenance.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+
+TEST(ProvenanceTest, FullCqProfitsAreRowCounts) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {1, 6}, {2, 7}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.total_outputs(), 3);
+  EXPECT_EQ(index.alive_outputs(), 3);
+  // R1(1) supports rows (1,5) and (1,6).
+  EXPECT_EQ(index.Profit(0, 0), 2);
+  EXPECT_EQ(index.Profit(0, 1), 1);
+  EXPECT_EQ(index.Profit(1, 2), 1);
+}
+
+TEST(ProvenanceTest, DeleteCascades) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {1, 6}, {2, 7}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.Delete(0, 0), 2);  // kills both R1(1) outputs
+  EXPECT_EQ(index.alive_outputs(), 1);
+  EXPECT_FALSE(index.IsRelevant(1, 0));  // R2(1,5) now irrelevant
+  EXPECT_TRUE(index.IsRelevant(0, 1));
+  EXPECT_EQ(index.Delete(1, 2), 1);
+  EXPECT_EQ(index.alive_outputs(), 0);
+}
+
+TEST(ProvenanceTest, ProjectionProfitsCountDyingGroups) {
+  // Q(A) :- R2(A,B), R3(B): output a dies only when all its rows die.
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R2", {{1, 10}, {1, 11}, {2, 10}}},
+                                 {"R3", {{10}, {11}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.total_outputs(), 2);
+  // Deleting R3(10) kills rows (1,10) and (2,10): output 2 dies, output 1
+  // survives via (1,11).
+  EXPECT_EQ(index.Profit(1, 0), 1);
+  // Deleting R2(1,10) kills one of output 1's two rows: profit 0.
+  EXPECT_EQ(index.Profit(0, 0), 0);
+  EXPECT_EQ(index.Delete(1, 0), 1);
+  // Now output 1 hangs on row (1,11) alone: R2(1,11) has profit 1.
+  EXPECT_EQ(index.Profit(0, 1), 1);
+  // And R2(1,10) is dead weight.
+  EXPECT_FALSE(index.IsRelevant(0, 0));
+}
+
+TEST(ProvenanceTest, InitialProfitIgnoresDeletions) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R2", {{1, 10}, {1, 11}}},
+                                 {"R3", {{10}, {11}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.InitialProfit(1, 0), 0);  // output 1 has another row
+  index.Delete(1, 1);
+  // InitialProfit is defined against the pristine state.
+  EXPECT_EQ(index.InitialProfit(1, 0), 0);
+  // Current profit reflects the deletion.
+  EXPECT_EQ(index.Profit(1, 0), 1);
+}
+
+TEST(ProvenanceTest, DoubleDeleteIsIdempotent) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.Delete(0, 0), 1);
+  EXPECT_EQ(index.Delete(0, 0), 0);
+  EXPECT_EQ(index.alive_outputs(), 1);
+}
+
+TEST(ProvenanceTest, BooleanQuerySingleGroup) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A), R2(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}}, {"R2", {{1}, {2}}}});
+  ProvenanceIndex index(q.body(), q.head(), db);
+  EXPECT_EQ(index.total_outputs(), 1);
+  // Deleting R1(1) leaves the (2,2) row: the single boolean output lives.
+  EXPECT_EQ(index.Profit(0, 0), 0);
+  index.Delete(0, 0);
+  EXPECT_EQ(index.alive_outputs(), 1);
+  EXPECT_EQ(index.Profit(0, 1), 1);
+}
+
+}  // namespace
+}  // namespace adp

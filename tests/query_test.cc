@@ -1,0 +1,137 @@
+// ConjunctiveQuery model tests: catalogs, heads, derived properties, and the
+// query graph.
+
+#include <gtest/gtest.h>
+
+#include "query/graph.h"
+#include "query/parser.h"
+#include "query/query.h"
+
+namespace adp {
+namespace {
+
+TEST(QueryTest, AttributeInterning) {
+  ConjunctiveQuery q;
+  const AttrId a = q.AddAttribute("A");
+  const AttrId b = q.AddAttribute("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(q.AddAttribute("A"), a);  // reuse
+  EXPECT_EQ(q.FindAttribute("B"), b);
+  EXPECT_EQ(q.FindAttribute("Z"), -1);
+  EXPECT_EQ(q.num_attributes(), 2);
+}
+
+TEST(QueryTest, BooleanFullAndProjection) {
+  const ConjunctiveQuery boolean = ParseQuery("Q() :- R1(A), R2(A,B)");
+  EXPECT_TRUE(boolean.IsBoolean());
+  EXPECT_FALSE(boolean.IsFull());
+
+  const ConjunctiveQuery full = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  EXPECT_FALSE(full.IsBoolean());
+  EXPECT_TRUE(full.IsFull());
+
+  const ConjunctiveQuery proj = ParseQuery("Q(A) :- R1(A), R2(A,B)");
+  EXPECT_FALSE(proj.IsBoolean());
+  EXPECT_FALSE(proj.IsFull());
+}
+
+TEST(QueryTest, UniversalAttrs) {
+  // A occurs everywhere and is output: universal. B occurs everywhere but
+  // is not output: not universal.
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A) :- R1(A,B), R2(A,B,C), R3(A,B)");
+  const AttrId a = q.FindAttribute("A");
+  EXPECT_EQ(q.UniversalAttrs(), AttrSet::Of(a));
+}
+
+TEST(QueryTest, NoUniversalWhenMissingFromOneRelation) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  // A is in both and output -> universal; B missing from R1.
+  EXPECT_EQ(q.UniversalAttrs(), AttrSet::Of(q.FindAttribute("A")));
+}
+
+TEST(QueryTest, VacuumDetection) {
+  EXPECT_TRUE(ParseQuery("Q(A) :- R1(A), R2()").HasVacuumRelation());
+  EXPECT_FALSE(ParseQuery("Q(A) :- R1(A)").HasVacuumRelation());
+}
+
+TEST(QueryTest, RelationsWith) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  EXPECT_EQ(q.RelationsWith(q.FindAttribute("A")), (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.RelationsWith(q.FindAttribute("B")), (std::vector<int>{1, 2}));
+}
+
+TEST(QueryTest, SelectionsTracked) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2(A,B=7)");
+  EXPECT_TRUE(q.HasSelections());
+  EXPECT_EQ(q.SelectedAttrs(), AttrSet::Of(q.FindAttribute("B")));
+  EXPECT_EQ(q.selections()[1].size(), 1u);
+  EXPECT_EQ(q.selections()[1][0].value, 7);
+}
+
+TEST(QueryTest, ToStringRoundTripsThroughParser) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A,B), R2(B,C=5)");
+  const ConjunctiveQuery q2 = ParseQuery(q.ToString());
+  EXPECT_EQ(q2.num_relations(), q.num_relations());
+  EXPECT_EQ(q2.head(), q.head());
+  EXPECT_EQ(q2.SelectedAttrs(), q.SelectedAttrs());
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C) :- R1(A), R2(A,B), R3(C), R4(C)");
+  const auto comps = ConnectedComponents(q);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<int>{2, 3}));
+  EXPECT_FALSE(IsConnected(q));
+}
+
+TEST(GraphTest, SingleRelationIsConnected) {
+  EXPECT_TRUE(IsConnected(ParseQuery("Q(A) :- R1(A)")));
+}
+
+TEST(GraphTest, ExampleFourDecomposition) {
+  // Example 4: Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)
+  // splits into {R1,R3,R4} and {R2,R5}.
+  const ConjunctiveQuery q = ParseQuery(
+      "Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)");
+  const auto comps = ConnectedComponents(q);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(comps[1], (std::vector<int>{1, 4}));
+}
+
+TEST(GraphTest, ConnectedViaRespectsForbiddenAttrs) {
+  // R1(A,B), R2(B,C), R3(C,A): paths exist, but forbidding B cuts R1-R2
+  // adjacency (they reconnect through R3 via A and C).
+  const ConjunctiveQuery q =
+      ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)");
+  const AttrSet all = q.all_attrs();
+  const AttrId b = q.FindAttribute("B");
+  EXPECT_TRUE(ConnectedVia(q, 0, 1, all));
+  EXPECT_TRUE(ConnectedVia(q, 0, 1, all.Minus(AttrSet::Of(b))));
+  // Forbidding attrs of R3 = {C,A} leaves only B: R1-R2 connect directly.
+  const AttrSet only_b = AttrSet::Of(b);
+  EXPECT_TRUE(ConnectedVia(q, 0, 1, only_b));
+  // But R1 and R3 share only A and C, both forbidden.
+  EXPECT_FALSE(ConnectedVia(q, 0, 2, only_b));
+}
+
+TEST(GraphTest, ComponentsViaSplitsOnForbidden) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const AttrId a = q.FindAttribute("A");
+  // Allowing only A: {R1,R2} vs {R3}.
+  const auto comps = ComponentsVia(q, AttrSet::Of(a));
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<int>{2}));
+}
+
+TEST(GraphTest, VacuumRelationIsIsolated) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2()");
+  EXPECT_EQ(ConnectedComponents(q).size(), 2u);
+}
+
+}  // namespace
+}  // namespace adp

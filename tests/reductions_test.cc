@@ -1,0 +1,116 @@
+// Machine-checks the Lemma 5 / §4.2.1 hardness reductions: the three
+// bipartite problems and the ADP instances they encode into must have
+// identical optimal values on randomized graphs.
+
+#include <gtest/gtest.h>
+
+#include "reductions/bipartite.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::OracleAdp;
+using testing::OracleCount;
+
+BipartiteGraph StarPlusStar() {
+  // The counterexample from DESIGN discussions: A = {0,1,2}, B = {0,1,2},
+  // edges a0-{b0,b1,b2}, a1-b0, a2-b0. Max matching 2 < min side 3.
+  BipartiteGraph g;
+  g.na = 3;
+  g.nb = 3;
+  g.edges = {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}};
+  return g;
+}
+
+TEST(BipartiteExactTest, PartialVertexCoverSmall) {
+  const BipartiteGraph g = StarPlusStar();
+  // Removing vertex a0 removes 3 edges.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kPartialVertexCover, 3)
+                .cost,
+            1);
+  // All 5 edges: a0 and b0.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kPartialVertexCover, 5)
+                .cost,
+            2);
+}
+
+TEST(BipartiteExactTest, RemoveBKillA) {
+  const BipartiteGraph g = StarPlusStar();
+  // Killing a1 (or a2) needs only b0; killing a0 needs all of b0,b1,b2.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveBKillA, 1).cost,
+            1);
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveBKillA, 2).cost,
+            1);  // b0 kills both a1 and a2
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveBKillA, 3).cost,
+            3);
+}
+
+TEST(BipartiteExactTest, RemoveAnyKillA) {
+  const BipartiteGraph g = StarPlusStar();
+  // Direct deletion of an A vertex counts.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveAnyKillA, 1).cost,
+            1);
+  // Three A-vertices: b0 kills a1,a2; then delete a0 directly -> cost 2.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveAnyKillA, 3).cost,
+            2);
+}
+
+TEST(BipartiteExactTest, InfeasibleTarget) {
+  BipartiteGraph g;
+  g.na = 2;
+  g.nb = 1;
+  g.edges = {{0, 0}};
+  // Only one A-vertex is non-isolated; killing 2 is impossible.
+  EXPECT_EQ(SolveBipartiteExact(g, BipartiteProblem::kRemoveBKillA, 2).cost,
+            -1);
+}
+
+TEST(EncodingTest, QueriesMatchCoreShapes) {
+  const BipartiteGraph g = StarPlusStar();
+  EXPECT_EQ(EncodeAsAdp(g, BipartiteProblem::kPartialVertexCover)
+                .query.num_relations(),
+            3);
+  EXPECT_EQ(EncodeAsAdp(g, BipartiteProblem::kRemoveBKillA)
+                .query.num_relations(),
+            2);
+  EXPECT_EQ(EncodeAsAdp(g, BipartiteProblem::kRemoveAnyKillA)
+                .query.num_relations(),
+            3);
+}
+
+// The reduction property: optimal values coincide between the bipartite
+// problem and its ADP encoding, for every feasible target.
+class ReductionEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReductionEquivalence, OptimaCoincide) {
+  const auto& [problem_idx, seed] = GetParam();
+  const BipartiteProblem problem = static_cast<BipartiteProblem>(problem_idx);
+  Rng rng(11000 + seed);
+  BipartiteGraph g;
+  g.na = 2 + static_cast<int>(rng.Uniform(3));
+  g.nb = 2 + static_cast<int>(rng.Uniform(3));
+  for (int a = 0; a < g.na; ++a) {
+    for (int b = 0; b < g.nb; ++b) {
+      if (rng.UniformDouble() < 0.4) g.edges.emplace_back(a, b);
+    }
+  }
+  if (g.edges.empty()) GTEST_SKIP();
+
+  const BipartiteAdpInstance enc = EncodeAsAdp(g, problem);
+  const std::int64_t total = OracleCount(enc.query, enc.db);
+  for (std::int64_t k = 1; k <= total; ++k) {
+    const BipartiteResult graph_opt = SolveBipartiteExact(g, problem, k);
+    const std::int64_t adp_opt = OracleAdp(enc.query, enc.db, k);
+    EXPECT_EQ(graph_opt.cost, adp_opt)
+        << "problem " << problem_idx << " seed " << seed << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ReductionEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Range(0, 10)));
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,111 @@
+// Unit tests for relational/: schemas, instances, origin tracking, database.
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace adp {
+namespace {
+
+TEST(RelationSchemaTest, AttrSetAndColumns) {
+  RelationSchema s{"R", {2, 0, 5}};
+  EXPECT_EQ(s.attr_set(), AttrSet({0, 2, 5}));
+  EXPECT_EQ(s.ColumnOf(2), 0);
+  EXPECT_EQ(s.ColumnOf(0), 1);
+  EXPECT_EQ(s.ColumnOf(5), 2);
+  EXPECT_EQ(s.ColumnOf(7), -1);
+  EXPECT_FALSE(s.vacuum());
+}
+
+TEST(RelationSchemaTest, Vacuum) {
+  RelationSchema s{"V", {}};
+  EXPECT_TRUE(s.vacuum());
+  EXPECT_TRUE(s.attr_set().Empty());
+}
+
+TEST(RelationInstanceTest, IdentityOrigins) {
+  RelationInstance r;
+  r.Add({1, 2});
+  r.Add({3, 4});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.OriginOf(0), 0u);
+  EXPECT_EQ(r.OriginOf(1), 1u);
+}
+
+TEST(RelationInstanceTest, ExplicitOrigins) {
+  RelationInstance r;
+  r.AddWithOrigin({1}, 7);
+  r.AddWithOrigin({2}, 9);
+  EXPECT_EQ(r.OriginOf(0), 7u);
+  EXPECT_EQ(r.OriginOf(1), 9u);
+}
+
+TEST(RelationInstanceTest, MixedAddPromotesIdentity) {
+  RelationInstance r;
+  r.Add({1});
+  r.Add({2});
+  r.AddWithOrigin({3}, 42);
+  EXPECT_EQ(r.OriginOf(0), 0u);
+  EXPECT_EQ(r.OriginOf(1), 1u);
+  EXPECT_EQ(r.OriginOf(2), 42u);
+}
+
+TEST(RelationInstanceTest, DedupKeepsFirstOrigin) {
+  RelationInstance r;
+  r.AddWithOrigin({1, 1}, 10);
+  r.AddWithOrigin({2, 2}, 11);
+  r.AddWithOrigin({1, 1}, 12);  // duplicate content
+  r.Dedup();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(0), Tuple({1, 1}));
+  EXPECT_EQ(r.OriginOf(0), 10u);
+  EXPECT_EQ(r.OriginOf(1), 11u);
+}
+
+TEST(RelationInstanceTest, DedupNoopWhenDistinct) {
+  RelationInstance r;
+  r.Add({1});
+  r.Add({2});
+  r.Dedup();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.OriginOf(1), 1u);  // identity preserved
+}
+
+TEST(DatabaseTest, RootRelationsNumbered) {
+  Database db(3);
+  EXPECT_EQ(db.num_relations(), 3u);
+  EXPECT_EQ(db.rel(0).root_relation(), 0);
+  EXPECT_EQ(db.rel(2).root_relation(), 2);
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  Database db(2);
+  db.Load(0, {{1}, {2}});
+  db.Load(1, {{1, 2}});
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, WithTuplesRemoved) {
+  Database db(2);
+  db.Load(0, {{1}, {2}, {3}});
+  db.Load(1, {{4, 4}});
+  std::vector<std::vector<char>> removed = {{0, 1, 0}, {0}};
+  const Database after = WithTuplesRemoved(db, removed);
+  EXPECT_EQ(after.rel(0).size(), 2u);
+  EXPECT_EQ(after.rel(0).tuple(0), Tuple({1}));
+  EXPECT_EQ(after.rel(0).tuple(1), Tuple({3}));
+  // Origins must point at the root rows, not be renumbered.
+  EXPECT_EQ(after.rel(0).OriginOf(1), 2u);
+  EXPECT_EQ(after.rel(1).size(), 1u);
+}
+
+TEST(DatabaseTest, VacuumInstance) {
+  Database db(1);
+  db.rel(0).Add({});
+  EXPECT_EQ(db.rel(0).size(), 1u);
+  EXPECT_TRUE(db.rel(0).tuple(0).empty());
+}
+
+}  // namespace
+}  // namespace adp

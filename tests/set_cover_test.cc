@@ -1,0 +1,155 @@
+// Partial Set Cover tests (§6, Theorem 5): greedy H_k bound, primal-dual
+// factor, exact oracle agreement, and the full-CQ ADP reduction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/adp_psc.h"
+#include "approx/set_cover.h"
+#include "query/parser.h"
+#include "solver/solution.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+PscInstance SmallInstance() {
+  PscInstance inst;
+  inst.num_elements = 6;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0}, {5}};
+  return inst;
+}
+
+TEST(PscGreedyTest, CoversTarget) {
+  const PscInstance inst = SmallInstance();
+  const PscResult res = GreedyPartialSetCover(inst, 5);
+  EXPECT_GE(res.covered, 5);
+  EXPECT_LE(res.chosen.size(), 3u);
+}
+
+TEST(PscGreedyTest, FullCoverUsesBothBigSets) {
+  const PscInstance inst = SmallInstance();
+  const PscResult res = GreedyPartialSetCover(inst, 6);
+  EXPECT_EQ(res.covered, 6);
+  EXPECT_EQ(res.chosen.size(), 2u);  // {0,1,2} then {3,4,5} cover everything
+}
+
+TEST(PscGreedyTest, PartialTargetCheaper) {
+  const PscInstance inst = SmallInstance();
+  const PscResult res = GreedyPartialSetCover(inst, 3);
+  EXPECT_GE(res.covered, 3);
+  EXPECT_EQ(res.chosen.size(), 1u);
+}
+
+TEST(PscPrimalDualTest, FeasibleAndPruned) {
+  const PscInstance inst = SmallInstance();
+  for (std::int64_t k = 1; k <= 6; ++k) {
+    const PscResult res = PrimalDualPartialSetCover(inst, k);
+    EXPECT_GE(res.covered, k) << "k=" << k;
+  }
+}
+
+TEST(PscExactTest, KnownOptimum) {
+  const PscInstance inst = SmallInstance();
+  EXPECT_EQ(ExactPartialSetCover(inst, 3).chosen.size(), 1u);
+  EXPECT_EQ(ExactPartialSetCover(inst, 5).chosen.size(), 2u);
+  EXPECT_EQ(ExactPartialSetCover(inst, 6).chosen.size(), 2u);
+}
+
+TEST(PscRandomSweep, ApproximationBoundsHold) {
+  Rng rng(90);
+  for (int iter = 0; iter < 40; ++iter) {
+    PscInstance inst;
+    inst.num_elements = 2 + static_cast<std::int64_t>(rng.Uniform(8));
+    const int m = 2 + static_cast<int>(rng.Uniform(6));
+    std::int64_t freq_bound = 0;
+    std::vector<int> freq(inst.num_elements, 0);
+    for (int s = 0; s < m; ++s) {
+      std::vector<std::int64_t> set;
+      for (std::int64_t e = 0; e < inst.num_elements; ++e) {
+        if (rng.UniformDouble() < 0.4) {
+          set.push_back(e);
+          ++freq[e];
+        }
+      }
+      inst.sets.push_back(set);
+    }
+    for (int f : freq) freq_bound = std::max<std::int64_t>(freq_bound, f);
+    // Coverable elements bound the target.
+    std::int64_t coverable = 0;
+    for (int f : freq) coverable += (f > 0) ? 1 : 0;
+    if (coverable == 0) continue;
+    const std::int64_t k = 1 + static_cast<std::int64_t>(
+                                   rng.Uniform(coverable));
+    const PscResult exact = ExactPartialSetCover(inst, k);
+    ASSERT_FALSE(exact.chosen.empty());
+    const std::int64_t opt =
+        static_cast<std::int64_t>(exact.chosen.size());
+
+    const PscResult greedy = GreedyPartialSetCover(inst, k);
+    EXPECT_GE(greedy.covered, k);
+    const double hk = std::log(static_cast<double>(k)) + 1.0;
+    EXPECT_LE(static_cast<double>(greedy.chosen.size()),
+              hk * static_cast<double>(opt) + 1e-9)
+        << "greedy beyond H_k bound";
+
+    const PscResult pd = PrimalDualPartialSetCover(inst, k);
+    EXPECT_GE(pd.covered, k);
+    // Unit-cost primal-dual: within f * OPT + f of optimal (the +f slack
+    // accounts for the final crossing set in the partial regime).
+    EXPECT_LE(static_cast<std::int64_t>(pd.chosen.size()),
+              freq_bound * opt + freq_bound)
+        << "primal-dual beyond factor bound";
+  }
+}
+
+TEST(AdpPscReductionTest, EveryElementInExactlyPSets) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(91);
+  const Database db = RandomDb(q, rng, 10, 4);
+  const AdpPscReduction red = ReduceFullCqToPsc(q, db);
+  std::vector<int> freq(red.instance.num_elements, 0);
+  for (const auto& set : red.instance.sets) {
+    for (std::int64_t e : set) ++freq[e];
+  }
+  for (int f : freq) EXPECT_EQ(f, 3);  // p = 3 relations
+}
+
+TEST(AdpPscReductionTest, SolutionsAreFeasibleAndBounded) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Rng rng(92);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Database db = RandomDb(q, rng, 6, 3);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+    const std::int64_t k = (total + 1) / 2;
+    for (PscAlgorithm alg :
+         {PscAlgorithm::kGreedy, PscAlgorithm::kPrimalDual}) {
+      const AdpSolution sol = SolveFullCqViaPsc(q, db, k, alg);
+      ASSERT_TRUE(sol.feasible);
+      EXPECT_GE(CountRemovedOutputs(q, db, sol.tuples), k);
+      const std::int64_t opt = OracleAdp(q, db, k);
+      EXPECT_GE(sol.cost, opt);
+      // p-approximation plus the partial-cover slack.
+      EXPECT_LE(sol.cost, 3 * opt + 3);
+    }
+  }
+}
+
+TEST(AdpPscReductionTest, InfeasibleTarget) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  Database db(3);
+  db.Load(0, {{1}});
+  db.Load(1, {{1, 5}});
+  db.Load(2, {{5}});
+  const AdpSolution sol = SolveFullCqViaPsc(q, db, 2, PscAlgorithm::kGreedy);
+  EXPECT_FALSE(sol.feasible);
+}
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,143 @@
+// Singleton solver tests (Algorithm 3): both cases, profile shape,
+// reporting, and an oracle sweep.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "solver/singleton.h"
+#include "solver/solution.h"
+#include "test_util.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::OracleAdp;
+using testing::OracleCount;
+using testing::RandomDb;
+
+TEST(SingletonDetectTest, RecognizesShapes) {
+  int which = -1;
+  // Case 1: attr(R1) ⊆ head.
+  EXPECT_TRUE(
+      IsSingletonQuery(ParseQuery("Q(A,B) :- R1(A), R2(A,B)"), &which));
+  EXPECT_EQ(which, 0);
+  // Case 2: head ⊆ attr(Ri) (boolean-ish heads).
+  EXPECT_TRUE(IsSingletonQuery(ParseQuery("Q(A) :- R1(A,B), R2(A,B,C)"),
+                               &which));
+  EXPECT_EQ(which, 0);
+  // Vacuum relation always qualifies.
+  EXPECT_TRUE(IsSingletonQuery(ParseQuery("Q(A) :- R1(A), R2()"), &which));
+  EXPECT_EQ(which, 1);
+  // Not singleton: minimum relation not contained in all others.
+  EXPECT_FALSE(
+      IsSingletonQuery(ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)"),
+                       nullptr));
+  // Not singleton: head incomparable with attr(Ri).
+  EXPECT_FALSE(
+      IsSingletonQuery(ParseQuery("Q(B) :- R1(A), R2(A,B)"), nullptr));
+}
+
+TEST(SingletonCase1Test, ProfitsSortedGreedily) {
+  // Q6-like: profit of R1(a) = #outputs with A=a.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  const Database db = MakeDb(
+      q, {{"R1", {{1}, {2}, {3}}},
+          {"R2", {{1, 9}, {1, 8}, {1, 7}, {2, 9}, {3, 9}, {3, 8}}}});
+  AdpOptions options;
+  const AdpNode node = SingletonNode(q, db, 6, options);
+  EXPECT_TRUE(node.exact);
+  // Profits: R1(1)=3, R1(3)=2, R1(2)=1.
+  EXPECT_EQ(node.profile.At(1), 1);
+  EXPECT_EQ(node.profile.At(3), 1);
+  EXPECT_EQ(node.profile.At(4), 2);
+  EXPECT_EQ(node.profile.At(5), 2);
+  EXPECT_EQ(node.profile.At(6), 3);
+  // Unit-cost items with nonincreasing profits: eligible for the greedy
+  // disjoint-union merge, though not convex in the cost sense.
+  EXPECT_TRUE(node.profile.HasConcaveGains());
+  EXPECT_FALSE(node.profile.IsConvex());
+  // Reporting: removing >= 4 outputs takes R1(1) and R1(3).
+  const auto tuples = node.report(4);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(CountRemovedOutputs(q, db, tuples), 5);
+}
+
+TEST(SingletonCase2Test, CheapestOutputsFirst) {
+  // head ⊆ attr(R1): Q(A) :- R1(A,B), R2(A,B,C). Outputs = distinct A among
+  // joining tuples; cost of killing output a = #R1 tuples with that a.
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A,B), R2(A,B,C)");
+  const Database db = MakeDb(
+      q, {{"R1", {{1, 5}, {1, 6}, {2, 5}, {3, 5}, {3, 6}, {3, 7}}},
+          {"R2",
+           {{1, 5, 0}, {1, 6, 0}, {2, 5, 0}, {3, 5, 0}, {3, 6, 0},
+            {3, 7, 0}}}});
+  AdpOptions options;
+  const AdpNode node = SingletonNode(q, db, 3, options);
+  EXPECT_TRUE(node.exact);
+  // Costs per output: a=2 -> 1, a=1 -> 2, a=3 -> 3.
+  EXPECT_EQ(node.profile.At(1), 1);
+  EXPECT_EQ(node.profile.At(2), 3);
+  EXPECT_EQ(node.profile.At(3), 6);
+  // Ascending group costs: convex, but not unit-cost items.
+  EXPECT_TRUE(node.profile.IsConvex());
+  EXPECT_FALSE(node.profile.HasConcaveGains());
+  const auto tuples = node.report(2);
+  EXPECT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(CountRemovedOutputs(q, db, tuples), 2);
+}
+
+TEST(SingletonCase2Test, DanglingTuplesIgnored) {
+  // R1(1,6) has no R2 partner: it dangles, so killing output A=1 costs one
+  // deletion, not two (Algorithm 3, line 9).
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A,B), R2(A,B,C)");
+  const Database db = MakeDb(q, {{"R1", {{1, 5}, {1, 6}, {2, 5}}},
+                                 {"R2", {{1, 5, 0}, {2, 5, 0}}}});
+  AdpOptions options;
+  const AdpNode node = SingletonNode(q, db, 2, options);
+  EXPECT_EQ(node.profile.At(1), 1);
+  EXPECT_EQ(node.profile.At(2), 2);
+}
+
+TEST(SingletonVacuumTest, SingleTupleKillsEverything) {
+  const ConjunctiveQuery q = ParseQuery("Q(A) :- R1(A), R2()");
+  Database db(2);
+  db.Load(0, {{1}, {2}, {3}});
+  db.rel(1).Add({});
+  AdpOptions options;
+  const AdpNode node = SingletonNode(q, db, 3, options);
+  EXPECT_EQ(node.profile.At(1), 1);
+  EXPECT_EQ(node.profile.At(3), 1);
+  const auto tuples = node.report(3);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].relation, 1);
+}
+
+// Oracle sweep: singleton solutions are optimal for every feasible k.
+class SingletonOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingletonOracleSweep, OptimalForAllK) {
+  Rng rng(600 + GetParam());
+  const bool case1 = GetParam() % 2 == 0;
+  const ConjunctiveQuery q =
+      case1 ? ParseQuery("Q(A,B) :- R1(A), R2(A,B)")
+            : ParseQuery("Q(A) :- R1(A,B), R2(A,B,C)");
+  const Database db = RandomDb(q, rng, 8, 3);
+  const std::int64_t total = OracleCount(q, db);
+  if (total == 0) GTEST_SKIP();
+  AdpOptions options;
+  const AdpNode node = SingletonNode(q, db, total, options);
+  for (std::int64_t k = 1; k <= total; ++k) {
+    EXPECT_EQ(node.profile.At(k), OracleAdp(q, db, k))
+        << q.ToString() << " k=" << k;
+    const auto tuples = node.report(k);
+    EXPECT_GE(CountRemovedOutputs(q, db, tuples), k);
+    EXPECT_EQ(static_cast<std::int64_t>(tuples.size()), node.profile.At(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SingletonOracleSweep,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,102 @@
+// Tests for AdpStats: the recursion-tracing facility must report exactly
+// which Algorithm 2 cases a query exercises.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "test_util.h"
+#include "workload/tpch.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+
+TEST(StatsTest, SingletonQueryHitsSingletonOnly) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1, 5}, {2, 6}}}});
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  ComputeAdp(q, db, 1, options);
+  EXPECT_EQ(stats.singleton_nodes, 1);
+  EXPECT_EQ(stats.greedy_leaves, 0);
+  EXPECT_EQ(stats.universe_nodes, 0);
+  EXPECT_EQ(stats.decompose_nodes, 0);
+}
+
+TEST(StatsTest, HardQueryHitsHeuristicLeaf) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+  const Database db = MakeDb(q, {{"R1", {{1}}},
+                                 {"R2", {{1, 5}}},
+                                 {"R3", {{5}}}});
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  ComputeAdp(q, db, 1, options);
+  EXPECT_EQ(stats.greedy_leaves, 1);
+  EXPECT_EQ(stats.singleton_nodes, 0);
+
+  AdpStats drastic_stats;
+  options.stats = &drastic_stats;
+  options.heuristic = AdpOptions::Heuristic::kDrastic;
+  ComputeAdp(q, db, 1, options);
+  EXPECT_EQ(drastic_stats.drastic_leaves, 1);
+}
+
+TEST(StatsTest, UniverseCountsGroups) {
+  const ConjunctiveQuery q = ParseQuery("Q(A,B,C) :- R1(A,B), R2(A,C)");
+  const Database db = MakeDb(q, {{"R1", {{1, 5}, {2, 6}}},
+                                 {"R2", {{1, 7}, {2, 8}}}});
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  ComputeAdp(q, db, 2, options);
+  EXPECT_EQ(stats.universe_nodes, 1);
+  EXPECT_EQ(stats.universe_groups, 2);  // keys a=1 and a=2
+}
+
+TEST(StatsTest, SelectedTpchExercisesDecomposeAndSingleton) {
+  const TpchWorkload w = MakeTpchSelected(120, 3);
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  const AdpSolution sol = ComputeAdp(w.query, w.db, 5, options);
+  EXPECT_TRUE(sol.exact);
+  // σθQ1 decomposes into {Supplier, PartSupp} and {LineItem}, each solved
+  // by Singleton.
+  EXPECT_EQ(stats.decompose_nodes, 1);
+  EXPECT_EQ(stats.singleton_nodes, 2);
+  EXPECT_EQ(stats.greedy_leaves, 0);
+}
+
+TEST(StatsTest, BooleanQueryCountsBooleanNode) {
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A), R2(A)");
+  const Database db = MakeDb(q, {{"R1", {{1}}}, {"R2", {{1}}}});
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  ComputeAdp(q, db, 1, options);
+  EXPECT_EQ(stats.boolean_nodes, 1);
+  EXPECT_EQ(stats.boolean_fallbacks, 0);
+}
+
+TEST(StatsTest, NonLinearizableBooleanFallsBack) {
+  // Triangle: boolean, NP-hard, no linear order -> greedy fallback.
+  const ConjunctiveQuery q = ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)");
+  const Database db = MakeDb(q, {{"R1", {{1, 2}}},
+                                 {"R2", {{2, 3}}},
+                                 {"R3", {{3, 1}}}});
+  AdpStats stats;
+  AdpOptions options;
+  options.stats = &stats;
+  const AdpSolution sol = ComputeAdp(q, db, 1, options);
+  EXPECT_EQ(stats.boolean_fallbacks, 1);
+  EXPECT_FALSE(sol.exact);
+  EXPECT_EQ(sol.cost, 1);  // any single edge breaks the only triangle
+}
+
+}  // namespace
+}  // namespace adp

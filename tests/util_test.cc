@@ -1,0 +1,156 @@
+// Unit tests for util/: AttrSet algebra, RNG determinism, Zipf sampling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/attr_set.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0);
+}
+
+TEST(AttrSetTest, AddRemoveContains) {
+  AttrSet s;
+  s.Add(3);
+  s.Add(17);
+  s.Add(63);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(17));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Size(), 3);
+  s.Remove(17);
+  EXPECT_FALSE(s.Contains(17));
+  EXPECT_EQ(s.Size(), 2);
+}
+
+TEST(AttrSetTest, InitializerList) {
+  AttrSet s{0, 2, 5};
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  const AttrSet a{0, 1, 2};
+  const AttrSet b{2, 3};
+  EXPECT_EQ(a.Union(b), AttrSet({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrSet({2}));
+  EXPECT_EQ(a.Minus(b), AttrSet({0, 1}));
+  EXPECT_TRUE(AttrSet({0, 1}).SubsetOf(a));
+  EXPECT_TRUE(AttrSet({0, 1}).StrictSubsetOf(a));
+  EXPECT_FALSE(a.StrictSubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttrSet({4, 5})));
+}
+
+TEST(AttrSetTest, FirstN) {
+  EXPECT_EQ(AttrSet::FirstN(0).Size(), 0);
+  EXPECT_EQ(AttrSet::FirstN(5), AttrSet({0, 1, 2, 3, 4}));
+  EXPECT_EQ(AttrSet::FirstN(64).Size(), 64);
+}
+
+TEST(AttrSetTest, IterationInOrder) {
+  const AttrSet s{5, 1, 40};
+  std::vector<AttrId> seen;
+  for (AttrId a : s) seen.push_back(a);
+  EXPECT_EQ(seen, (std::vector<AttrId>{1, 5, 40}));
+}
+
+TEST(AttrSetTest, OfSingleton) {
+  EXPECT_EQ(AttrSet::Of(7), AttrSet({7}));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a.Next() != b.Next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ZipfTest, AlphaZeroIsNearUniform) {
+  Rng rng(11);
+  ZipfSampler zipf(10, 0.0);
+  std::map<int, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [rank, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, HigherAlphaSkewsToLowRanks) {
+  Rng rng(13);
+  ZipfSampler zipf(100, 1.0);
+  int low = 0, high = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const int r = zipf.Sample(rng);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);  // rank 0..9 must dominate rank 90..99
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(17);
+  ZipfSampler zipf(7, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    const int r = zipf.Sample(rng);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 7);
+  }
+}
+
+TEST(HashTest, DistinctVectorsHashDifferently) {
+  VecHash h;
+  EXPECT_NE(h({1, 2, 3}), h({3, 2, 1}));
+  EXPECT_NE(h({1}), h({1, 0}));
+  EXPECT_EQ(h({5, 6}), h({5, 6}));
+}
+
+TEST(HashTest, EmptyVectorStable) {
+  VecHash h;
+  EXPECT_EQ(h({}), h({}));
+}
+
+}  // namespace
+}  // namespace adp

@@ -1,0 +1,140 @@
+// Workload generator tests: shapes, sizes, determinism, and the dichotomy
+// status each bench relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dichotomy/is_ptime.h"
+#include "relational/join.h"
+#include "workload/egonet.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+#include "workload/zipf_data.h"
+
+namespace adp {
+namespace {
+
+TEST(TpchTest, HardWorkloadShape) {
+  const TpchWorkload w = MakeTpchHard(3000, 1);
+  EXPECT_EQ(w.db.num_relations(), 3u);
+  EXPECT_FALSE(w.query.HasSelections());
+  EXPECT_FALSE(IsPtime(w.query));
+  // Roughly n/3 per relation (dedup may trim a little).
+  EXPECT_NEAR(static_cast<double>(w.db.rel(0).size()), 1000.0, 50.0);
+  EXPECT_GT(CountOutputs(w.query.body(), w.query.head(), w.db), 0u);
+}
+
+TEST(TpchTest, SelectedWorkloadShape) {
+  const TpchWorkload w = MakeTpchSelected(3000, 2);
+  EXPECT_TRUE(w.query.HasSelections());
+  EXPECT_TRUE(IsPtime(w.query));
+  EXPECT_GT(CountOutputs(w.query.body(), w.query.head(), w.db), 0u);
+}
+
+TEST(TpchTest, Deterministic) {
+  const TpchWorkload a = MakeTpchHard(600, 9);
+  const TpchWorkload b = MakeTpchHard(600, 9);
+  ASSERT_EQ(a.db.rel(1).size(), b.db.rel(1).size());
+  for (std::size_t i = 0; i < a.db.rel(1).size(); ++i) {
+    EXPECT_EQ(a.db.rel(1).tuple(i), b.db.rel(1).tuple(i));
+  }
+  const TpchWorkload c = MakeTpchHard(600, 10);
+  bool differs = a.db.rel(1).size() != c.db.rel(1).size();
+  for (std::size_t i = 0; !differs && i < a.db.rel(1).size(); ++i) {
+    differs = a.db.rel(1).tuple(i) != c.db.rel(1).tuple(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EgonetTest, PaperScale) {
+  const EgonetTables t = MakePaperEgonet(3);
+  EXPECT_EQ(t.num_nodes, 150);
+  // Edge split into 4 tables, bi-directed.
+  EXPECT_EQ(t.tables.size(), 4u);
+  EXPECT_NEAR(static_cast<double>(t.num_directed_edges), 3386.0, 200.0);
+  std::int64_t sum = 0;
+  for (const auto& table : t.tables) {
+    sum += static_cast<std::int64_t>(table.size());
+  }
+  EXPECT_EQ(sum, t.num_directed_edges);
+}
+
+TEST(EgonetTest, QueriesEvaluate) {
+  const EgonetTables t = MakeEgonet(40, 4, 300, 5);
+  for (const ConjunctiveQuery& q :
+       {MakeQ2(), MakeQ3(), MakeQ4(), MakeQ5()}) {
+    const Database db = MakeEdgeDatabase(q, t);
+    EXPECT_EQ(db.num_relations(), static_cast<std::size_t>(
+                                      q.num_relations()));
+    EXPECT_GT(CountOutputs(q.body(), q.head(), db), 0u) << q.ToString();
+    EXPECT_FALSE(IsPtime(q)) << q.ToString();
+  }
+}
+
+TEST(ZipfTest, SkewShrinksDistinctHeavyKeys) {
+  const ConjunctiveQuery q = MakeQPath();
+  const Database uniform = MakeZipfDatabase(q, 2000, 0.0, 7);
+  const Database skewed = MakeZipfDatabase(q, 2000, 1.0, 7);
+  // Under skew the heaviest A-value holds far more pairs.
+  auto max_degree = [&](const Database& db) {
+    std::map<Value, int> deg;
+    int best = 0;
+    for (std::size_t i = 0; i < db.rel(1).size(); ++i) {
+      best = std::max(best, ++deg[db.rel(1).tuple(i)[0]]);
+    }
+    return best;
+  };
+  EXPECT_GT(max_degree(skewed), 2 * max_degree(uniform));
+}
+
+TEST(ZipfTest, RelationsConsistent) {
+  const ConjunctiveQuery q = MakeQPath();
+  const Database db = MakeZipfDatabase(q, 500, 0.5, 11);
+  // R1 holds exactly the distinct A values of R2; R3 the distinct B values.
+  std::set<Value> avals, bvals;
+  for (std::size_t i = 0; i < db.rel(1).size(); ++i) {
+    avals.insert(db.rel(1).tuple(i)[0]);
+    bvals.insert(db.rel(1).tuple(i)[1]);
+  }
+  EXPECT_EQ(db.rel(0).size(), avals.size());
+  EXPECT_EQ(db.rel(2).size(), bvals.size());
+}
+
+TEST(ZipfTest, Q6IsEasyQPathIsHard) {
+  EXPECT_TRUE(IsPtime(MakeQ6()));
+  EXPECT_FALSE(IsPtime(MakeQPath()));
+}
+
+TEST(SyntheticTest, Q7Q8AreEasy) {
+  EXPECT_TRUE(IsPtime(MakeQ7()));
+  EXPECT_TRUE(IsPtime(MakeQ8()));
+}
+
+TEST(SyntheticTest, UniformSizesRespected) {
+  const ConjunctiveQuery q = MakeQ8();
+  const Database db = MakeUniformDatabase(q, {25, 50}, 100, 13);
+  // Alternating sizes 25/50 per §8.5.
+  EXPECT_LE(db.rel(0).size(), 25u);
+  EXPECT_LE(db.rel(1).size(), 50u);
+  EXPECT_GT(db.rel(0).size(), 10u);  // dedup shouldn't decimate
+  EXPECT_GT(CountOutputs(q.body(), q.head(), db), 0u);
+}
+
+TEST(SyntheticTest, DomainBounds) {
+  const ConjunctiveQuery q = MakeQ7();
+  const Database db = MakeUniformDatabase(q, {50}, 10, 17);
+  for (std::size_t r = 0; r < db.num_relations(); ++r) {
+    for (std::size_t t = 0; t < db.rel(r).size(); ++t) {
+      for (Value v : db.rel(r).tuple(t)) {
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 10);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adp
