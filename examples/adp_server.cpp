@@ -1,0 +1,231 @@
+// adp_server: line-oriented batch driver for the concurrent ADP engine.
+//
+// Reads requests from a file (or stdin), executes them on AdpEngine's
+// worker pool, and prints one JSON-ish result line per request, in request
+// order.
+//
+// Protocol (one command per line; '#' starts a comment):
+//
+//   DB <name> <Rel>=<row>/<row>/... <Rel>=...
+//       Registers a database. Rows are comma-separated integers; "()"
+//       denotes the empty tuple (vacuum instance); "<Rel>=" alone is an
+//       empty instance. Relations bind to query atoms by name.
+//
+//   REQ <db> <k> <query>
+//       Submits ADP(query, db, k), e.g.:  REQ d1 2 Q(A) :- R1(A,B), R2(B)
+//
+//   STATS
+//       Drains pending requests, then prints engine counters.
+//
+// Usage:  adp_server [--workers=N] [requests.txt]
+//
+// Example input:
+//   DB d1 R1=11,21/12,22/13,23 R2=21,31/22,32/22,33/23,33 R3=31,41/32,43/33,43
+//   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
+//   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
+//   STATS
+
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace {
+
+using adp::AdpEngine;
+using adp::AdpRequest;
+using adp::AdpResponse;
+using adp::AdpSolution;
+
+struct Pending {
+  int id;
+  std::string db_name;
+  std::string query_text;
+  std::int64_t k;
+  std::future<AdpResponse> future;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+// Parses "R1=11,21/12,22" into (name, instance).
+std::pair<std::string, adp::RelationInstance> ParseRelationSpec(
+    const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw std::runtime_error("bad relation spec (missing '='): " + spec);
+  }
+  std::pair<std::string, adp::RelationInstance> out;
+  out.first = spec.substr(0, eq);
+  std::string rows = spec.substr(eq + 1);
+  std::istringstream in(rows);
+  std::string row;
+  while (std::getline(in, row, '/')) {
+    if (row.empty()) continue;
+    adp::Tuple tuple;
+    if (row != "()") {
+      std::istringstream rin(row);
+      std::string val;
+      while (std::getline(rin, val, ',')) {
+        tuple.push_back(static_cast<adp::Value>(std::stoll(val)));
+      }
+    }
+    out.second.Add(std::move(tuple));
+  }
+  return out;
+}
+
+void PrintResponse(const Pending& p, const AdpResponse& r,
+                   const adp::ConjunctiveQuery* query) {
+  std::ostringstream out;
+  out << "{\"req\":" << p.id << ",\"db\":\"" << p.db_name
+      << "\",\"k\":" << p.k << ",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) {
+    out << ",\"error\":\"" << JsonEscape(r.error) << "\"}";
+    std::cout << out.str() << "\n";
+    return;
+  }
+  const AdpSolution& s = r.solution;
+  // Infeasible solves carry the solver's kInfCost sentinel; surface -1.
+  const std::int64_t cost = s.feasible ? s.cost : -1;
+  out << ",\"feasible\":" << (s.feasible ? "true" : "false")
+      << ",\"exact\":" << (s.exact ? "true" : "false") << ",\"cost\":" << cost
+      << ",\"output_count\":" << s.output_count << ",\"tuples\":[";
+  for (std::size_t i = 0; i < s.tuples.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "[\"";
+    if (query != nullptr && s.tuples[i].relation < query->num_relations()) {
+      out << query->relation(s.tuples[i].relation).name;
+    } else {
+      out << s.tuples[i].relation;
+    }
+    out << "\"," << s.tuples[i].row << ']';
+  }
+  out << "],\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+      << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
+      << ",\"total_ms\":" << r.total_ms << "}";
+  std::cout << out.str() << "\n";
+}
+
+void Drain(AdpEngine& engine, std::vector<Pending>& pending) {
+  for (Pending& p : pending) {
+    const AdpResponse r = p.future.get();
+    // Fetch the parsed query (a plan-cache hit) to render relation names.
+    std::shared_ptr<const adp::CachedPlan> plan;
+    if (r.ok) {
+      AdpRequest probe;
+      probe.query_text = p.query_text;
+      plan = engine.PlanFor(probe);
+    }
+    PrintResponse(p, r, plan ? &plan->query : nullptr);
+  }
+  pending.clear();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 4;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::stoi(arg.substr(10));
+    } else {
+      path = arg;
+    }
+  }
+
+  std::ifstream file;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = path.empty() ? std::cin : file;
+
+  AdpEngine engine(adp::EngineConfig{.num_workers = workers});
+  std::unordered_map<std::string, adp::DbId> dbs;
+  std::vector<Pending> pending;
+  int next_id = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> toks = SplitWs(line);
+    if (toks.empty()) continue;
+
+    try {
+      if (toks[0] == "DB") {
+        if (toks.size() < 2) throw std::runtime_error("DB needs a name");
+        adp::NamedDatabase named;
+        for (std::size_t i = 2; i < toks.size(); ++i) {
+          auto [name, inst] = ParseRelationSpec(toks[i]);
+          named.relation_names.push_back(std::move(name));
+          named.db.Append(std::move(inst));
+        }
+        dbs[toks[1]] = engine.RegisterDatabase(std::move(named));
+      } else if (toks[0] == "REQ") {
+        if (toks.size() < 3) throw std::runtime_error("REQ <db> <k> <query>");
+        auto it = dbs.find(toks[1]);
+        if (it == dbs.end()) {
+          throw std::runtime_error("unknown database " + toks[1]);
+        }
+        AdpRequest req;
+        req.db = it->second;
+        req.k = std::stoll(toks[2]);
+        std::string query;
+        for (std::size_t i = 3; i < toks.size(); ++i) {
+          if (i > 3) query += ' ';
+          query += toks[i];
+        }
+        req.query_text = query;
+        const std::int64_t k = req.k;
+        pending.push_back(Pending{next_id++, toks[1], query, k,
+                                  engine.Submit(std::move(req))});
+      } else if (toks[0] == "STATS") {
+        Drain(engine, pending);
+        const adp::EngineCounters c = engine.counters();
+        std::cout << "{\"stats\":{\"requests\":" << c.requests
+                  << ",\"failures\":" << c.failures
+                  << ",\"plan_hits\":" << c.plan_hits
+                  << ",\"plan_misses\":" << c.plan_misses
+                  << ",\"binding_hits\":" << c.binding_hits
+                  << ",\"binding_misses\":" << c.binding_misses
+                  << ",\"plan_cache_size\":" << c.plan_cache_size
+                  << ",\"databases\":" << c.databases
+                  << ",\"workers\":" << engine.num_workers() << "}}\n";
+      } else {
+        throw std::runtime_error("unknown command " + toks[0]);
+      }
+    } catch (const std::exception& e) {
+      std::cout << "{\"req\":null,\"ok\":false,\"error\":\""
+                << JsonEscape(e.what()) << "\"}\n";
+    }
+  }
+  Drain(engine, pending);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "dichotomy/classification.h"
+
+#include "dichotomy/is_ptime.h"
+#include "dichotomy/linearize.h"
+#include "query/transform.h"
+
+namespace adp {
+
+std::string DichotomyVerdict::Summary() const {
+  std::string out = ptime ? "ptime" : "np-hard";
+  if (triad_like) {
+    out += " (triad-like " + std::to_string(triad_like->r1) + "," +
+           std::to_string(triad_like->r2) + "," +
+           std::to_string(triad_like->r3) + ")";
+  }
+  if (linear_order) {
+    out += " (linear order ";
+    for (std::size_t i = 0; i < linear_order->size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string((*linear_order)[i]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+DichotomyVerdict ClassifyDichotomy(const ConjunctiveQuery& q) {
+  const ConjunctiveQuery* residual = &q;
+  ConjunctiveQuery pushed;
+  if (q.HasSelections()) {
+    pushed = RemoveAttributes(q, q.SelectedAttrs());
+    residual = &pushed;
+  }
+  return ClassifyResidual(
+      *residual,
+      residual->IsBoolean() ? FindLinearOrder(*residual) : std::nullopt);
+}
+
+DichotomyVerdict ClassifyResidual(
+    const ConjunctiveQuery& residual,
+    std::optional<std::vector<int>> linear_order) {
+  DichotomyVerdict verdict;
+  verdict.ptime = IsPtime(residual);
+  verdict.triad_like = FindTriadLike(residual);
+  if (residual.IsBoolean()) verdict.linear_order = std::move(linear_order);
+  return verdict;
+}
+
+}  // namespace adp

@@ -1,0 +1,57 @@
+// One-shot, const-shareable dichotomy analysis of a query.
+//
+// IsPtime / FindTriadLike / FindLinearOrder are all query-complexity
+// routines, but the linearization in particular is an exhaustive permutation
+// search — far too expensive to repeat on every request for the same query.
+// DichotomyVerdict bundles their results into an immutable value that a plan
+// cache can compute once and share (by const reference or shared_ptr) across
+// any number of concurrent solves.
+
+#ifndef ADP_DICHOTOMY_CLASSIFICATION_H_
+#define ADP_DICHOTOMY_CLASSIFICATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dichotomy/triad.h"
+#include "query/query.h"
+
+namespace adp {
+
+/// Immutable result of the full dichotomy analysis of one query. All fields
+/// refer to the residual query after selection pushdown (Lemma 12), i.e.
+/// the query the solver actually recurses on.
+struct DichotomyVerdict {
+  /// Algorithm 1: ADP(Q, D, k) is poly-time solvable for all D, k.
+  bool ptime = false;
+
+  /// A triad-like hardness witness (Definition 4), if one exists. Body
+  /// indices refer to the residual query.
+  std::optional<Triple> triad_like;
+
+  /// Set iff the residual query is boolean and admits a linear arrangement
+  /// (§7.1); the cut-based Boolean solver can then run without repeating
+  /// the permutation search.
+  std::optional<std::vector<int>> linear_order;
+
+  /// Human-readable one-line summary, e.g. "ptime (linear order 0,2,1)".
+  std::string Summary() const;
+};
+
+/// Runs the full analysis. Selections are handled per Lemma 12: the verdict
+/// describes the residual query with the selected attributes removed.
+DichotomyVerdict ClassifyDichotomy(const ConjunctiveQuery& q);
+
+/// Variant for callers that already hold the selection-free residual query
+/// and the result of its linearization search (e.g. from a DispatchPlan,
+/// which runs FindLinearOrder for every boolean node): skips recomputing
+/// both. `linear_order` is taken as the known search result for a boolean
+/// residual (nullopt = proven absent) and ignored otherwise.
+DichotomyVerdict ClassifyResidual(
+    const ConjunctiveQuery& residual,
+    std::optional<std::vector<int>> linear_order);
+
+}  // namespace adp
+
+#endif  // ADP_DICHOTOMY_CLASSIFICATION_H_

@@ -1,0 +1,242 @@
+#include "engine/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "query/fingerprint.h"
+#include "query/parser.h"
+#include "query/transform.h"
+#include "solver/restrictions.h"
+#include "util/stopwatch.h"
+
+namespace adp {
+namespace {
+
+// Option knobs that influence Algorithm-2 classification (and hence the
+// dispatch plan). Part of every plan-cache key so that requests with
+// different knobs never share a plan built for the wrong configuration.
+std::string OptionBits(const AdpOptions& options) {
+  const bool restricted =
+      options.restrictions != nullptr && !options.restrictions->Empty();
+  std::string bits;
+  bits += options.use_singleton ? 's' : '-';
+  bits += options.universe_strategy == AdpOptions::UniverseStrategy::kOneByOne
+              ? '1'
+              : 'a';
+  bits += restricted ? 'r' : '-';
+  return bits;
+}
+
+std::string PlanKey(const AdpRequest& req) {
+  if (req.query.has_value()) {
+    // The canonical key ignores relation names, but requests are solved
+    // against plan->query and bound to named databases by relation name —
+    // so names must be part of the key, or a structurally identical query
+    // over different relations would silently bind the wrong instances.
+    std::string key = "q|" + OptionBits(req.options);
+    for (int i = 0; i < req.query->num_relations(); ++i) {
+      key += '|';
+      key += req.query->relation(i).name;
+    }
+    return key + "|" + CanonicalQueryKey(*req.query);
+  }
+  return "t|" + OptionBits(req.options) + "|" + req.query_text;
+}
+
+std::shared_ptr<const CachedPlan> BuildPlan(const AdpRequest& req) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->query = req.query.has_value() ? *req.query : ParseQuery(req.query_text);
+  plan->residual =
+      plan->query.HasSelections()
+          ? RemoveAttributes(plan->query, plan->query.SelectedAttrs())
+          : plan->query;
+  plan->dispatch = BuildDispatchPlan(plan->residual, req.options);
+  // The dispatch build already ran the linearization search for a boolean
+  // residual; reuse its result instead of searching again.
+  const PlanEntry* root = plan->dispatch.Find(plan->residual);
+  plan->verdict = ClassifyResidual(
+      plan->residual, root != nullptr && root->op == AdpCase::kBoolean
+                          ? root->linear_order
+                          : std::nullopt);
+  plan->fingerprint = QueryFingerprint(plan->query);
+  return plan;
+}
+
+}  // namespace
+
+AdpEngine::AdpEngine(const EngineConfig& config)
+    : config_(config),
+      plan_cache_(config.plan_cache_capacity),
+      pool_(config.num_workers) {}
+
+AdpEngine::~AdpEngine() = default;
+
+DbId AdpEngine::RegisterDatabase(NamedDatabase db) {
+  if (!db.relation_names.empty() &&
+      db.relation_names.size() != db.db.num_relations()) {
+    throw std::invalid_argument(
+        "RegisterDatabase: relation_names must parallel the instances");
+  }
+  auto shared = std::make_shared<const NamedDatabase>(std::move(db));
+  std::lock_guard<std::mutex> lock(mu_);
+  databases_.push_back(std::move(shared));
+  return static_cast<DbId>(databases_.size()) - 1;
+}
+
+DbId AdpEngine::RegisterDatabase(Database db) {
+  return RegisterDatabase(NamedDatabase{{}, std::move(db)});
+}
+
+std::shared_ptr<const NamedDatabase> AdpEngine::database(DbId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= databases_.size()) {
+    return nullptr;
+  }
+  return databases_[static_cast<std::size_t>(id)];
+}
+
+std::shared_ptr<const CachedPlan> AdpEngine::GetPlan(const AdpRequest& req,
+                                                     bool* hit) {
+  return plan_cache_.GetOrBuild(
+      PlanKey(req), [&req] { return BuildPlan(req); }, hit);
+}
+
+std::shared_ptr<const Database> AdpEngine::BindDatabase(
+    const std::shared_ptr<const NamedDatabase>& named, const CachedPlan& plan) {
+  const ConjunctiveQuery& q = plan.query;
+  if (named->relation_names.empty()) {
+    // Positional database: shared as-is, no copy.
+    if (named->db.num_relations() !=
+        static_cast<std::size_t>(q.num_relations())) {
+      throw std::runtime_error(
+          "positional database has " +
+          std::to_string(named->db.num_relations()) + " relations, query has " +
+          std::to_string(q.num_relations()));
+    }
+    return std::shared_ptr<const Database>(named, &named->db);
+  }
+
+  // Named database: bind by relation name, memoized per (database, body
+  // name sequence) so batches share one bound copy.
+  std::string key;
+  key.reserve(32);
+  key += std::to_string(reinterpret_cast<std::uintptr_t>(named.get()));
+  for (int i = 0; i < q.num_relations(); ++i) {
+    key += '|';
+    key += q.relation(i).name;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bindings_.find(key);
+    if (it != bindings_.end()) {
+      ++binding_hits_;
+      return it->second;
+    }
+    ++binding_misses_;
+  }
+
+  auto bound = std::make_shared<Database>(
+      static_cast<std::size_t>(q.num_relations()));
+  for (int i = 0; i < q.num_relations(); ++i) {
+    const std::string& name = q.relation(i).name;
+    for (std::size_t j = 0; j < named->relation_names.size(); ++j) {
+      if (named->relation_names[j] == name) {
+        RelationInstance inst = named->db.rel(j);
+        inst.set_root_relation(i);
+        bound->rel(static_cast<std::size_t>(i)) = std::move(inst);
+        break;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.binding_cache_capacity != 0 &&
+      bindings_.size() >= config_.binding_cache_capacity) {
+    bindings_.clear();  // coarse but rare; entries are cheap to rebuild
+  }
+  auto [it, inserted] = bindings_.emplace(key, std::move(bound));
+  return it->second;
+}
+
+AdpResponse AdpEngine::Execute(const AdpRequest& req) {
+  AdpResponse resp;
+  Stopwatch total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+  }
+  try {
+    Stopwatch plan_sw;
+    bool hit = false;
+    const std::shared_ptr<const CachedPlan> plan = GetPlan(req, &hit);
+    resp.plan_ms = plan_sw.ElapsedMs();
+    resp.plan_cache_hit = hit;
+    resp.fingerprint = plan->fingerprint;
+
+    const std::shared_ptr<const NamedDatabase> named = database(req.db);
+    if (named == nullptr) {
+      throw std::runtime_error("unknown database id " +
+                               std::to_string(req.db));
+    }
+    const std::shared_ptr<const Database> bound = BindDatabase(named, *plan);
+
+    AdpOptions options = req.options;
+    options.plan = &plan->dispatch;
+    options.stats = &resp.stats;
+    Stopwatch solve_sw;
+    resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
+    resp.solve_ms = solve_sw.ElapsedMs();
+    resp.ok = true;
+  } catch (const std::exception& e) {
+    resp.error = e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
+  }
+  resp.total_ms = total.ElapsedMs();
+  return resp;
+}
+
+std::future<AdpResponse> AdpEngine::Submit(AdpRequest req) {
+  auto task = std::make_shared<std::packaged_task<AdpResponse()>>(
+      [this, req = std::move(req)] { return Execute(req); });
+  std::future<AdpResponse> fut = task->get_future();
+  pool_.Submit([task] { (*task)(); });
+  return fut;
+}
+
+std::vector<AdpResponse> AdpEngine::ExecuteBatch(
+    std::vector<AdpRequest> reqs) {
+  std::vector<std::future<AdpResponse>> futures;
+  futures.reserve(reqs.size());
+  for (AdpRequest& req : reqs) futures.push_back(Submit(std::move(req)));
+  std::vector<AdpResponse> out;
+  out.reserve(futures.size());
+  for (auto& fut : futures) out.push_back(fut.get());
+  return out;
+}
+
+EngineCounters AdpEngine::counters() const {
+  EngineCounters c;
+  c.plan_hits = plan_cache_.hits();
+  c.plan_misses = plan_cache_.misses();
+  c.plan_cache_size = plan_cache_.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  c.requests = requests_;
+  c.failures = failures_;
+  c.binding_hits = binding_hits_;
+  c.binding_misses = binding_misses_;
+  c.databases = databases_.size();
+  return c;
+}
+
+std::shared_ptr<const CachedPlan> AdpEngine::PlanFor(const AdpRequest& req,
+                                                     std::string* error) {
+  try {
+    return GetPlan(req, nullptr);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+}
+
+}  // namespace adp

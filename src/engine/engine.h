@@ -1,0 +1,143 @@
+// AdpEngine: a concurrent, plan-caching evaluation engine for ADP requests.
+//
+// The engine separates the two halves of an ADP(Q, D, k) computation:
+//
+//   static   — parse, selection pushdown (query side), dichotomy verdict,
+//              linearization, Algorithm-2 dispatch tree. Query-complexity
+//              work, independent of the data; memoized in a PlanCache keyed
+//              by query text / canonical fingerprint (plus the option knobs
+//              that influence classification).
+//   dynamic  — the data-dependent solve (ComputeAdp with AdpOptions::plan
+//              set), run on a fixed-size worker pool.
+//
+// Databases are registered once and interned as shared immutable instances;
+// per-(query, database) positional bindings are cached too, so a batch of
+// requests against one database shares a single bound copy.
+//
+// Thread safety: all public methods are safe to call concurrently.
+//
+//   AdpEngine engine({.num_workers = 4});
+//   DbId db = engine.RegisterDatabase(std::move(named_db));
+//   auto fut = engine.Submit({.query_text = "Q(A) :- R1(A,B), R2(B)",
+//                             .db = db, .k = 2});
+//   AdpResponse r = fut.get();
+
+#ifndef ADP_ENGINE_ENGINE_H_
+#define ADP_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/plan_cache.h"
+#include "engine/request.h"
+#include "engine/thread_pool.h"
+#include "relational/database.h"
+
+namespace adp {
+
+/// A database whose relations are addressed by name. `relation_names` is
+/// parallel to `db`'s instances; at request time each body atom of the
+/// query is bound to the instance with the matching name (atoms with no
+/// match get an empty instance, as in an outer-joined catalog).
+/// When `relation_names` is empty the database is *positional*: it must
+/// align with the query body index-for-index and is shared without copying.
+struct NamedDatabase {
+  std::vector<std::string> relation_names;
+  Database db;
+};
+
+struct EngineConfig {
+  /// Worker threads executing solves. Clamped to >= 1.
+  int num_workers = 4;
+
+  /// PlanCache capacity (0 = unbounded).
+  std::size_t plan_cache_capacity = 1024;
+
+  /// Binding-cache capacity in entries (0 = unbounded). One entry per
+  /// (database, query-shape) pair.
+  std::size_t binding_cache_capacity = 4096;
+};
+
+/// Monotonic counters, snapshot via AdpEngine::counters().
+struct EngineCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t binding_hits = 0;
+  std::uint64_t binding_misses = 0;
+  std::size_t plan_cache_size = 0;
+  std::size_t databases = 0;
+};
+
+class AdpEngine {
+ public:
+  explicit AdpEngine(const EngineConfig& config = {});
+  ~AdpEngine();
+
+  AdpEngine(const AdpEngine&) = delete;
+  AdpEngine& operator=(const AdpEngine&) = delete;
+
+  // --- Databases -----------------------------------------------------------
+
+  /// Interns `db` and returns its handle. The instance is immutable from
+  /// here on and shared by every request that names it.
+  DbId RegisterDatabase(NamedDatabase db);
+
+  /// Convenience: positional database (see NamedDatabase).
+  DbId RegisterDatabase(Database db);
+
+  /// The interned database, or nullptr for an unknown id.
+  std::shared_ptr<const NamedDatabase> database(DbId id) const;
+
+  // --- Requests ------------------------------------------------------------
+
+  /// Runs `req` synchronously in the calling thread. Never throws: failures
+  /// are reported via AdpResponse::ok / error.
+  AdpResponse Execute(const AdpRequest& req);
+
+  /// Enqueues `req` on the worker pool.
+  std::future<AdpResponse> Submit(AdpRequest req);
+
+  /// Runs a batch on the worker pool and returns responses in request
+  /// order (blocking).
+  std::vector<AdpResponse> ExecuteBatch(std::vector<AdpRequest> reqs);
+
+  // --- Introspection -------------------------------------------------------
+
+  EngineCounters counters() const;
+  int num_workers() const { return pool_.num_threads(); }
+
+  /// The cached plan a request would use, building it on demand; nullptr
+  /// with `error` filled on parse failure. Useful for EXPLAIN-style tools.
+  std::shared_ptr<const CachedPlan> PlanFor(const AdpRequest& req,
+                                            std::string* error = nullptr);
+
+ private:
+  std::shared_ptr<const CachedPlan> GetPlan(const AdpRequest& req, bool* hit);
+  std::shared_ptr<const Database> BindDatabase(
+      const std::shared_ptr<const NamedDatabase>& named,
+      const CachedPlan& plan);
+
+  const EngineConfig config_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex mu_;  // guards databases_, bindings_, counters
+  std::vector<std::shared_ptr<const NamedDatabase>> databases_;
+  std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t binding_hits_ = 0;
+  std::uint64_t binding_misses_ = 0;
+
+  ThreadPool pool_;  // last member: workers must die before state above
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_ENGINE_H_

@@ -1,0 +1,83 @@
+#include "engine/plan_cache.h"
+
+#include <utility>
+
+namespace adp {
+
+void PlanCache::Touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  entry.lru_pos = lru_.begin();
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::GetOrBuild(const std::string& key,
+                                                        const Builder& builder,
+                                                        bool* hit) {
+  std::promise<std::shared_ptr<const CachedPlan>> promise;
+  std::shared_future<std::shared_ptr<const CachedPlan>> fut;
+  bool miss = false;
+  std::uint64_t my_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      Touch(it->second);
+      fut = it->second.plan;
+    } else {
+      ++misses_;
+      miss = true;
+      fut = promise.get_future().share();
+      lru_.push_front(key);
+      my_generation = ++next_generation_;
+      entries_.emplace(key, Entry{fut, lru_.begin(), my_generation});
+      while (capacity_ != 0 && entries_.size() > capacity_ &&
+             lru_.back() != key) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+  }
+
+  if (miss) {
+    try {
+      promise.set_value(builder());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Drop the failed entry so later requests retry — but only if it is
+      // still *our* insertion, not a successor that replaced it after an
+      // eviction.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.generation == my_generation) {
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      }
+    }
+  }
+
+  if (hit != nullptr) *hit = !miss;
+  return fut.get();  // rethrows a failed build for every waiter
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace adp

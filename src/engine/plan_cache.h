@@ -1,0 +1,101 @@
+// Thread-safe, single-flight LRU cache of per-query static work.
+//
+// A CachedPlan bundles everything about an ADP request that does not depend
+// on the data: the parsed query, the Lemma-12 residual query, the dichotomy
+// verdict (IsPtime / triad witness / linearization), and the Algorithm-2
+// dispatch plan. Building one costs a parse plus several query-complexity
+// searches (the linearization alone is an exhaustive permutation search);
+// serving one is a hash lookup.
+//
+// Concurrency: lookups share one mutex, but plan *construction* happens
+// outside it. Concurrent requests for the same key are single-flighted —
+// the first caller builds, the rest block on a shared_future — so a burst
+// of identical queries does the static work exactly once.
+
+#ifndef ADP_ENGINE_PLAN_CACHE_H_
+#define ADP_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dichotomy/classification.h"
+#include "query/query.h"
+#include "solver/plan.h"
+
+namespace adp {
+
+/// Immutable per-query static work, shared across requests and threads.
+struct CachedPlan {
+  /// The parsed query, selections intact. Requests are solved against this
+  /// instance, so a cached parse is reused verbatim.
+  ConjunctiveQuery query;
+
+  /// Residual query after Lemma-12 selection pushdown (== `query` when
+  /// selection-free). The dispatch plan is rooted here, matching what
+  /// ComputeAdp recurses on.
+  ConjunctiveQuery residual;
+
+  /// Dichotomy analysis of the residual query.
+  DichotomyVerdict verdict;
+
+  /// Algorithm-2 dispatch skeleton, fed to AdpOptions::plan.
+  DispatchPlan dispatch;
+
+  /// 64-bit canonical fingerprint of `query`.
+  std::uint64_t fingerprint = 0;
+};
+
+class PlanCache {
+ public:
+  /// `capacity` bounds the number of cached plans (LRU eviction); 0 means
+  /// unbounded.
+  explicit PlanCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  using Builder = std::function<std::shared_ptr<const CachedPlan>()>;
+
+  /// Returns the plan for `key`, invoking `builder` on a miss. Throws
+  /// whatever `builder` throws (for every caller waiting on the same
+  /// in-flight build); a failed build is not cached.
+  /// `hit`, if non-null, receives whether the lookup was served from cache.
+  std::shared_ptr<const CachedPlan> GetOrBuild(const std::string& key,
+                                               const Builder& builder,
+                                               bool* hit = nullptr);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drops every cached plan (in-flight builds are unaffected; counters
+  /// are kept).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const CachedPlan>> plan;
+    std::list<std::string>::iterator lru_pos;
+    /// Identity of the insertion, so a failed build only removes its own
+    /// entry (the key may have been evicted and re-inserted meanwhile).
+    std::uint64_t generation = 0;
+  };
+
+  void Touch(Entry& entry);  // requires mu_ held
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t next_generation_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_PLAN_CACHE_H_

@@ -1,0 +1,69 @@
+// Request/response types of the ADP engine.
+
+#ifndef ADP_ENGINE_REQUEST_H_
+#define ADP_ENGINE_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "query/query.h"
+#include "solver/compute_adp.h"
+#include "solver/solution.h"
+
+namespace adp {
+
+/// Handle of a database registered with an AdpEngine.
+using DbId = int;
+inline constexpr DbId kInvalidDbId = -1;
+
+/// One ADP(Q, D, k) request. The query is given either as Datalog-style
+/// text (parsed once, then served from the plan cache) or pre-parsed.
+struct AdpRequest {
+  /// Query text, e.g. "Q(A) :- R1(A,B), R2(B)". Used when `query` is unset.
+  std::string query_text;
+
+  /// Pre-parsed query; takes precedence over `query_text` when set.
+  std::optional<ConjunctiveQuery> query;
+
+  /// Database handle from AdpEngine::RegisterDatabase.
+  DbId db = kInvalidDbId;
+
+  /// Deletion target (number of output tuples to remove).
+  std::int64_t k = 0;
+
+  /// Solver knobs. `options.plan` and `options.stats` are engine-managed
+  /// and ignored; `options.restrictions`, if set, must outlive the request.
+  AdpOptions options;
+};
+
+/// Result of one request.
+struct AdpResponse {
+  /// False iff the request failed (parse error, unknown database, ...);
+  /// `error` then describes the failure and `solution` is default-valued.
+  bool ok = false;
+  std::string error;
+
+  AdpSolution solution;
+
+  /// Recursion statistics of this solve.
+  AdpStats stats;
+
+  /// 64-bit canonical fingerprint of the (parsed) query.
+  std::uint64_t fingerprint = 0;
+
+  /// True iff the plan-cache lookup hit (parse + dichotomy + linearization
+  /// + dispatch-tree work all skipped).
+  bool plan_cache_hit = false;
+
+  /// Wall-clock timings. `plan_ms` covers plan-cache lookup including any
+  /// miss-path construction (parse + classification + linearization);
+  /// `solve_ms` is the data-dependent solve; `total_ms` the whole request.
+  double plan_ms = 0.0;
+  double solve_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_REQUEST_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker thread pool for the ADP engine.
+//
+// Deliberately minimal: a mutex-guarded FIFO of type-erased tasks drained by
+// N long-lived workers. ADP requests are coarse-grained (milliseconds to
+// seconds), so queue contention is negligible and work stealing is not
+// worth its complexity here.
+
+#ifndef ADP_ENGINE_THREAD_POOL_H_
+#define ADP_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (wrap fallible work yourself,
+  /// e.g. in a std::packaged_task).
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks accepted but not yet finished.
+  std::size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but still running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_THREAD_POOL_H_

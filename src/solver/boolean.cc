@@ -11,10 +11,14 @@ namespace adp {
 
 std::optional<BooleanResult> SolveBooleanExact(
     const ConjunctiveQuery& q, const Database& db,
-    const DeletionRestrictions* restrictions) {
-  const auto order_opt = FindLinearOrder(q);
-  if (!order_opt) return std::nullopt;
-  const std::vector<int>& order = *order_opt;
+    const DeletionRestrictions* restrictions,
+    const std::vector<int>* linear_order) {
+  std::optional<std::vector<int>> order_opt;
+  if (linear_order == nullptr) {
+    order_opt = FindLinearOrder(q);
+    if (!order_opt) return std::nullopt;
+  }
+  const std::vector<int>& order = linear_order ? *linear_order : *order_opt;
   const int p = q.num_relations();
   const std::vector<char> exo = ExogenousFlags(q);
 

@@ -30,9 +30,12 @@ struct BooleanResult {
 /// Protected tuples (if any) receive infinite capacity; the result may then
 /// have resilience >= kInfCapacity, meaning the query cannot be falsified
 /// with the deletable tuples alone.
+/// `linear_order`, if non-null, must be a valid linear arrangement of `q`
+/// (e.g. cached in a DispatchPlan); the permutation search is then skipped.
 std::optional<BooleanResult> SolveBooleanExact(
     const ConjunctiveQuery& q, const Database& db,
-    const DeletionRestrictions* restrictions = nullptr);
+    const DeletionRestrictions* restrictions = nullptr,
+    const std::vector<int>* linear_order = nullptr);
 
 }  // namespace adp
 

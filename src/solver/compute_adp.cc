@@ -11,27 +11,23 @@
 #include "solver/decompose.h"
 #include "solver/drastic.h"
 #include "solver/greedy.h"
+#include "solver/plan.h"
 #include "solver/singleton.h"
 #include "solver/universe.h"
 
 namespace adp {
 namespace {
 
-enum class Case { kBoolean, kSingleton, kUniverse, kDecompose, kHeuristic };
-
-// Algorithm 2 dispatch order.
-Case Classify(const ConjunctiveQuery& q, const AdpOptions& options) {
-  if (q.IsBoolean()) return Case::kBoolean;
-  // Singleton's optimality argument assumes any tuple may be deleted; with
-  // restrictions the recursion continues to restriction-aware leaves.
-  const bool restricted =
-      options.restrictions != nullptr && !options.restrictions->Empty();
-  if (options.use_singleton && !restricted && IsSingletonQuery(q, nullptr)) {
-    return Case::kSingleton;
-  }
-  if (!q.UniversalAttrs().Empty()) return Case::kUniverse;
-  if (!IsConnected(q)) return Case::kDecompose;
-  return Case::kHeuristic;
+// Algorithm 2 dispatch, preferring the precomputed plan when one is set.
+// The plan entry (if any) is handed back so case handlers reuse it without
+// a second canonical-key lookup.
+AdpCase Classify(const ConjunctiveQuery& q, const AdpOptions& options,
+                 const PlanEntry** entry_out = nullptr) {
+  const PlanEntry* entry =
+      options.plan != nullptr ? options.plan->Find(q) : nullptr;
+  if (entry_out != nullptr) *entry_out = entry;
+  if (entry != nullptr) return entry->op;
+  return ClassifyAdpCase(q, options);
 }
 
 AdpNode TrivialNode(const AdpOptions& options) {
@@ -53,12 +49,28 @@ AdpNode HeuristicNode(const ConjunctiveQuery& q, const Database& db,
 }
 
 AdpNode BooleanNode(const ConjunctiveQuery& q, const Database& db,
-                    std::int64_t cap, const AdpOptions& options) {
+                    std::int64_t cap, const AdpOptions& options,
+                    const PlanEntry* entry) {
   const std::int64_t count = static_cast<std::int64_t>(
       CountOutputs(q.body(), q.head(), db));
   if (count == 0 || cap <= 0) return TrivialNode(options);
   if (options.stats) ++options.stats->boolean_nodes;
-  if (auto exact = SolveBooleanExact(q, db, options.restrictions)) {
+  // With a plan entry, the §7.1 permutation search was done once at plan
+  // time: reuse its arrangement, or skip straight to the fallback if it
+  // proved none exists.
+  const std::vector<int>* planned_order = nullptr;
+  bool planned_no_order = false;
+  if (entry != nullptr && entry->op == AdpCase::kBoolean) {
+    if (entry->linear_order) {
+      planned_order = &*entry->linear_order;
+    } else {
+      planned_no_order = true;
+    }
+  }
+  if (auto exact = planned_no_order
+                       ? std::nullopt
+                       : SolveBooleanExact(q, db, options.restrictions,
+                                           planned_order)) {
     AdpNode node;
     node.exact = true;
     // A cut at or above kInfCapacity means the query cannot be falsified
@@ -84,19 +96,34 @@ AdpNode BooleanNode(const ConjunctiveQuery& q, const Database& db,
 
 }  // namespace
 
+AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options) {
+  if (q.IsBoolean()) return AdpCase::kBoolean;
+  // Singleton's optimality argument assumes any tuple may be deleted; with
+  // restrictions the recursion continues to restriction-aware leaves.
+  const bool restricted =
+      options.restrictions != nullptr && !options.restrictions->Empty();
+  if (options.use_singleton && !restricted && IsSingletonQuery(q, nullptr)) {
+    return AdpCase::kSingleton;
+  }
+  if (!q.UniversalAttrs().Empty()) return AdpCase::kUniverse;
+  if (!IsConnected(q)) return AdpCase::kDecompose;
+  return AdpCase::kHeuristic;
+}
+
 AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
                        std::int64_t cap, const AdpOptions& options) {
   if (cap <= 0) return TrivialNode(options);
-  switch (Classify(q, options)) {
-    case Case::kBoolean:
-      return BooleanNode(q, db, cap, options);
-    case Case::kSingleton:
+  const PlanEntry* entry = nullptr;
+  switch (Classify(q, options, &entry)) {
+    case AdpCase::kBoolean:
+      return BooleanNode(q, db, cap, options, entry);
+    case AdpCase::kSingleton:
       return SingletonNode(q, db, cap, options);
-    case Case::kUniverse:
+    case AdpCase::kUniverse:
       return UniverseNode(q, db, cap, options);
-    case Case::kDecompose:
+    case AdpCase::kDecompose:
       return DecomposeNode(q, db, cap, options);
-    case Case::kHeuristic:
+    case AdpCase::kHeuristic:
       return HeuristicNode(q, db, cap, options);
   }
   return TrivialNode(options);  // unreachable
@@ -127,7 +154,7 @@ AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
     return solution;
   }
 
-  if (Classify(*query, options) == Case::kDecompose) {
+  if (Classify(*query, options) == AdpCase::kDecompose) {
     // Root fast path: avoids profiles of length k (k can be a fraction of a
     // cross-product-sized |Q(D)|).
     DecomposeSingleResult res =

@@ -27,6 +27,13 @@
 
 namespace adp {
 
+class DispatchPlan;
+
+/// The per-node decision of Algorithm 2. Data-independent: it is a function
+/// of the (selection-free) query structure and the option knobs alone, which
+/// is what makes dispatch plans cacheable (solver/plan.h).
+enum class AdpCase { kBoolean, kSingleton, kUniverse, kDecompose, kHeuristic };
+
 /// Recursion statistics, filled when AdpOptions::stats is set. Useful for
 /// understanding which of Algorithm 2's cases a query exercises.
 struct AdpStats {
@@ -80,12 +87,25 @@ struct AdpOptions {
 
   /// If set, receives recursion statistics. Not owned.
   AdpStats* stats = nullptr;
+
+  /// Precomputed dispatch plan (solver/plan.h). When set, recursion nodes
+  /// whose query structure appears in the plan reuse the recorded case and
+  /// linear arrangement instead of re-deriving them. Must have been built
+  /// with options whose classification-relevant knobs (use_singleton,
+  /// universe_strategy, presence of restrictions) match this request's.
+  /// Not owned; must outlive the solve. Read-only, so one plan may serve
+  /// many concurrent solves.
+  const DispatchPlan* plan = nullptr;
 };
 
 /// Solves ADP(Q, D, k). `q` may carry selections; `db` must be the root
 /// database (instances indexed as in `q`).
 AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
                        std::int64_t k, const AdpOptions& options = {});
+
+/// Algorithm 2's dispatch decision for a selection-free query. Exposed so
+/// plan builders (solver/plan.h) share the exact logic the recursion uses.
+AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options);
 
 // --- Internal recursion interface (exposed for sub-solvers and tests) -----
 

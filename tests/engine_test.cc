@@ -1,0 +1,301 @@
+// AdpEngine: plan-cache accounting, equivalence with the direct ComputeAdp
+// path, database interning, error handling, and a multi-threaded smoke test.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::RandomDb;
+using testing::RandomQuery;
+
+constexpr char kChainText[] = "Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)";
+
+NamedDatabase Fig1NamedDb() {
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  NamedDatabase named;
+  named.relation_names = {"R1", "R2", "R3"};
+  named.db = MakeDb(q, {{"R1", {{11, 21}, {12, 22}, {13, 23}}},
+                        {"R2", {{21, 31}, {22, 32}, {22, 33}, {23, 33}}},
+                        {"R3", {{31, 41}, {32, 43}, {33, 43}}}});
+  return named;
+}
+
+TEST(AdpEngineTest, PlanCacheHitAndMissCounting) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+
+  AdpResponse first = engine.Execute(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.plan_cache_hit);
+
+  AdpResponse second = engine.Execute(req);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.failures, 0u);
+  EXPECT_EQ(c.plan_misses, 1u);
+  EXPECT_EQ(c.plan_hits, 1u);
+  EXPECT_EQ(c.plan_cache_size, 1u);
+
+  // A structurally different query is a fresh miss.
+  AdpRequest other = req;
+  other.query_text = "Q() :- R1(A,B), R2(B,C), R3(C,E)";
+  ASSERT_TRUE(engine.Execute(other).ok);
+  EXPECT_EQ(engine.counters().plan_misses, 2u);
+}
+
+TEST(AdpEngineTest, MatchesDirectComputeAdp) {
+  AdpEngine engine(EngineConfig{.num_workers = 2});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database direct_db = MakeDb(
+      q, {{"R1", {{11, 21}, {12, 22}, {13, 23}}},
+          {"R2", {{21, 31}, {22, 32}, {22, 33}, {23, 33}}},
+          {"R3", {{31, 41}, {32, 43}, {33, 43}}}});
+
+  for (std::int64_t k = 0; k <= 5; ++k) {
+    AdpRequest req;
+    req.query_text = kChainText;
+    req.db = db;
+    req.k = k;
+    req.options.verify = true;
+    const AdpResponse resp = engine.Execute(req);
+    ASSERT_TRUE(resp.ok) << resp.error;
+
+    AdpOptions options;
+    options.verify = true;
+    const AdpSolution direct = ComputeAdp(q, direct_db, k, options);
+    EXPECT_EQ(resp.solution.cost, direct.cost) << "k=" << k;
+    EXPECT_EQ(resp.solution.exact, direct.exact) << "k=" << k;
+    EXPECT_EQ(resp.solution.feasible, direct.feasible) << "k=" << k;
+    EXPECT_EQ(resp.solution.output_count, direct.output_count) << "k=" << k;
+    EXPECT_EQ(resp.solution.tuples, direct.tuples) << "k=" << k;
+    EXPECT_EQ(resp.solution.removed_outputs, direct.removed_outputs)
+        << "k=" << k;
+  }
+}
+
+TEST(AdpEngineTest, PreParsedQueriesShareCanonicalPlans) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query = ParseQuery(kChainText);
+  req.db = db;
+  req.k = 2;
+  ASSERT_TRUE(engine.Execute(req).ok);
+
+  // A renamed copy canonicalizes to the same plan key.
+  AdpRequest renamed;
+  renamed.query = ParseQuery("Q(U,V,W,X) :- R1(U,V), R2(V,W), R3(W,X)");
+  renamed.db = db;
+  renamed.k = 2;
+  const AdpResponse resp = engine.Execute(renamed);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_TRUE(resp.plan_cache_hit);
+}
+
+TEST(AdpEngineTest, StructurallyIdenticalQueriesOverDifferentRelationsDoNotShareBindings) {
+  // Regression: the canonical key ignores relation names, but named-database
+  // binding does not — a plan cached for R1/R2 must not serve S1/S2.
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+
+  NamedDatabase r_db;
+  r_db.relation_names = {"R1", "R2"};
+  r_db.db.Append({});
+  r_db.db.rel(0).Add({1, 2});
+  r_db.db.Append({});
+  r_db.db.rel(1).Add({2, 3});
+  const DbId r_id = engine.RegisterDatabase(std::move(r_db));
+
+  NamedDatabase s_db;
+  s_db.relation_names = {"S1", "S2"};
+  s_db.db.Append({});
+  s_db.db.rel(0).Add({1, 2});
+  s_db.db.Append({});
+  s_db.db.rel(1).Add({2, 3});
+  const DbId s_id = engine.RegisterDatabase(std::move(s_db));
+
+  AdpRequest r_req;
+  r_req.query = ParseQuery("Q(A,B) :- R1(A,B), R2(B,C)");
+  r_req.db = r_id;
+  r_req.k = 1;
+  const AdpResponse r_resp = engine.Execute(r_req);
+  ASSERT_TRUE(r_resp.ok) << r_resp.error;
+  EXPECT_EQ(r_resp.solution.output_count, 1);
+
+  AdpRequest s_req;
+  s_req.query = ParseQuery("Q(A,B) :- S1(A,B), S2(B,C)");
+  s_req.db = s_id;
+  s_req.k = 1;
+  const AdpResponse s_resp = engine.Execute(s_req);
+  ASSERT_TRUE(s_resp.ok) << s_resp.error;
+  // Before the fix this hit R1/R2's plan, bound empty instances, and
+  // reported output_count == 0.
+  EXPECT_EQ(s_resp.solution.output_count, 1);
+  EXPECT_EQ(s_resp.solution.cost, r_resp.solution.cost);
+  EXPECT_FALSE(s_resp.plan_cache_hit);
+}
+
+TEST(AdpEngineTest, DatabaseInterningSharesBindings) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 1;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(engine.Execute(req).ok);
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.binding_misses, 1u);
+  EXPECT_EQ(c.binding_hits, 4u);
+  EXPECT_EQ(c.databases, 1u);
+}
+
+TEST(AdpEngineTest, ErrorsAreReportedNotThrown) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest bad_query;
+  bad_query.query_text = "this is not datalog";
+  bad_query.db = db;
+  const AdpResponse r1 = engine.Execute(bad_query);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_FALSE(r1.error.empty());
+
+  AdpRequest bad_db;
+  bad_db.query_text = kChainText;
+  bad_db.db = 999;
+  const AdpResponse r2 = engine.Execute(bad_db);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("database"), std::string::npos);
+
+  // A failed parse is not cached: the next occurrence fails afresh (miss).
+  const AdpResponse r3 = engine.Execute(bad_query);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_EQ(engine.counters().failures, 3u);
+}
+
+TEST(AdpEngineTest, BatchPreservesRequestOrder) {
+  AdpEngine engine(EngineConfig{.num_workers = 4});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  std::vector<AdpRequest> batch;
+  for (std::int64_t k = 0; k <= 4; ++k) {
+    AdpRequest req;
+    req.query_text = kChainText;
+    req.db = db;
+    req.k = k;
+    batch.push_back(req);
+  }
+  const std::vector<AdpResponse> out = engine.ExecuteBatch(batch);
+  ASSERT_EQ(out.size(), 5u);
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database direct_db = Fig1NamedDb().db;
+  // Batch order must match request order: check each k against direct.
+  for (std::int64_t k = 0; k <= 4; ++k) {
+    ASSERT_TRUE(out[static_cast<std::size_t>(k)].ok);
+    const AdpSolution direct = ComputeAdp(q, direct_db, k, AdpOptions{});
+    EXPECT_EQ(out[static_cast<std::size_t>(k)].solution.cost, direct.cost);
+  }
+}
+
+// >= 100 mixed requests across >= 4 workers: every response must be
+// bit-identical to the direct single-threaded path.
+TEST(AdpEngineTest, ConcurrentMixedWorkloadSmoke) {
+  AdpEngine engine(EngineConfig{.num_workers = 4});
+  ASSERT_GE(engine.num_workers(), 4);
+
+  Rng rng(987654321);
+  struct Case {
+    ConjunctiveQuery query;
+    DbId db;
+    std::int64_t k;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < 12; ++i) {
+    Case c;
+    c.query = RandomQuery(rng, 4, 3);
+    c.db = engine.RegisterDatabase(RandomDb(c.query, rng, 4, 3));
+    c.k = static_cast<std::int64_t>(rng.Uniform(4));
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<AdpRequest> batch;
+  for (int i = 0; i < 120; ++i) {
+    const Case& c = cases[static_cast<std::size_t>(i) % cases.size()];
+    AdpRequest req;
+    req.query = c.query;
+    req.db = c.db;
+    req.k = c.k;
+    batch.push_back(std::move(req));
+  }
+  const std::vector<AdpResponse> out = engine.ExecuteBatch(batch);
+  ASSERT_EQ(out.size(), 120u);
+
+  for (int i = 0; i < 120; ++i) {
+    const Case& c = cases[static_cast<std::size_t>(i) % cases.size()];
+    const AdpResponse& resp = out[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(resp.ok) << resp.error;
+    const AdpSolution direct =
+        ComputeAdp(c.query, engine.database(c.db)->db, c.k, AdpOptions{});
+    ASSERT_EQ(resp.solution.cost, direct.cost) << "request " << i;
+    ASSERT_EQ(resp.solution.exact, direct.exact) << "request " << i;
+    ASSERT_EQ(resp.solution.feasible, direct.feasible) << "request " << i;
+    ASSERT_EQ(resp.solution.tuples, direct.tuples) << "request " << i;
+  }
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.requests, 120u);
+  EXPECT_EQ(c.failures, 0u);
+  // 12 distinct structures (at most; random queries may collide), 120
+  // requests: the cache must have served the overwhelming majority.
+  EXPECT_LE(c.plan_misses, 12u);
+  EXPECT_GE(c.plan_hits, 108u);
+}
+
+TEST(AdpEngineTest, LruEvictionBoundsCacheSize) {
+  EngineConfig config;
+  config.num_workers = 1;
+  config.plan_cache_capacity = 2;
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  const char* texts[] = {
+      "Q() :- R1(A,B)",
+      "Q(A) :- R1(A,B)",
+      "Q(A,B) :- R1(A,B)",
+  };
+  for (const char* text : texts) {
+    AdpRequest req;
+    req.query_text = text;
+    req.db = db;
+    req.k = 0;
+    ASSERT_TRUE(engine.Execute(req).ok);
+  }
+  EXPECT_LE(engine.counters().plan_cache_size, 2u);
+}
+
+}  // namespace
+}  // namespace adp

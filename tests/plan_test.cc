@@ -1,0 +1,112 @@
+// DispatchPlan: the precomputed Algorithm-2 skeleton must reproduce the
+// planless solver's behavior exactly — same case choices, same results.
+
+#include <gtest/gtest.h>
+
+#include "dichotomy/linearize.h"
+#include "query/fingerprint.h"
+#include "query/parser.h"
+#include "solver/compute_adp.h"
+#include "solver/plan.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adp {
+namespace {
+
+using testing::MakeDb;
+using testing::RandomDb;
+using testing::RandomQuery;
+
+TEST(DispatchPlanTest, LinearBooleanChainCachesArrangement) {
+  const auto q = ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,E)");
+  const DispatchPlan plan = BuildDispatchPlan(q, AdpOptions{});
+  const PlanEntry* entry = plan.Find(q);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->op, AdpCase::kBoolean);
+  ASSERT_TRUE(entry->linear_order.has_value());
+  EXPECT_TRUE(IsLinearOrder(q, *entry->linear_order));
+}
+
+TEST(DispatchPlanTest, TriangleBooleanProvesNoArrangement) {
+  const auto q = ParseQuery("Q() :- R1(A,B), R2(B,C), R3(C,A)");
+  const DispatchPlan plan = BuildDispatchPlan(q, AdpOptions{});
+  const PlanEntry* entry = plan.Find(q);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->op, AdpCase::kBoolean);
+  EXPECT_FALSE(entry->linear_order.has_value());
+}
+
+TEST(DispatchPlanTest, UniverseAndDecomposeRecurseIntoResiduals) {
+  // A is universal; the residual Q(B,C) :- R1(B), R2(C) is disconnected and
+  // splits into two singleton components, so the plan holds the whole chain
+  // universe -> decompose -> 2 leaves.
+  const auto q = ParseQuery("Q(A,B,C) :- R1(A,B), R2(A,C)");
+  const DispatchPlan plan = BuildDispatchPlan(q, AdpOptions{});
+  const PlanEntry* root = plan.Find(q);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->op, AdpCase::kUniverse);
+  EXPECT_GE(plan.size(), 3u);  // root, residual, component structure(s)
+  EXPECT_NE(plan.ToString().find("universe"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("decompose"), std::string::npos);
+}
+
+TEST(DispatchPlanTest, UnknownStructureReturnsNull) {
+  const auto q = ParseQuery("Q() :- R1(A,B), R2(B,C)");
+  const auto other = ParseQuery("Q(A) :- R1(A,B)");
+  const DispatchPlan plan = BuildDispatchPlan(q, AdpOptions{});
+  EXPECT_EQ(plan.Find(other), nullptr);
+}
+
+TEST(DispatchPlanTest, PlanFromRenamedQueryIsInterchangeable) {
+  const auto q = ParseQuery("Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)");
+  const auto renamed = ParseQuery("Q(X,Y,Z,W) :- S1(X,Y), S2(Y,Z), S3(Z,W)");
+  ASSERT_EQ(CanonicalQueryKey(q), CanonicalQueryKey(renamed));
+  const DispatchPlan plan = BuildDispatchPlan(renamed, AdpOptions{});
+
+  const Database db = MakeDb(q, {{"R1", {{11, 21}, {12, 22}, {13, 23}}},
+                                 {"R2", {{21, 31}, {22, 32}, {22, 33}, {23, 33}}},
+                                 {"R3", {{31, 41}, {32, 43}, {33, 43}}}});
+  AdpOptions with_plan;
+  with_plan.plan = &plan;
+  const AdpSolution planned = ComputeAdp(q, db, 2, with_plan);
+  const AdpSolution direct = ComputeAdp(q, db, 2, AdpOptions{});
+  EXPECT_EQ(planned.cost, direct.cost);
+  EXPECT_EQ(planned.exact, direct.exact);
+  EXPECT_EQ(planned.feasible, direct.feasible);
+  EXPECT_EQ(planned.output_count, direct.output_count);
+  EXPECT_EQ(planned.tuples, direct.tuples);
+}
+
+// Property: for random queries and instances, a plan-guided solve is
+// bit-identical to the planless solve.
+TEST(DispatchPlanTest, PlannedSolveMatchesDirectSolveProperty) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 120; ++trial) {
+    const ConjunctiveQuery q = RandomQuery(rng, 4, 3);
+    const Database db = RandomDb(q, rng, 4, 3);
+    const std::int64_t k = static_cast<std::int64_t>(rng.Uniform(4));
+
+    AdpOptions base;
+    if (trial % 3 == 1) base.use_singleton = false;
+    if (trial % 4 == 2) {
+      base.universe_strategy = AdpOptions::UniverseStrategy::kOneByOne;
+    }
+
+    const DispatchPlan plan = BuildDispatchPlan(q, base);
+    AdpOptions with_plan = base;
+    with_plan.plan = &plan;
+
+    const AdpSolution direct = ComputeAdp(q, db, k, base);
+    const AdpSolution planned = ComputeAdp(q, db, k, with_plan);
+    ASSERT_EQ(planned.cost, direct.cost)
+        << "trial " << trial << " query " << q.ToString();
+    ASSERT_EQ(planned.exact, direct.exact) << "trial " << trial;
+    ASSERT_EQ(planned.feasible, direct.feasible) << "trial " << trial;
+    ASSERT_EQ(planned.output_count, direct.output_count) << "trial " << trial;
+    ASSERT_EQ(planned.tuples, direct.tuples) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace adp
