@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/monitor.cc" "CMakeFiles/adp.dir/src/analysis/monitor.cc.o" "gcc" "CMakeFiles/adp.dir/src/analysis/monitor.cc.o.d"
+  "/root/repo/src/analysis/resilience.cc" "CMakeFiles/adp.dir/src/analysis/resilience.cc.o" "gcc" "CMakeFiles/adp.dir/src/analysis/resilience.cc.o.d"
+  "/root/repo/src/analysis/robustness.cc" "CMakeFiles/adp.dir/src/analysis/robustness.cc.o" "gcc" "CMakeFiles/adp.dir/src/analysis/robustness.cc.o.d"
+  "/root/repo/src/approx/adp_psc.cc" "CMakeFiles/adp.dir/src/approx/adp_psc.cc.o" "gcc" "CMakeFiles/adp.dir/src/approx/adp_psc.cc.o.d"
+  "/root/repo/src/approx/set_cover.cc" "CMakeFiles/adp.dir/src/approx/set_cover.cc.o" "gcc" "CMakeFiles/adp.dir/src/approx/set_cover.cc.o.d"
+  "/root/repo/src/dichotomy/classification.cc" "CMakeFiles/adp.dir/src/dichotomy/classification.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/classification.cc.o.d"
+  "/root/repo/src/dichotomy/is_ptime.cc" "CMakeFiles/adp.dir/src/dichotomy/is_ptime.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/is_ptime.cc.o.d"
+  "/root/repo/src/dichotomy/linearize.cc" "CMakeFiles/adp.dir/src/dichotomy/linearize.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/linearize.cc.o.d"
+  "/root/repo/src/dichotomy/relations.cc" "CMakeFiles/adp.dir/src/dichotomy/relations.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/relations.cc.o.d"
+  "/root/repo/src/dichotomy/structures.cc" "CMakeFiles/adp.dir/src/dichotomy/structures.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/structures.cc.o.d"
+  "/root/repo/src/dichotomy/triad.cc" "CMakeFiles/adp.dir/src/dichotomy/triad.cc.o" "gcc" "CMakeFiles/adp.dir/src/dichotomy/triad.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/adp.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/adp.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/plan_cache.cc" "CMakeFiles/adp.dir/src/engine/plan_cache.cc.o" "gcc" "CMakeFiles/adp.dir/src/engine/plan_cache.cc.o.d"
+  "/root/repo/src/engine/thread_pool.cc" "CMakeFiles/adp.dir/src/engine/thread_pool.cc.o" "gcc" "CMakeFiles/adp.dir/src/engine/thread_pool.cc.o.d"
+  "/root/repo/src/flow/max_flow.cc" "CMakeFiles/adp.dir/src/flow/max_flow.cc.o" "gcc" "CMakeFiles/adp.dir/src/flow/max_flow.cc.o.d"
+  "/root/repo/src/io/csv.cc" "CMakeFiles/adp.dir/src/io/csv.cc.o" "gcc" "CMakeFiles/adp.dir/src/io/csv.cc.o.d"
+  "/root/repo/src/query/fingerprint.cc" "CMakeFiles/adp.dir/src/query/fingerprint.cc.o" "gcc" "CMakeFiles/adp.dir/src/query/fingerprint.cc.o.d"
+  "/root/repo/src/query/graph.cc" "CMakeFiles/adp.dir/src/query/graph.cc.o" "gcc" "CMakeFiles/adp.dir/src/query/graph.cc.o.d"
+  "/root/repo/src/query/parser.cc" "CMakeFiles/adp.dir/src/query/parser.cc.o" "gcc" "CMakeFiles/adp.dir/src/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "CMakeFiles/adp.dir/src/query/query.cc.o" "gcc" "CMakeFiles/adp.dir/src/query/query.cc.o.d"
+  "/root/repo/src/query/transform.cc" "CMakeFiles/adp.dir/src/query/transform.cc.o" "gcc" "CMakeFiles/adp.dir/src/query/transform.cc.o.d"
+  "/root/repo/src/reductions/bipartite.cc" "CMakeFiles/adp.dir/src/reductions/bipartite.cc.o" "gcc" "CMakeFiles/adp.dir/src/reductions/bipartite.cc.o.d"
+  "/root/repo/src/relational/database.cc" "CMakeFiles/adp.dir/src/relational/database.cc.o" "gcc" "CMakeFiles/adp.dir/src/relational/database.cc.o.d"
+  "/root/repo/src/relational/join.cc" "CMakeFiles/adp.dir/src/relational/join.cc.o" "gcc" "CMakeFiles/adp.dir/src/relational/join.cc.o.d"
+  "/root/repo/src/relational/provenance.cc" "CMakeFiles/adp.dir/src/relational/provenance.cc.o" "gcc" "CMakeFiles/adp.dir/src/relational/provenance.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "CMakeFiles/adp.dir/src/relational/relation.cc.o" "gcc" "CMakeFiles/adp.dir/src/relational/relation.cc.o.d"
+  "/root/repo/src/solver/boolean.cc" "CMakeFiles/adp.dir/src/solver/boolean.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/boolean.cc.o.d"
+  "/root/repo/src/solver/brute_force.cc" "CMakeFiles/adp.dir/src/solver/brute_force.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/brute_force.cc.o.d"
+  "/root/repo/src/solver/compute_adp.cc" "CMakeFiles/adp.dir/src/solver/compute_adp.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/compute_adp.cc.o.d"
+  "/root/repo/src/solver/decompose.cc" "CMakeFiles/adp.dir/src/solver/decompose.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/decompose.cc.o.d"
+  "/root/repo/src/solver/drastic.cc" "CMakeFiles/adp.dir/src/solver/drastic.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/drastic.cc.o.d"
+  "/root/repo/src/solver/fixed_k.cc" "CMakeFiles/adp.dir/src/solver/fixed_k.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/fixed_k.cc.o.d"
+  "/root/repo/src/solver/greedy.cc" "CMakeFiles/adp.dir/src/solver/greedy.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/greedy.cc.o.d"
+  "/root/repo/src/solver/plan.cc" "CMakeFiles/adp.dir/src/solver/plan.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/plan.cc.o.d"
+  "/root/repo/src/solver/profile.cc" "CMakeFiles/adp.dir/src/solver/profile.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/profile.cc.o.d"
+  "/root/repo/src/solver/singleton.cc" "CMakeFiles/adp.dir/src/solver/singleton.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/singleton.cc.o.d"
+  "/root/repo/src/solver/solution.cc" "CMakeFiles/adp.dir/src/solver/solution.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/solution.cc.o.d"
+  "/root/repo/src/solver/universe.cc" "CMakeFiles/adp.dir/src/solver/universe.cc.o" "gcc" "CMakeFiles/adp.dir/src/solver/universe.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/adp.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/adp.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/workload/egonet.cc" "CMakeFiles/adp.dir/src/workload/egonet.cc.o" "gcc" "CMakeFiles/adp.dir/src/workload/egonet.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "CMakeFiles/adp.dir/src/workload/synthetic.cc.o" "gcc" "CMakeFiles/adp.dir/src/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "CMakeFiles/adp.dir/src/workload/tpch.cc.o" "gcc" "CMakeFiles/adp.dir/src/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/zipf_data.cc" "CMakeFiles/adp.dir/src/workload/zipf_data.cc.o" "gcc" "CMakeFiles/adp.dir/src/workload/zipf_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adp_cli.dir/examples/adp_cli.cpp.o"
+  "CMakeFiles/adp_cli.dir/examples/adp_cli.cpp.o.d"
+  "adp_cli"
+  "adp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

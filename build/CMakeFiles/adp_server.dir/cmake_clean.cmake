@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adp_server.dir/examples/adp_server.cpp.o"
+  "CMakeFiles/adp_server.dir/examples/adp_server.cpp.o.d"
+  "adp_server"
+  "adp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

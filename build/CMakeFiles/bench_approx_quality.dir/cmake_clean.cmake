@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_quality.dir/bench/bench_approx_quality.cc.o"
+  "CMakeFiles/bench_approx_quality.dir/bench/bench_approx_quality.cc.o.d"
+  "bench_approx_quality"
+  "bench_approx_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_throughput.dir/bench/bench_engine_throughput.cc.o"
+  "CMakeFiles/bench_engine_throughput.dir/bench/bench_engine_throughput.cc.o.d"
+  "bench_engine_throughput"
+  "bench_engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

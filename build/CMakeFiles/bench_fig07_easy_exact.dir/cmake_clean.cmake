@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_easy_exact.dir/bench/bench_fig07_easy_exact.cc.o"
+  "CMakeFiles/bench_fig07_easy_exact.dir/bench/bench_fig07_easy_exact.cc.o.d"
+  "bench_fig07_easy_exact"
+  "bench_fig07_easy_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_easy_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_hard_heuristics.dir/bench/bench_fig10_11_hard_heuristics.cc.o"
+  "CMakeFiles/bench_fig10_11_hard_heuristics.dir/bench/bench_fig10_11_hard_heuristics.cc.o.d"
+  "bench_fig10_11_hard_heuristics"
+  "bench_fig10_11_hard_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_hard_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_bruteforce.dir/bench/bench_fig12_13_bruteforce.cc.o"
+  "CMakeFiles/bench_fig12_13_bruteforce.dir/bench/bench_fig12_13_bruteforce.cc.o.d"
+  "bench_fig12_13_bruteforce"
+  "bench_fig12_13_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_snap.dir/bench/bench_fig14_15_snap.cc.o"
+  "CMakeFiles/bench_fig14_15_snap.dir/bench/bench_fig14_15_snap.cc.o.d"
+  "bench_fig14_15_snap"
+  "bench_fig14_15_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_15_snap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_27_zipf.dir/bench/bench_fig16_27_zipf.cc.o"
+  "CMakeFiles/bench_fig16_27_zipf.dir/bench/bench_fig16_27_zipf.cc.o.d"
+  "bench_fig16_27_zipf"
+  "bench_fig16_27_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_27_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_singleton_opt.dir/bench/bench_fig28_singleton_opt.cc.o"
+  "CMakeFiles/bench_fig28_singleton_opt.dir/bench/bench_fig28_singleton_opt.cc.o.d"
+  "bench_fig28_singleton_opt"
+  "bench_fig28_singleton_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_singleton_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

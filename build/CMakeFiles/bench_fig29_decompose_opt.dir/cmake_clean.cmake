@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_decompose_opt.dir/bench/bench_fig29_decompose_opt.cc.o"
+  "CMakeFiles/bench_fig29_decompose_opt.dir/bench/bench_fig29_decompose_opt.cc.o.d"
+  "bench_fig29_decompose_opt"
+  "bench_fig29_decompose_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_decompose_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

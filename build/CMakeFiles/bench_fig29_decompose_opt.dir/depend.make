@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig29_decompose_opt.
+# This may be replaced when dependencies are built.

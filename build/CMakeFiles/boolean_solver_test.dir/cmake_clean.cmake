@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_solver_test.dir/tests/boolean_solver_test.cc.o"
+  "CMakeFiles/boolean_solver_test.dir/tests/boolean_solver_test.cc.o.d"
+  "boolean_solver_test"
+  "boolean_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_adp_property_test.dir/tests/compute_adp_property_test.cc.o"
+  "CMakeFiles/compute_adp_property_test.dir/tests/compute_adp_property_test.cc.o.d"
+  "compute_adp_property_test"
+  "compute_adp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_adp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_solver_test.dir/tests/decompose_solver_test.cc.o"
+  "CMakeFiles/decompose_solver_test.dir/tests/decompose_solver_test.cc.o.d"
+  "decompose_solver_test"
+  "decompose_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichotomy_explorer.dir/examples/dichotomy_explorer.cpp.o"
+  "CMakeFiles/dichotomy_explorer.dir/examples/dichotomy_explorer.cpp.o.d"
+  "dichotomy_explorer"
+  "dichotomy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichotomy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichotomy_property_test.dir/tests/dichotomy_property_test.cc.o"
+  "CMakeFiles/dichotomy_property_test.dir/tests/dichotomy_property_test.cc.o.d"
+  "dichotomy_property_test"
+  "dichotomy_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichotomy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichotomy_test.dir/tests/dichotomy_test.cc.o"
+  "CMakeFiles/dichotomy_test.dir/tests/dichotomy_test.cc.o.d"
+  "dichotomy_test"
+  "dichotomy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichotomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

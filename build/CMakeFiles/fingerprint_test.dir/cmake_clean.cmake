@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_test.dir/tests/fingerprint_test.cc.o"
+  "CMakeFiles/fingerprint_test.dir/tests/fingerprint_test.cc.o.d"
+  "fingerprint_test"
+  "fingerprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_k_test.dir/tests/fixed_k_test.cc.o"
+  "CMakeFiles/fixed_k_test.dir/tests/fixed_k_test.cc.o.d"
+  "fixed_k_test"
+  "fixed_k_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_test.dir/tests/flow_test.cc.o"
+  "CMakeFiles/flow_test.dir/tests/flow_test.cc.o.d"
+  "flow_test"
+  "flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearize_test.dir/tests/linearize_test.cc.o"
+  "CMakeFiles/linearize_test.dir/tests/linearize_test.cc.o.d"
+  "linearize_test"
+  "linearize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_robustness.dir/examples/network_robustness.cpp.o"
+  "CMakeFiles/network_robustness.dir/examples/network_robustness.cpp.o.d"
+  "network_robustness"
+  "network_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

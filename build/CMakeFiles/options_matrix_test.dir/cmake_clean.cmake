@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_matrix_test.dir/tests/options_matrix_test.cc.o"
+  "CMakeFiles/options_matrix_test.dir/tests/options_matrix_test.cc.o.d"
+  "options_matrix_test"
+  "options_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_test.dir/tests/provenance_test.cc.o"
+  "CMakeFiles/provenance_test.dir/tests/provenance_test.cc.o.d"
+  "provenance_test"
+  "provenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_test.dir/tests/reductions_test.cc.o"
+  "CMakeFiles/reductions_test.dir/tests/reductions_test.cc.o.d"
+  "reductions_test"
+  "reductions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

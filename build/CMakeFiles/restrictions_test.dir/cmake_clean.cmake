@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrictions_test.dir/tests/restrictions_test.cc.o"
+  "CMakeFiles/restrictions_test.dir/tests/restrictions_test.cc.o.d"
+  "restrictions_test"
+  "restrictions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrictions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_cover_test.dir/tests/set_cover_test.cc.o"
+  "CMakeFiles/set_cover_test.dir/tests/set_cover_test.cc.o.d"
+  "set_cover_test"
+  "set_cover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

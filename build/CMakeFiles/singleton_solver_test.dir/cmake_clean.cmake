@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singleton_solver_test.dir/tests/singleton_solver_test.cc.o"
+  "CMakeFiles/singleton_solver_test.dir/tests/singleton_solver_test.cc.o.d"
+  "singleton_solver_test"
+  "singleton_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singleton_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structures_enum_test.dir/tests/structures_enum_test.cc.o"
+  "CMakeFiles/structures_enum_test.dir/tests/structures_enum_test.cc.o.d"
+  "structures_enum_test"
+  "structures_enum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structures_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_solver_test.dir/tests/universe_solver_test.cc.o"
+  "CMakeFiles/universe_solver_test.dir/tests/universe_solver_test.cc.o.d"
+  "universe_solver_test"
+  "universe_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

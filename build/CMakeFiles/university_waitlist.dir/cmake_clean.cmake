@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_waitlist.dir/examples/university_waitlist.cpp.o"
+  "CMakeFiles/university_waitlist.dir/examples/university_waitlist.cpp.o.d"
+  "university_waitlist"
+  "university_waitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_waitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
