@@ -11,6 +11,13 @@
 // items_per_second is the figure of merit. Expect the 4-worker engine to
 // clearly beat 1 worker on multi-core hardware; on a single core the gain
 // collapses to the plan-cache savings alone.
+//
+// EngineIntraRequestSharding measures the other axis: ONE large
+// Universe-partitioned request whose per-group sub-solves are fanned out
+// across the pool (EngineConfig::min_shard_groups) versus the same request
+// solved sequentially. Again multi-core hardware is needed to see the
+// speedup; the sharded/sequential parity on one core shows the dispatch
+// overhead is negligible.
 
 #include <benchmark/benchmark.h>
 
@@ -58,6 +65,15 @@ Workload MakeWorkload(std::int64_t rows) {
   return w;
 }
 
+// k varies with the request index so every (query, k) pair in a batch is
+// distinct: ExecuteBatch submits the whole batch concurrently, and
+// duplicate pairs would be absorbed by the engine's single-flight dedup,
+// overstating solve throughput.
+std::int64_t RequestK(int i, std::size_t num_queries) {
+  return 1 + static_cast<std::int64_t>(i) /
+                 static_cast<std::int64_t>(num_queries);
+}
+
 std::vector<AdpRequest> MakeBatch(const Workload& w, DbId db, int requests) {
   std::vector<AdpRequest> batch;
   batch.reserve(static_cast<std::size_t>(requests));
@@ -65,7 +81,7 @@ std::vector<AdpRequest> MakeBatch(const Workload& w, DbId db, int requests) {
     AdpRequest req;
     req.query_text = w.queries[static_cast<std::size_t>(i) % w.queries.size()];
     req.db = db;
-    req.k = 1 + i % 3;
+    req.k = RequestK(i, w.queries.size());
     req.options.counting_only = true;
     batch.push_back(std::move(req));
   }
@@ -98,7 +114,8 @@ void DirectPath(benchmark::State& state) {
       }
       AdpOptions options;
       options.counting_only = true;
-      const AdpSolution sol = ComputeAdp(q, db, 1 + i % 3, options);
+      const AdpSolution sol =
+          ComputeAdp(q, db, RequestK(i, w.queries.size()), options);
       checksum += sol.cost;
     }
     benchmark::DoNotOptimize(checksum);
@@ -137,6 +154,66 @@ void EngineThroughput(benchmark::State& state) {
           ? 0.0
           : static_cast<double>(c.plan_hits) /
                 static_cast<double>(c.plan_hits + c.plan_misses);
+  // Should stay 0 (distinct (query, k) pairs); nonzero means dedup is
+  // absorbing part of the batch and items_per_second overstates solves.
+  state.counters["dedup_hits"] = static_cast<double>(c.dedup_hits);
+}
+
+// One large request: Q(A) :- R1(A,B), R2(A,B,C), R3(A,C). A is universal,
+// so Algorithm 4 partitions the instance into kGroups classes whose
+// residual (a boolean 3-chain) is solved by max-flow resilience — enough
+// work per group for sharding to matter.
+void EngineIntraRequestSharding(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const int workers = static_cast<int>(state.range(1));
+  const bool shard = state.range(2) != 0;
+  constexpr std::int64_t kGroups = 16;
+
+  NamedDatabase named;
+  named.relation_names = {"R1", "R2", "R3"};
+  Rng rng(11);
+  const std::int64_t domain = rows / (2 * kGroups) + 2;
+  for (int r = 0; r < 3; ++r) {
+    RelationInstance inst;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const Value a = static_cast<Value>(i % kGroups);
+      const Value b = static_cast<Value>(rng.Uniform(domain));
+      const Value c = static_cast<Value>(rng.Uniform(domain));
+      if (r == 0) {
+        inst.Add({a, b});
+      } else if (r == 1) {
+        inst.Add({a, b, c});
+      } else {
+        inst.Add({a, c});
+      }
+    }
+    inst.Dedup();
+    named.db.Append(std::move(inst));
+  }
+
+  EngineConfig config;
+  config.num_workers = workers;
+  config.min_shard_groups = shard ? 2 : 0;
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(std::move(named));
+
+  AdpRequest req;
+  req.query_text = "Q(A) :- R1(A,B), R2(A,B,C), R3(A,C)";
+  req.db = db;
+  req.k = kGroups / 2;
+  req.options.counting_only = true;
+
+  engine.Execute(req);  // warm the plan and binding caches
+
+  double sharded_nodes = 0;
+  for (auto _ : state) {
+    const AdpResponse resp = engine.Execute(req);
+    benchmark::DoNotOptimize(resp.solution.cost);
+    sharded_nodes = resp.stats.sharded_universe_nodes;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["workers"] = workers;
+  state.counters["sharded_nodes"] = sharded_nodes;
 }
 
 void DirectSweep(benchmark::internal::Benchmark* b) {
@@ -158,9 +235,23 @@ BENCHMARK(DirectPath)
     ->ArgNames({"rows", "requests"})
     ->Unit(benchmark::kMillisecond);
 
+void ShardingSweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t workers : {1, 4}) {
+    for (std::int64_t shard : {0, 1}) {
+      b->Args({/*rows=*/20000, workers, shard});
+    }
+  }
+}
+
 BENCHMARK(EngineThroughput)
     ->Apply(EngineSweep)
     ->ArgNames({"rows", "requests", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(EngineIntraRequestSharding)
+    ->Apply(ShardingSweep)
+    ->ArgNames({"rows", "workers", "shard"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

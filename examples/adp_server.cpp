@@ -17,7 +17,11 @@
 //   STATS
 //       Drains pending requests, then prints engine counters.
 //
-// Usage:  adp_server [--workers=N] [requests.txt]
+// Usage:  adp_server [--workers=N] [--min-shard-groups=G] [requests.txt]
+//
+//   --min-shard-groups=G   Universe nodes with >= G partition groups shard
+//                          their sub-solves across the pool (0 disables
+//                          intra-request sharding; default 4).
 //
 // Example input:
 //   DB d1 R1=11,21/12,22/13,23 R2=21,31/22,32/22,33/23,33 R3=31,41/32,43/33,43
@@ -25,6 +29,7 @@
 //   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
 //   STATS
 
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -56,6 +61,27 @@ std::string JsonEscape(const std::string& s) {
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';
     out += c;
+  }
+  return out;
+}
+
+// Strict integer flag value in [min_value, max_value]: rejects trailing
+// junk, out-of-range, and non-numeric input with a usage error instead of
+// wrapping, clamping, or aborting.
+std::int64_t ParseFlagValue(const std::string& arg, std::size_t prefix_len,
+                            std::int64_t min_value, std::int64_t max_value) {
+  const std::string value = arg.substr(prefix_len);
+  std::size_t pos = 0;
+  std::int64_t out = min_value - 1;
+  try {
+    out = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty() || out < min_value ||
+      out > max_value) {
+    std::cerr << "bad flag value: " << arg << "\n";
+    std::exit(1);
   }
   return out;
 }
@@ -122,6 +148,7 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
     out << "\"," << s.tuples[i].row << ']';
   }
   out << "],\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+      << ",\"deduped\":" << (r.deduped ? "true" : "false")
       << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
       << ",\"total_ms\":" << r.total_ms << "}";
   std::cout << out.str() << "\n";
@@ -146,11 +173,16 @@ void Drain(AdpEngine& engine, std::vector<Pending>& pending) {
 
 int main(int argc, char** argv) {
   int workers = 4;
+  std::size_t min_shard_groups = 4;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
-      workers = std::stoi(arg.substr(10));
+      workers = static_cast<int>(ParseFlagValue(arg, 10, /*min_value=*/1,
+                                                /*max_value=*/4096));
+    } else if (arg.rfind("--min-shard-groups=", 0) == 0) {
+      min_shard_groups = static_cast<std::size_t>(
+          ParseFlagValue(arg, 19, /*min_value=*/0, /*max_value=*/1 << 20));
     } else {
       path = arg;
     }
@@ -166,7 +198,10 @@ int main(int argc, char** argv) {
   }
   std::istream& in = path.empty() ? std::cin : file;
 
-  AdpEngine engine(adp::EngineConfig{.num_workers = workers});
+  adp::EngineConfig config;
+  config.num_workers = workers;
+  config.min_shard_groups = min_shard_groups;
+  AdpEngine engine(config);
   std::unordered_map<std::string, adp::DbId> dbs;
   std::vector<Pending> pending;
   int next_id = 0;
@@ -215,6 +250,7 @@ int main(int argc, char** argv) {
                   << ",\"plan_misses\":" << c.plan_misses
                   << ",\"binding_hits\":" << c.binding_hits
                   << ",\"binding_misses\":" << c.binding_misses
+                  << ",\"dedup_hits\":" << c.dedup_hits
                   << ",\"plan_cache_size\":" << c.plan_cache_size
                   << ",\"databases\":" << c.databases
                   << ",\"workers\":" << engine.num_workers() << "}}\n";

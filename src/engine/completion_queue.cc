@@ -1,0 +1,53 @@
+#include "engine/completion_queue.h"
+
+#include <utility>
+
+namespace adp {
+
+void CompletionQueue::AddPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+}
+
+void CompletionQueue::Push(Completion c) {
+  // Notify *inside* the lock: the consumer may destroy the queue the
+  // moment it observes pending_ == 0, so cv_ must not be touched after
+  // mu_ is released.
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.push_back(std::move(c));
+  --pending_;
+  cv_.notify_all();
+}
+
+std::optional<Completion> CompletionQueue::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.empty()) return std::nullopt;
+  Completion c = std::move(ready_.front());
+  ready_.pop_front();
+  return c;
+}
+
+std::optional<Completion> CompletionQueue::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !ready_.empty() || pending_ == 0; });
+  if (ready_.empty()) return std::nullopt;
+  Completion c = std::move(ready_.front());
+  ready_.pop_front();
+  return c;
+}
+
+std::vector<Completion> CompletionQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  std::vector<Completion> out(std::make_move_iterator(ready_.begin()),
+                              std::make_move_iterator(ready_.end()));
+  ready_.clear();
+  return out;
+}
+
+std::size_t CompletionQueue::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size() + pending_;
+}
+
+}  // namespace adp

@@ -1,0 +1,68 @@
+// CompletionQueue: completion-order delivery for asynchronous ADP
+// submissions (AdpEngine::SubmitToQueue).
+//
+// Callers tag each submission; finished responses are pushed by the worker
+// that completed them and popped by the consumer with Poll (non-blocking),
+// Next (block until one completion or nothing outstanding), or Drain (block
+// until everything outstanding has completed). One queue may receive
+// submissions from any number of threads and engines; the queue must
+// outlive every submission tagged to it.
+
+#ifndef ADP_ENGINE_COMPLETION_QUEUE_H_
+#define ADP_ENGINE_COMPLETION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/request.h"
+
+namespace adp {
+
+/// One finished submission: the caller's tag plus the response.
+struct Completion {
+  std::uint64_t tag = 0;
+  AdpResponse response;
+};
+
+class CompletionQueue {
+ public:
+  CompletionQueue() = default;
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Non-blocking: pops the oldest ready completion, or nullopt if none is
+  /// ready right now (outstanding submissions may still complete later).
+  std::optional<Completion> Poll();
+
+  /// Blocks until a completion is ready and pops it. Returns nullopt only
+  /// when nothing is ready *and* no submission is outstanding.
+  std::optional<Completion> Next();
+
+  /// Blocks until every outstanding submission has completed, then pops and
+  /// returns all ready completions in completion order. Returns whatever is
+  /// queued immediately when nothing is outstanding.
+  std::vector<Completion> Drain();
+
+  /// Submissions not yet completed plus completions not yet popped.
+  std::size_t outstanding() const;
+
+ private:
+  friend class AdpEngine;
+
+  // Engine side: a submission was accepted for this queue / has finished.
+  void AddPending();
+  void Push(Completion c);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> ready_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_COMPLETION_QUEUE_H_

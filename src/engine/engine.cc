@@ -27,6 +27,12 @@ std::string OptionBits(const AdpOptions& options) {
   return bits;
 }
 
+/// The two cache identities of one request; solve is an extension of plan.
+struct RequestKeys {
+  std::string plan;   // plan-cache key
+  std::string solve;  // single-flight dedup key
+};
+
 std::string PlanKey(const AdpRequest& req) {
   if (req.query.has_value()) {
     // The canonical key ignores relation names, but requests are solved
@@ -41,6 +47,48 @@ std::string PlanKey(const AdpRequest& req) {
     return key + "|" + CanonicalQueryKey(*req.query);
   }
   return "t|" + OptionBits(req.options) + "|" + req.query_text;
+}
+
+// Remaining knobs that influence the *solution* (not just the plan), so two
+// requests may share one solve only when these agree too.
+std::string SolveBits(const AdpOptions& options) {
+  std::string bits;
+  bits += options.heuristic == AdpOptions::Heuristic::kDrastic ? 'd' : 'g';
+  bits += options.counting_only ? 'c' : '-';
+  bits += options.verify ? 'v' : '-';
+  bits += options.universe_convex_merge ? 'm' : '-';
+  switch (options.decompose_strategy) {
+    case AdpOptions::DecomposeStrategy::kImprovedDP: bits += 'i'; break;
+    case AdpOptions::DecomposeStrategy::kPairwiseNaive: bits += 'p'; break;
+    case AdpOptions::DecomposeStrategy::kFullEnumeration: bits += 'f'; break;
+  }
+  return bits;
+}
+
+// Single-flight identity of the data-dependent work: plan key (query
+// structure + relation names + classification knobs) plus database, target,
+// and solve knobs. Restriction sets are compared by pointer — distinct
+// pointers never dedup, which is conservative but always sound.
+// Both keys are derived in one pass so the request path formats the plan
+// key exactly once.
+RequestKeys MakeKeys(const AdpRequest& req) {
+  RequestKeys keys;
+  keys.plan = PlanKey(req);
+  std::string& key = keys.solve;
+  key = keys.plan;
+  key += "|d";
+  key += std::to_string(req.db);
+  key += "|k";
+  key += std::to_string(req.k);
+  key += '|';
+  key += SolveBits(req.options);
+  if (req.options.restrictions != nullptr &&
+      !req.options.restrictions->Empty()) {
+    key += "|r";
+    key += std::to_string(
+        reinterpret_cast<std::uintptr_t>(req.options.restrictions));
+  }
+  return keys;
 }
 
 std::shared_ptr<const CachedPlan> BuildPlan(const AdpRequest& req) {
@@ -67,7 +115,14 @@ std::shared_ptr<const CachedPlan> BuildPlan(const AdpRequest& req) {
 AdpEngine::AdpEngine(const EngineConfig& config)
     : config_(config),
       plan_cache_(config.plan_cache_capacity),
-      pool_(config.num_workers) {}
+      pool_(config.num_workers) {
+  if (config_.min_shard_groups > 0) {
+    sharding_.min_groups = config_.min_shard_groups;
+    sharding_.run_all = [this](std::vector<std::function<void()>> tasks) {
+      pool_.RunAll(std::move(tasks));
+    };
+  }
+}
 
 AdpEngine::~AdpEngine() = default;
 
@@ -95,10 +150,10 @@ std::shared_ptr<const NamedDatabase> AdpEngine::database(DbId id) const {
   return databases_[static_cast<std::size_t>(id)];
 }
 
-std::shared_ptr<const CachedPlan> AdpEngine::GetPlan(const AdpRequest& req,
-                                                     bool* hit) {
+std::shared_ptr<const CachedPlan> AdpEngine::GetPlan(
+    const AdpRequest& req, const std::string& plan_key, bool* hit) {
   return plan_cache_.GetOrBuild(
-      PlanKey(req), [&req] { return BuildPlan(req); }, hit);
+      plan_key, [&req] { return BuildPlan(req); }, hit);
 }
 
 std::shared_ptr<const Database> AdpEngine::BindDatabase(
@@ -139,13 +194,22 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
       static_cast<std::size_t>(q.num_relations()));
   for (int i = 0; i < q.num_relations(); ++i) {
     const std::string& name = q.relation(i).name;
+    bool found = false;
     for (std::size_t j = 0; j < named->relation_names.size(); ++j) {
       if (named->relation_names[j] == name) {
         RelationInstance inst = named->db.rel(j);
         inst.set_root_relation(i);
         bound->rel(static_cast<std::size_t>(i)) = std::move(inst);
+        found = true;
         break;
       }
+    }
+    if (!found) {
+      // Binding an empty instance here would silently turn a relation-name
+      // typo into a wrong (usually zero-output) answer.
+      throw std::runtime_error("database has no relation named '" + name +
+                               "' (query body atom " + std::to_string(i) +
+                               ")");
     }
   }
 
@@ -158,17 +222,14 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
   return it->second;
 }
 
-AdpResponse AdpEngine::Execute(const AdpRequest& req) {
+AdpResponse AdpEngine::SolveNow(const AdpRequest& req,
+                                const std::string& plan_key) {
   AdpResponse resp;
   Stopwatch total;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-  }
   try {
     Stopwatch plan_sw;
     bool hit = false;
-    const std::shared_ptr<const CachedPlan> plan = GetPlan(req, &hit);
+    const std::shared_ptr<const CachedPlan> plan = GetPlan(req, plan_key, &hit);
     resp.plan_ms = plan_sw.ElapsedMs();
     resp.plan_cache_hit = hit;
     resp.fingerprint = plan->fingerprint;
@@ -183,6 +244,7 @@ AdpResponse AdpEngine::Execute(const AdpRequest& req) {
     AdpOptions options = req.options;
     options.plan = &plan->dispatch;
     options.stats = &resp.stats;
+    options.parallelism = sharding_.run_all ? &sharding_ : nullptr;
     Stopwatch solve_sw;
     resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
     resp.solve_ms = solve_sw.ElapsedMs();
@@ -196,12 +258,141 @@ AdpResponse AdpEngine::Execute(const AdpRequest& req) {
   return resp;
 }
 
+std::shared_ptr<AdpEngine::InflightSolve> AdpEngine::Lead(
+    const std::string& key, std::function<void(const AdpResponse&)> on_done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;  // every request passes through Lead exactly once
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    if (on_done != nullptr) {
+      ++dedup_hits_;
+      it->second->waiters.push_back(std::move(on_done));
+    }
+    return nullptr;
+  }
+  auto state = std::make_shared<InflightSolve>();
+  inflight_.emplace(key, state);
+  return state;
+}
+
+void AdpEngine::PublishInflight(const std::string& key,
+                                const std::shared_ptr<InflightSolve>& state,
+                                const AdpResponse& resp) {
+  std::vector<std::function<void(const AdpResponse&)>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == state) inflight_.erase(it);
+    waiters.swap(state->waiters);
+  }
+  if (waiters.empty()) return;
+  AdpResponse shared = resp;
+  shared.deduped = true;
+  for (const auto& w : waiters) {
+    try {
+      w(shared);
+    } catch (...) {
+      // A throwing user callback must not starve the remaining waiters,
+      // break Execute's never-throws contract, or kill a pool worker.
+    }
+  }
+}
+
+AdpResponse AdpEngine::Execute(const AdpRequest& req) {
+  // The synchronous path leads but never follows: an identical in-flight
+  // leader may still be *queued* behind arbitrary pool work, so joining it
+  // would couple this call's latency to queue depth (and from a worker
+  // thread could deadlock outright). Solving immediately keeps Execute's
+  // one-solve latency promise; async arrivals may still join this solve.
+  const RequestKeys keys = MakeKeys(req);
+  const std::shared_ptr<InflightSolve> lead = Lead(keys.solve, nullptr);
+  AdpResponse resp;
+  try {
+    resp = SolveNow(req, keys.plan);
+  } catch (...) {
+    // SolveNow absorbs std::exception itself; anything else must still
+    // retire the in-flight entry (followers would hang forever on a
+    // leaked leader) and keep Execute's never-throws contract.
+    resp.ok = false;
+    resp.error = "internal error: solve terminated abnormally";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
+  }
+  if (lead != nullptr) PublishInflight(keys.solve, lead, resp);
+  return resp;
+}
+
 std::future<AdpResponse> AdpEngine::Submit(AdpRequest req) {
-  auto task = std::make_shared<std::packaged_task<AdpResponse()>>(
-      [this, req = std::move(req)] { return Execute(req); });
-  std::future<AdpResponse> fut = task->get_future();
-  pool_.Submit([task] { (*task)(); });
+  // Future-flavored SubmitAsync: same dedup, same nested-submission
+  // inlining (a worker-thread caller gets a ready future back).
+  auto promise = std::make_shared<std::promise<AdpResponse>>();
+  std::future<AdpResponse> fut = promise->get_future();
+  SubmitAsync(std::move(req),
+              [promise](AdpResponse r) { promise->set_value(std::move(r)); });
   return fut;
+}
+
+void AdpEngine::SubmitAsync(AdpRequest req,
+                            std::function<void(AdpResponse)> done) {
+  if (pool_.IsWorkerThread()) {
+    AdpResponse resp = Execute(req);
+    try {
+      done(std::move(resp));
+    } catch (...) {
+      // See PublishInflight: callbacks must not take the engine down.
+    }
+    return;
+  }
+  auto shared_done =
+      std::make_shared<std::function<void(AdpResponse)>>(std::move(done));
+  const RequestKeys keys = MakeKeys(req);
+  const std::shared_ptr<InflightSolve> lead = Lead(
+      keys.solve, [shared_done](const AdpResponse& r) { (*shared_done)(r); });
+  if (lead == nullptr) return;
+  // From here the in-flight entry MUST be retired on every path — a leaked
+  // leader would hang all future identical requests — so both the solve
+  // and the enqueue are exception-proofed.
+  try {
+    pool_.Submit([this, req = std::move(req), keys, lead, shared_done] {
+      AdpResponse resp;
+      try {
+        resp = SolveNow(req, keys.plan);
+      } catch (...) {
+        resp.ok = false;
+        resp.error = "internal error: solve terminated abnormally";
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failures_;
+      }
+      PublishInflight(keys.solve, lead, resp);
+      try {
+        (*shared_done)(std::move(resp));
+      } catch (...) {
+        // See PublishInflight: callbacks must not take the engine down.
+      }
+    });
+  } catch (...) {
+    // The callback is the sole failure signal (`done` fires exactly once);
+    // rethrowing too would double-report the submission.
+    AdpResponse failure;
+    failure.error = "internal error: failed to enqueue request";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failures_;
+    }
+    PublishInflight(keys.solve, lead, failure);
+    try {
+      (*shared_done)(std::move(failure));
+    } catch (...) {
+    }
+  }
+}
+
+void AdpEngine::SubmitToQueue(AdpRequest req, CompletionQueue& cq,
+                              std::uint64_t tag) {
+  cq.AddPending();
+  SubmitAsync(std::move(req), [&cq, tag](AdpResponse resp) {
+    cq.Push(Completion{tag, std::move(resp)});
+  });
 }
 
 std::vector<AdpResponse> AdpEngine::ExecuteBatch(
@@ -225,14 +416,21 @@ EngineCounters AdpEngine::counters() const {
   c.failures = failures_;
   c.binding_hits = binding_hits_;
   c.binding_misses = binding_misses_;
+  c.dedup_hits = dedup_hits_;
   c.databases = databases_.size();
   return c;
+}
+
+void AdpEngine::ClearCaches() {
+  plan_cache_.Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  bindings_.clear();
 }
 
 std::shared_ptr<const CachedPlan> AdpEngine::PlanFor(const AdpRequest& req,
                                                      std::string* error) {
   try {
-    return GetPlan(req, nullptr);
+    return GetPlan(req, PlanKey(req), nullptr);
   } catch (const std::exception& e) {
     if (error != nullptr) *error = e.what();
     return nullptr;

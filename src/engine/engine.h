@@ -14,7 +14,23 @@
 // per-(query, database) positional bindings are cached too, so a batch of
 // requests against one database shares a single bound copy.
 //
-// Thread safety: all public methods are safe to call concurrently.
+// Three mechanisms keep the pool busy and the work deduplicated:
+//
+//   * intra-request sharding — one large request's Universe partition
+//     groups (Algorithm 4) are fanned out across the pool via
+//     ThreadPool::RunAll, so a single solve parallelizes internally
+//     (EngineConfig::min_shard_groups);
+//   * async submission — SubmitAsync invokes a callback on completion, and
+//     SubmitToQueue delivers tagged completions to a CompletionQueue with
+//     Poll/Next/Drain, so callers are not future-bound;
+//   * single-flight solve dedup — identical concurrent (plan key, db, k,
+//     solve knobs) requests share one solve: the first becomes the leader,
+//     the rest receive copies of its response (AdpResponse::deduped,
+//     EngineCounters::dedup_hits).
+//
+// Thread safety: all public methods are safe to call concurrently, including
+// from inside engine callbacks (nested submissions run inline rather than
+// deadlocking the pool).
 //
 //   AdpEngine engine({.num_workers = 4});
 //   DbId db = engine.RegisterDatabase(std::move(named_db));
@@ -26,6 +42,7 @@
 #define ADP_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -33,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/completion_queue.h"
 #include "engine/plan_cache.h"
 #include "engine/request.h"
 #include "engine/thread_pool.h"
@@ -42,8 +60,10 @@ namespace adp {
 
 /// A database whose relations are addressed by name. `relation_names` is
 /// parallel to `db`'s instances; at request time each body atom of the
-/// query is bound to the instance with the matching name (atoms with no
-/// match get an empty instance, as in an outer-joined catalog).
+/// query is bound to the instance with the matching name. A query naming a
+/// relation the database does not have is an error (reported through
+/// AdpResponse::error) — silently binding an empty instance would turn a
+/// typo into a wrong answer.
 /// When `relation_names` is empty the database is *positional*: it must
 /// align with the query body index-for-index and is shared without copying.
 struct NamedDatabase {
@@ -61,6 +81,12 @@ struct EngineConfig {
   /// Binding-cache capacity in entries (0 = unbounded). One entry per
   /// (database, query-shape) pair.
   std::size_t binding_cache_capacity = 4096;
+
+  /// Intra-request sharding: a Universe node with at least this many
+  /// partition groups fans its sub-solves out across the worker pool
+  /// (Parallelism::min_groups). 0 disables sharding — every request then
+  /// runs single-threaded, parallel only across requests.
+  std::size_t min_shard_groups = 4;
 };
 
 /// Monotonic counters, snapshot via AdpEngine::counters().
@@ -71,6 +97,9 @@ struct EngineCounters {
   std::uint64_t plan_misses = 0;
   std::uint64_t binding_hits = 0;
   std::uint64_t binding_misses = 0;
+  /// Requests served by joining an identical in-flight solve (the solve ran
+  /// once; these received copies). requests - dedup_hits = solves started.
+  std::uint64_t dedup_hits = 0;
   std::size_t plan_cache_size = 0;
   std::size_t databases = 0;
 };
@@ -98,14 +127,32 @@ class AdpEngine {
   // --- Requests ------------------------------------------------------------
 
   /// Runs `req` synchronously in the calling thread. Never throws: failures
-  /// are reported via AdpResponse::ok / error.
+  /// are reported via AdpResponse::ok / error. Leads the single-flight
+  /// entry when none exists (concurrent async arrivals then share this
+  /// solve) but never *joins* one — an in-flight leader may still be queued
+  /// behind other work, and the sync path keeps one-solve latency.
   AdpResponse Execute(const AdpRequest& req);
 
-  /// Enqueues `req` on the worker pool.
+  /// Enqueues `req` on the worker pool. An identical in-flight request is
+  /// joined instead of enqueued (the returned future then completes with a
+  /// copy of the leader's response, deduped = true).
   std::future<AdpResponse> Submit(AdpRequest req);
 
+  /// Enqueues `req`; `done` is invoked exactly once with the response, on
+  /// the worker (or deduped leader's) thread that completed it — including
+  /// on failures, which arrive as a failed AdpResponse rather than an
+  /// exception. When called from inside a pool worker the request runs —
+  /// and `done` fires — inline before SubmitAsync returns. `done` should
+  /// not throw; an exception escaping it is caught and dropped (it would
+  /// otherwise starve other deduped waiters or kill a worker thread).
+  void SubmitAsync(AdpRequest req, std::function<void(AdpResponse)> done);
+
+  /// Enqueues `req`; on completion pushes {tag, response} onto `cq`.
+  /// `cq` must outlive the submission (consume with Poll/Next/Drain).
+  void SubmitToQueue(AdpRequest req, CompletionQueue& cq, std::uint64_t tag);
+
   /// Runs a batch on the worker pool and returns responses in request
-  /// order (blocking).
+  /// order (blocking). Safe to call from inside a pool worker.
   std::vector<AdpResponse> ExecuteBatch(std::vector<AdpRequest> reqs);
 
   // --- Introspection -------------------------------------------------------
@@ -113,27 +160,63 @@ class AdpEngine {
   EngineCounters counters() const;
   int num_workers() const { return pool_.num_threads(); }
 
+  /// Drops the plan cache and the binding cache. In-flight requests keep
+  /// the shared plans/bindings they already hold; later requests rebuild.
+  void ClearCaches();
+
   /// The cached plan a request would use, building it on demand; nullptr
   /// with `error` filled on parse failure. Useful for EXPLAIN-style tools.
   std::shared_ptr<const CachedPlan> PlanFor(const AdpRequest& req,
                                             std::string* error = nullptr);
 
  private:
-  std::shared_ptr<const CachedPlan> GetPlan(const AdpRequest& req, bool* hit);
+  /// A solve shared by every identical request that arrived while it was
+  /// in flight. Waiters are registered and the map entry erased under mu_,
+  /// so a joiner either sees the entry (and its callback fires) or becomes
+  /// the next leader.
+  struct InflightSolve {
+    std::vector<std::function<void(const AdpResponse&)>> waiters;
+  };
+
+  std::shared_ptr<const CachedPlan> GetPlan(const AdpRequest& req,
+                                            const std::string& plan_key,
+                                            bool* hit);
   std::shared_ptr<const Database> BindDatabase(
       const std::shared_ptr<const NamedDatabase>& named,
       const CachedPlan& plan);
 
+  /// The full request pipeline (plan, bind, solve), without dedup or
+  /// request counting. `plan_key` is the precomputed plan-cache key of
+  /// `req` (callers derive it alongside the dedup key).
+  AdpResponse SolveNow(const AdpRequest& req, const std::string& plan_key);
+
+  /// Counts the request and probes the single-flight table. Returns a
+  /// fresh in-flight record when this request becomes the leader for
+  /// `key`, else nullptr. A non-null `on_done` joins an existing entry as
+  /// a follower (fires with the leader's response, deduped set; counted in
+  /// dedup_hits); a null `on_done` (sync path, which never waits) leaves
+  /// an existing entry untouched and the caller solves independently.
+  std::shared_ptr<InflightSolve> Lead(
+      const std::string& key, std::function<void(const AdpResponse&)> on_done);
+
+  /// Leader side: publishes `resp` to every waiter and retires the entry.
+  void PublishInflight(const std::string& key,
+                       const std::shared_ptr<InflightSolve>& state,
+                       const AdpResponse& resp);
+
   const EngineConfig config_;
   PlanCache plan_cache_;
+  Parallelism sharding_;  // run_all bound to pool_; unset if disabled
 
-  mutable std::mutex mu_;  // guards databases_, bindings_, counters
+  mutable std::mutex mu_;  // guards databases_, bindings_, inflight_, counters
   std::vector<std::shared_ptr<const NamedDatabase>> databases_;
   std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
+  std::unordered_map<std::string, std::shared_ptr<InflightSolve>> inflight_;
   std::uint64_t requests_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t binding_hits_ = 0;
   std::uint64_t binding_misses_ = 0;
+  std::uint64_t dedup_hits_ = 0;
 
   ThreadPool pool_;  // last member: workers must die before state above
 };

@@ -32,8 +32,9 @@ struct AdpRequest {
   /// Deletion target (number of output tuples to remove).
   std::int64_t k = 0;
 
-  /// Solver knobs. `options.plan` and `options.stats` are engine-managed
-  /// and ignored; `options.restrictions`, if set, must outlive the request.
+  /// Solver knobs. `options.plan`, `options.stats`, and
+  /// `options.parallelism` are engine-managed and ignored;
+  /// `options.restrictions`, if set, must outlive the request.
   AdpOptions options;
 };
 
@@ -55,6 +56,11 @@ struct AdpResponse {
   /// True iff the plan-cache lookup hit (parse + dichotomy + linearization
   /// + dispatch-tree work all skipped).
   bool plan_cache_hit = false;
+
+  /// True iff this response was served by joining an identical in-flight
+  /// solve (cross-request single-flight deduplication): solution, stats,
+  /// and timings are copies of the leader request's.
+  bool deduped = false;
 
   /// Wall-clock timings. `plan_ms` covers plan-cache lookup including any
   /// miss-path construction (parse + classification + linearization);

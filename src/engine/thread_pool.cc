@@ -1,9 +1,18 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace adp {
+namespace {
+
+// Which pool (if any) the current thread belongs to. Lets Submit detect
+// worker reentrancy without any bookkeeping in the hot path.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -22,12 +31,72 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::IsWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (IsWorkerThread()) {
+    // A worker enqueueing and then waiting on the result would deadlock
+    // once every worker does it (nested ExecuteBatch); run inline instead.
+    task();
+    return;
+  }
+  Enqueue(std::move(task));
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks.front()();
+    return;
+  }
+
+  // Work-sharing: tasks are claimed by index from a shared counter. Helper
+  // closures are offered to the pool, but the caller runs the same drain
+  // loop, so the batch completes even if no worker ever becomes free —
+  // which also makes nested RunAll (sharded Universe nodes inside sharded
+  // Universe nodes) safe.
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  const std::size_t n = batch->tasks.size();
+
+  auto drain = [batch, n] {
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1);
+      if (i >= n) return;
+      batch->tasks[i]();
+      if (batch->done.fetch_add(1) + 1 == n) {
+        // Lock pairs with the caller's wait so the notify cannot slip in
+        // between its predicate check and its sleep.
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->cv.notify_all();
+      }
+    }
+  };
+
+  // Deliberately Enqueue, not Submit: helpers exit immediately once all
+  // indices are claimed, so they may sit in the queue without harm, and
+  // inline-running them here would serialize the batch.
+  const std::size_t helpers = std::min(n - 1, workers_.size());
+  for (std::size_t h = 0; h < helpers; ++h) Enqueue(drain);
+
+  drain();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done.load() == n; });
 }
 
 std::size_t ThreadPool::pending() const {
@@ -36,6 +105,7 @@ std::size_t ThreadPool::pending() const {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

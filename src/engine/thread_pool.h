@@ -4,6 +4,17 @@
 // N long-lived workers. ADP requests are coarse-grained (milliseconds to
 // seconds), so queue contention is negligible and work stealing is not
 // worth its complexity here.
+//
+// Two facilities keep nested use deadlock-free:
+//
+//   * Submit() called from inside a pool worker runs the task inline. A
+//     worker that enqueued a task and then blocked on its future could
+//     otherwise wedge the whole pool (every worker waiting on work only a
+//     worker can run).
+//   * RunAll() executes a batch of independent tasks with the *calling*
+//     thread participating: idle workers help, but the caller drains
+//     whatever they don't pick up, so completion never depends on pool
+//     capacity. This is what intra-request sharding runs on.
 
 #ifndef ADP_ENGINE_THREAD_POOL_H_
 #define ADP_ENGINE_THREAD_POOL_H_
@@ -29,15 +40,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw (wrap fallible work yourself,
-  /// e.g. in a std::packaged_task).
+  /// e.g. in a std::packaged_task). When called from one of this pool's own
+  /// workers the task runs inline instead — see the header comment.
   void Submit(std::function<void()> task);
+
+  /// Runs every task to completion before returning, using idle workers for
+  /// parallelism and the calling thread as one more executor. Safe to call
+  /// from inside a pool worker and to nest (each level's caller drains its
+  /// own batch). Tasks must not throw.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool IsWorkerThread() const;
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Tasks accepted but not yet finished.
+  /// Tasks accepted but not yet finished (inline-run tasks never count).
   std::size_t pending() const;
 
  private:
+  void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   mutable std::mutex mu_;

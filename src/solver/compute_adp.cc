@@ -96,6 +96,18 @@ AdpNode BooleanNode(const ConjunctiveQuery& q, const Database& db,
 
 }  // namespace
 
+void MergeAdpStats(AdpStats& into, const AdpStats& from) {
+  into.boolean_nodes += from.boolean_nodes;
+  into.boolean_fallbacks += from.boolean_fallbacks;
+  into.singleton_nodes += from.singleton_nodes;
+  into.universe_nodes += from.universe_nodes;
+  into.decompose_nodes += from.decompose_nodes;
+  into.greedy_leaves += from.greedy_leaves;
+  into.drastic_leaves += from.drastic_leaves;
+  into.universe_groups += from.universe_groups;
+  into.sharded_universe_nodes += from.sharded_universe_nodes;
+}
+
 AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options) {
   if (q.IsBoolean()) return AdpCase::kBoolean;
   // Singleton's optimality argument assumes any tuple may be deleted; with

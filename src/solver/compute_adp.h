@@ -36,6 +36,8 @@ enum class AdpCase { kBoolean, kSingleton, kUniverse, kDecompose, kHeuristic };
 
 /// Recursion statistics, filled when AdpOptions::stats is set. Useful for
 /// understanding which of Algorithm 2's cases a query exercises.
+/// When adding a field, extend MergeAdpStats (compute_adp.cc) too, or
+/// sharded solves will silently drop its per-shard contributions.
 struct AdpStats {
   int boolean_nodes = 0;
   int boolean_fallbacks = 0;  // triad-free but not linearizable -> greedy
@@ -45,6 +47,31 @@ struct AdpStats {
   int greedy_leaves = 0;
   int drastic_leaves = 0;
   std::int64_t universe_groups = 0;
+  /// Universe nodes whose partition groups were solved in parallel via
+  /// AdpOptions::parallelism.
+  int sharded_universe_nodes = 0;
+};
+
+/// Field-wise accumulation, used to fold per-shard statistics back into the
+/// parent solve's AdpStats.
+void MergeAdpStats(AdpStats& into, const AdpStats& from);
+
+/// Intra-request parallelism hook. When AdpOptions::parallelism is set,
+/// recursion nodes whose subproblems are independent — the Universe case's
+/// partition groups (Algorithm 4) — dispatch them through `run_all`,
+/// typically backed by a worker pool, instead of solving sequentially.
+/// Results are bitwise-identical to the sequential path: shard outputs are
+/// combined in partition order and each shard gets a private AdpStats that
+/// is merged afterwards.
+struct Parallelism {
+  /// Executes every task exactly once and returns when all have finished.
+  /// Must be safe to invoke from inside one of its own tasks (nested
+  /// Universe nodes shard recursively); ThreadPool::RunAll qualifies.
+  std::function<void(std::vector<std::function<void()>>)> run_all;
+
+  /// Shard only nodes with at least this many partition groups; smaller
+  /// nodes stay sequential (dispatch overhead would dominate).
+  std::size_t min_groups = 4;
 };
 
 /// Tuning knobs. Defaults reproduce the paper's recommended configuration;
@@ -96,6 +123,11 @@ struct AdpOptions {
   /// Not owned; must outlive the solve. Read-only, so one plan may serve
   /// many concurrent solves.
   const DispatchPlan* plan = nullptr;
+
+  /// Intra-request parallelism (see Parallelism above). Not owned; must
+  /// outlive the solve. Engine-managed on requests that go through
+  /// AdpEngine (like `plan` and `stats`).
+  const Parallelism* parallelism = nullptr;
 };
 
 /// Solves ADP(Q, D, k). `q` may carry selections; `db` must be the root

@@ -1,7 +1,9 @@
 #include "solver/universe.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
+#include <utility>
 
 #include "query/transform.h"
 
@@ -146,9 +148,44 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
   }
 
   auto state = std::make_shared<UniverseState>();
-  state->children.reserve(groups.size());
-  for (UniverseGroup& g : groups) {
-    state->children.push_back(ComputeAdpNode(residual, g.db, cap, options));
+  const Parallelism* par = options.parallelism;
+  if (par != nullptr && par->run_all != nullptr &&
+      groups.size() >= std::max<std::size_t>(par->min_groups, 2)) {
+    // Sharded path: the groups are disjoint sub-instances of independent
+    // subproblems, so their solves can run concurrently. Children land at
+    // fixed indices and are combined in partition order below, keeping the
+    // result bitwise-identical to the sequential fold. Each shard writes a
+    // private AdpStats (the shared pointer would race) merged afterwards.
+    if (options.stats) ++options.stats->sharded_universe_nodes;
+    state->children.resize(groups.size());
+    std::vector<AdpStats> shard_stats(options.stats ? groups.size() : 0);
+    std::vector<std::exception_ptr> errors(groups.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      tasks.push_back([&, i] {
+        try {
+          AdpOptions shard = options;
+          if (options.stats) shard.stats = &shard_stats[i];
+          state->children[i] =
+              ComputeAdpNode(residual, groups[i].db, cap, shard);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    par->run_all(std::move(tasks));
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    if (options.stats) {
+      for (const AdpStats& s : shard_stats) MergeAdpStats(*options.stats, s);
+    }
+  } else {
+    state->children.reserve(groups.size());
+    for (UniverseGroup& g : groups) {
+      state->children.push_back(ComputeAdpNode(residual, g.db, cap, options));
+    }
   }
   if (state->children.empty()) {
     // No complete class: Q(D) is empty.

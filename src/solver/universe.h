@@ -9,6 +9,11 @@
 //   * when every class profile is convex (e.g. classes solved by Singleton)
 //     the DP degenerates to a global merge of marginal gains, which is what
 //     makes the paper's "improved" strategy near-linear.
+//
+// The per-class sub-solves are independent (disjoint sub-instances); with
+// AdpOptions::parallelism set they are sharded across an executor and the
+// profiles combined in partition order, producing results identical to the
+// sequential fold.
 
 #ifndef ADP_SOLVER_UNIVERSE_H_
 #define ADP_SOLVER_UNIVERSE_H_

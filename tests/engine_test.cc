@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/completion_queue.h"
 #include "engine/engine.h"
 #include "query/parser.h"
 #include "solver/compute_adp.h"
@@ -270,9 +274,263 @@ TEST(AdpEngineTest, ConcurrentMixedWorkloadSmoke) {
   EXPECT_EQ(c.requests, 120u);
   EXPECT_EQ(c.failures, 0u);
   // 12 distinct structures (at most; random queries may collide), 120
-  // requests: the cache must have served the overwhelming majority.
+  // requests: every repeat was served either from the plan cache or by
+  // joining an identical in-flight solve (single-flight dedup).
   EXPECT_LE(c.plan_misses, 12u);
-  EXPECT_GE(c.plan_hits, 108u);
+  EXPECT_GE(c.plan_hits + c.dedup_hits, 108u);
+}
+
+TEST(AdpEngineTest, MissingRelationNameIsAnError) {
+  // Regression: a query atom whose name is absent from the named database
+  // used to bind a default-constructed empty instance, silently turning a
+  // typo into a wrong (zero-output) answer.
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = "Q(A,B,C) :- R1(A,B), R9(B,C)";  // R9 does not exist
+  req.db = db;
+  req.k = 1;
+  const AdpResponse resp = engine.Execute(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("R9"), std::string::npos) << resp.error;
+  EXPECT_EQ(engine.counters().failures, 1u);
+
+  // Correctly named atoms still bind.
+  req.query_text = kChainText;
+  EXPECT_TRUE(engine.Execute(req).ok);
+}
+
+// N identical concurrent requests must perform exactly one solve: the first
+// becomes the leader, the rest join its in-flight entry and receive copies.
+TEST(AdpEngineTest, IdenticalConcurrentRequestsShareOneSolve) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  // Plug the single worker: its completion callback blocks until released,
+  // so every submission below is provably in flight at the same time.
+  std::promise<void> plugged;
+  std::promise<void> release;
+  AdpRequest plug;
+  plug.query_text = "Q() :- R1(A,B)";
+  plug.db = db;
+  plug.k = 0;
+  engine.SubmitAsync(plug, [&](AdpResponse) {
+    plugged.set_value();
+    release.get_future().wait();
+  });
+  plugged.get_future().wait();
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  constexpr int kIdentical = 8;
+  std::vector<std::future<AdpResponse>> futures;
+  for (int i = 0; i < kIdentical; ++i) futures.push_back(engine.Submit(req));
+  release.set_value();
+
+  int deduped = 0;
+  for (auto& fut : futures) {
+    const AdpResponse resp = fut.get();
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.solution.cost, 1);
+    if (resp.deduped) ++deduped;
+  }
+  EXPECT_EQ(deduped, kIdentical - 1);
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.requests, 1u + kIdentical);
+  EXPECT_EQ(c.dedup_hits, kIdentical - 1u);
+  // Exactly one solve of the chain query: one plan build and one binding
+  // for it (the other miss of each is the plug request) and zero lookups
+  // from the followers.
+  EXPECT_EQ(c.plan_misses, 2u);
+  EXPECT_EQ(c.plan_hits, 0u);
+  EXPECT_EQ(c.binding_misses, 2u);
+  EXPECT_EQ(c.binding_hits, 0u);
+}
+
+TEST(AdpEngineTest, SubmitAsyncInvokesCallback) {
+  AdpEngine engine(EngineConfig{.num_workers = 2});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  std::promise<AdpResponse> done;
+  engine.SubmitAsync(req, [&](AdpResponse r) { done.set_value(std::move(r)); });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  const AdpResponse resp = fut.get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.solution.cost, 1);
+}
+
+TEST(AdpEngineTest, CompletionQueueDeliversTaggedCompletions) {
+  AdpEngine engine(EngineConfig{.num_workers = 2});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database direct_db = Fig1NamedDb().db;
+
+  CompletionQueue cq;
+  for (std::int64_t k = 0; k <= 5; ++k) {
+    AdpRequest req;
+    req.query_text = kChainText;
+    req.db = db;
+    req.k = k;
+    engine.SubmitToQueue(std::move(req), cq, static_cast<std::uint64_t>(k));
+  }
+
+  const std::vector<Completion> done = cq.Drain();
+  ASSERT_EQ(done.size(), 6u);
+  std::vector<bool> seen(6, false);
+  for (const Completion& c : done) {
+    ASSERT_LT(c.tag, 6u);
+    EXPECT_FALSE(seen[c.tag]);
+    seen[c.tag] = true;
+    ASSERT_TRUE(c.response.ok) << c.response.error;
+    const AdpSolution direct =
+        ComputeAdp(q, direct_db, static_cast<std::int64_t>(c.tag), {});
+    EXPECT_EQ(c.response.solution.cost, direct.cost) << "tag " << c.tag;
+  }
+  EXPECT_EQ(cq.outstanding(), 0u);
+  EXPECT_FALSE(cq.Poll().has_value());
+  EXPECT_FALSE(cq.Next().has_value());  // nothing pending: returns, no block
+
+  // Poll/Next also see completions one at a time.
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  engine.SubmitToQueue(std::move(req), cq, 42);
+  const auto next = cq.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->tag, 42u);
+  EXPECT_TRUE(next->response.ok);
+}
+
+// Regression: ExecuteBatch/Submit from inside a pool worker used to park
+// every worker on futures whose tasks nobody was left to run. With one
+// worker this deadlocked deterministically; nested submissions now run
+// inline.
+TEST(AdpEngineTest, NestedBatchFromWorkerRunsInline) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest outer;
+  outer.query_text = "Q() :- R1(A,B)";
+  outer.db = db;
+  outer.k = 0;
+  std::promise<std::vector<AdpResponse>> done;
+  engine.SubmitAsync(outer, [&](AdpResponse) {
+    // Runs on the engine's only worker thread.
+    std::vector<AdpRequest> batch;
+    for (std::int64_t k = 0; k <= 2; ++k) {
+      AdpRequest req;
+      req.query_text = kChainText;
+      req.db = db;
+      req.k = k;
+      batch.push_back(std::move(req));
+    }
+    done.set_value(engine.ExecuteBatch(std::move(batch)));
+  });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "nested ExecuteBatch deadlocked";
+  const std::vector<AdpResponse> out = fut.get();
+  ASSERT_EQ(out.size(), 3u);
+  for (const AdpResponse& r : out) EXPECT_TRUE(r.ok) << r.error;
+}
+
+// Intra-request sharding must be invisible in the results: a sharded solve
+// of a Universe-heavy request is bitwise-identical to the sequential one.
+TEST(AdpEngineTest, IntraRequestShardingMatchesSequential) {
+  EngineConfig sharded_cfg;
+  sharded_cfg.num_workers = 4;
+  sharded_cfg.min_shard_groups = 2;
+  AdpEngine sharded(sharded_cfg);
+
+  EngineConfig sequential_cfg;
+  sequential_cfg.num_workers = 4;
+  sequential_cfg.min_shard_groups = 0;  // sharding off
+  AdpEngine sequential(sequential_cfg);
+
+  Rng rng(4242);
+  const ConjunctiveQuery q = ParseQuery("Q(A,B,C) :- R1(A,B), R2(A,C)");
+  int sharded_nodes = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    Database db = RandomDb(q, rng, 12, 5);
+    AdpRequest req;
+    req.query = q;
+    req.db = sharded.RegisterDatabase(db);
+    req.k = 1 + static_cast<std::int64_t>(rng.Uniform(6));
+    req.options.verify = true;
+    const AdpResponse a = sharded.Execute(req);
+
+    req.db = sequential.RegisterDatabase(std::move(db));
+    const AdpResponse b = sequential.Execute(req);
+
+    ASSERT_EQ(a.ok, b.ok) << "iter " << iter << ": " << a.error << b.error;
+    if (!a.ok) continue;
+    EXPECT_EQ(a.solution.cost, b.solution.cost) << "iter " << iter;
+    EXPECT_EQ(a.solution.exact, b.solution.exact) << "iter " << iter;
+    EXPECT_EQ(a.solution.feasible, b.solution.feasible) << "iter " << iter;
+    EXPECT_EQ(a.solution.output_count, b.solution.output_count)
+        << "iter " << iter;
+    EXPECT_EQ(a.solution.tuples, b.solution.tuples) << "iter " << iter;
+    EXPECT_EQ(a.solution.removed_outputs, b.solution.removed_outputs)
+        << "iter " << iter;
+    sharded_nodes += a.stats.sharded_universe_nodes;
+    EXPECT_EQ(b.stats.sharded_universe_nodes, 0) << "iter " << iter;
+  }
+  // The workload is Universe-shaped: sharding must actually have engaged.
+  EXPECT_GT(sharded_nodes, 0);
+}
+
+TEST(AdpEngineTest, ClearCachesUnderLoadStaysCorrect) {
+  EngineConfig config;
+  config.num_workers = 4;
+  config.plan_cache_capacity = 4;
+  config.binding_cache_capacity = 2;
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  // Precompute the expected answers for k = 0..4.
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database direct_db = Fig1NamedDb().db;
+  std::vector<std::int64_t> expected;
+  for (std::int64_t k = 0; k <= 4; ++k) {
+    expected.push_back(ComputeAdp(q, direct_db, k, {}).cost);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::int64_t k = (t + i) % 5;
+        AdpRequest req;
+        req.query_text = kChainText;
+        req.db = db;
+        req.k = k;
+        const AdpResponse resp = engine.Execute(req);
+        if (!resp.ok ||
+            resp.solution.cost != expected[static_cast<std::size_t>(k)]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    engine.ClearCaches();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(AdpEngineTest, LruEvictionBoundsCacheSize) {

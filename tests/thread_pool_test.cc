@@ -1,0 +1,135 @@
+// ThreadPool: basic draining, worker-reentrancy (the nested-future deadlock
+// regression), and the work-sharing RunAll used by intra-request sharding.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.h"
+
+namespace adp {
+namespace {
+
+using std::chrono::seconds;
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  std::promise<void> all;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == 100) all.set_value();
+    });
+  }
+  ASSERT_EQ(all.get_future().wait_for(seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, IsWorkerThreadDistinguishesThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.IsWorkerThread());
+  std::promise<bool> inside;
+  pool.Submit([&] { inside.set_value(pool.IsWorkerThread()); });
+  auto fut = inside.get_future();
+  ASSERT_EQ(fut.wait_for(seconds(30)), std::future_status::ready);
+  EXPECT_TRUE(fut.get());
+
+  // A different pool's worker is not ours.
+  ThreadPool other(1);
+  std::promise<bool> foreign;
+  other.Submit([&] { foreign.set_value(pool.IsWorkerThread()); });
+  auto ffut = foreign.get_future();
+  ASSERT_EQ(ffut.wait_for(seconds(30)), std::future_status::ready);
+  EXPECT_FALSE(ffut.get());
+}
+
+// Regression: a worker that submits a task and blocks on its future used to
+// deadlock a single-worker pool (the queued task could never run). Nested
+// submissions now run inline.
+TEST(ThreadPoolTest, NestedSubmitFromWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::promise<bool> done;
+  pool.Submit([&] {
+    auto task = std::make_shared<std::packaged_task<int()>>([] { return 42; });
+    std::future<int> fut = task->get_future();
+    pool.Submit([task] { (*task)(); });
+    const bool ready = fut.wait_for(seconds(5)) == std::future_status::ready;
+    done.set_value(ready && fut.get() == 42);
+  });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(seconds(30)), std::future_status::ready)
+      << "nested Submit deadlocked";
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPoolTest, RunAllCompletesEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    tasks.push_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, RunAllFromWorkerDoesNotDeadlock) {
+  // The caller participates in draining, so RunAll completes even when it
+  // is invoked from the pool's only worker (no one else to help).
+  ThreadPool pool(1);
+  std::promise<int> done;
+  pool.Submit([&] {
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&count] { count.fetch_add(1); });
+    }
+    pool.RunAll(std::move(tasks));
+    done.set_value(count.load());
+  });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(seconds(30)), std::future_status::ready)
+      << "RunAll from worker deadlocked";
+  EXPECT_EQ(fut.get(), 16);
+}
+
+TEST(ThreadPoolTest, NestedRunAllCompletes) {
+  // Sharded Universe nodes inside sharded Universe nodes: RunAll tasks that
+  // themselves call RunAll.
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back([&] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&leaves] { leaves.fetch_add(1); });
+      }
+      pool.RunAll(std::move(inner));
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, RunAllHandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.RunAll({});
+  int ran = 0;
+  std::vector<std::function<void()>> one;
+  one.push_back([&ran] { ran = 1; });
+  pool.RunAll(std::move(one));
+  EXPECT_EQ(ran, 1);
+}
+
+}  // namespace
+}  // namespace adp

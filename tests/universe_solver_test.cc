@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
 #include "query/parser.h"
 #include "solver/solution.h"
 #include "solver/universe.h"
@@ -73,6 +78,68 @@ TEST(UniverseTest, OneByOneStrategySameCosts) {
   for (std::int64_t j = 0; j <= total; ++j) {
     EXPECT_EQ(a.profile.At(j), b.profile.At(j)) << "j=" << j;
   }
+}
+
+// Sharding the partition groups across an executor must not change any
+// profile entry or witness: children land at fixed indices and are combined
+// in partition order.
+TEST(UniverseTest, ShardedGroupsMatchSequential) {
+  ThreadPool pool(4);
+  Parallelism par;
+  par.min_groups = 2;
+  par.run_all = [&pool](std::vector<std::function<void()>> tasks) {
+    pool.RunAll(std::move(tasks));
+  };
+
+  Rng rng(73);
+  const ConjunctiveQuery q = UQ();
+  int sharded_nodes = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const Database db = RandomDb(q, rng, 10, 4);
+    const std::int64_t total = OracleCount(q, db);
+    if (total == 0) continue;
+
+    AdpOptions sequential;
+    AdpStats seq_stats;
+    sequential.stats = &seq_stats;
+    const AdpNode a = UniverseNode(q, db, total, sequential);
+
+    AdpOptions sharded = sequential;
+    AdpStats shard_stats;
+    sharded.stats = &shard_stats;
+    sharded.parallelism = &par;
+    const AdpNode b = UniverseNode(q, db, total, sharded);
+
+    for (std::int64_t j = 0; j <= total; ++j) {
+      ASSERT_EQ(a.profile.At(j), b.profile.At(j))
+          << "iter " << iter << " j " << j;
+    }
+    EXPECT_EQ(a.exact, b.exact);
+    for (std::int64_t j = 1; j <= total; ++j) {
+      EXPECT_EQ(a.report(j), b.report(j)) << "iter " << iter << " j " << j;
+    }
+    sharded_nodes += shard_stats.sharded_universe_nodes;
+    EXPECT_EQ(seq_stats.sharded_universe_nodes, 0);
+    // Sharding must not perturb the recursion accounting: every AdpStats
+    // field agrees (also guards MergeAdpStats against dropping a field).
+    EXPECT_EQ(seq_stats.boolean_nodes, shard_stats.boolean_nodes)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.boolean_fallbacks, shard_stats.boolean_fallbacks)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.singleton_nodes, shard_stats.singleton_nodes)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.universe_nodes, shard_stats.universe_nodes)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.decompose_nodes, shard_stats.decompose_nodes)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.greedy_leaves, shard_stats.greedy_leaves)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.drastic_leaves, shard_stats.drastic_leaves)
+        << "iter " << iter;
+    EXPECT_EQ(seq_stats.universe_groups, shard_stats.universe_groups)
+        << "iter " << iter;
+  }
+  EXPECT_GT(sharded_nodes, 0);
 }
 
 class UniverseOracleSweep : public ::testing::TestWithParam<int> {};
