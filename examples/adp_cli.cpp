@@ -1,4 +1,5 @@
-// adp_cli: run ADP on your own data from the command line.
+// adp_cli: run ADP on your own data from the command line, through the
+// engine's Prepare/Bind/Execute session API.
 //
 // Usage:
 //   adp_cli "<query>" <data-dir> <k|P%> [options]
@@ -8,24 +9,27 @@
 //   <k|P%>      absolute output-removal target, or a percentage of |Q(D)|
 //
 // Options:
-//   --counting       cost only, skip the witness tuples
-//   --drastic        use DrasticGreedy on NP-hard leaves (full CQs)
-//   --verify         re-evaluate the query after deletion
-//   --classify-only  print the dichotomy verdict and exit
+//   --counting        cost only, skip the witness tuples
+//   --drastic         use DrasticGreedy on NP-hard leaves (full CQs)
+//   --verify          re-evaluate the query after deletion
+//   --classify-only   print the dichotomy verdict and exit
+//   --timeout-ms=N    abort the solve after N milliseconds
+//                     (exit code = StatusExitCode(kDeadlineExceeded))
 //
-// Exit codes: 0 success, 1 usage/parse error, 2 infeasible target.
+// Exit codes: 0 success, 1 usage error, 2 infeasible target, and
+// StatusExitCode(code) — a distinct code per Status — for engine failures
+// (parse errors, missing relations, deadline expiry, ...).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "dichotomy/is_ptime.h"
-#include "dichotomy/structures.h"
+#include "engine/engine.h"
 #include "io/csv.h"
 #include "query/parser.h"
-#include "solver/compute_adp.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -33,39 +37,44 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s \"<query>\" <data-dir> <k|P%%> "
-                 "[--counting] [--drastic] [--verify] [--classify-only]\n",
+                 "[--counting] [--drastic] [--verify] [--classify-only] "
+                 "[--timeout-ms=N]\n",
                  argv[0]);
-    return 1;
-  }
-
-  ConjunctiveQuery q;
-  try {
-    q = ParseQuery(argv[1]);
-  } catch (const ParseError& e) {
-    std::fprintf(stderr, "query error: %s\n", e.what());
     return 1;
   }
 
   AdpOptions options;
   options.verify = false;
   bool classify_only = false;
+  long long timeout_ms = 0;
   for (int i = 4; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--counting")) options.counting_only = true;
     else if (!std::strcmp(argv[i], "--drastic"))
       options.heuristic = AdpOptions::Heuristic::kDrastic;
     else if (!std::strcmp(argv[i], "--verify")) options.verify = true;
     else if (!std::strcmp(argv[i], "--classify-only")) classify_only = true;
+    else if (!std::strncmp(argv[i], "--timeout-ms=", 13))
+      timeout_ms = std::atoll(argv[i] + 13);
     else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 1;
     }
   }
 
+  AdpEngine engine({.num_workers = 2});
+
+  // Prepare once: parse + dichotomy + linearization + dispatch plan. Every
+  // failure from here on is a typed Status with its own exit code.
+  StatusOr<PreparedQuery> prepared = engine.Prepare(argv[1], options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 prepared.status().ToString().c_str());
+    return StatusExitCode(prepared.status().code());
+  }
+  const ConjunctiveQuery& q = prepared->plan()->query;
+
   std::printf("query: %s\n", q.ToString().c_str());
-  const bool ptime = IsPtime(q);
-  std::printf("dichotomy: %s (%s)\n",
-              ptime ? "poly-time solvable" : "NP-hard",
-              FindHardStructure(q).description.c_str());
+  std::printf("dichotomy: %s\n", prepared->plan()->verdict.Summary().c_str());
   if (classify_only) return 0;
 
   Database db;
@@ -78,26 +87,46 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu tuples across %d relations\n", db.TotalTuples(),
               q.num_relations());
 
+  const DbId db_id = engine.RegisterDatabase(std::move(db));
+  if (Status bind = prepared->Bind(db_id); !bind.ok()) {
+    std::fprintf(stderr, "bind error: %s\n", bind.ToString().c_str());
+    return StatusExitCode(bind.code());
+  }
+
   // Resolve the target: absolute k or percentage of |Q(D)|.
-  AdpStats stats;
-  options.stats = &stats;
   const std::string target = argv[3];
   std::int64_t k;
-  Stopwatch watch;
   if (!target.empty() && target.back() == '%') {
     const double pct = std::atof(target.substr(0, target.size() - 1).c_str());
-    // Probe run to learn |Q(D)|.
-    const AdpSolution probe = ComputeAdp(q, db, 0, options);
+    // Probe run (k = 0) to learn |Q(D)|; served through the bound handle.
+    const AdpResponse probe = engine.Execute(*prepared, 0, options);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "probe error: %s\n",
+                   probe.status.ToString().c_str());
+      return StatusExitCode(probe.status.code());
+    }
     k = static_cast<std::int64_t>(pct / 100.0 *
-                                  static_cast<double>(probe.output_count));
+                                  static_cast<double>(
+                                      probe.solution.output_count));
     if (k < 1) k = 1;
   } else {
     k = std::atoll(target.c_str());
   }
 
-  watch.Reset();
-  const AdpSolution sol = ComputeAdp(q, db, k, options);
-  const double ms = watch.ElapsedMs();
+  AdpRequest req;
+  req.prepared = *prepared;
+  req.k = k;
+  req.options = options;
+  if (timeout_ms > 0) {
+    req.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeout_ms);
+  }
+  const AdpResponse resp = engine.Execute(req);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "solve error: %s\n", resp.status.ToString().c_str());
+    return StatusExitCode(resp.status.code());
+  }
+  const AdpSolution& sol = resp.solution;
 
   std::printf("|Q(D)| = %lld, target k = %lld\n",
               static_cast<long long>(sol.output_count),
@@ -108,7 +137,8 @@ int main(int argc, char** argv) {
   }
   std::printf("tuples to delete: %lld (%s) in %.2f ms\n",
               static_cast<long long>(sol.cost),
-              sol.exact ? "optimal" : "heuristic", ms);
+              sol.exact ? "optimal" : "heuristic", resp.solve_ms);
+  const AdpStats& stats = resp.stats;
   std::printf("recursion: %d boolean, %d singleton, %d universe (%lld "
               "classes), %d decompose, %d greedy, %d drastic\n",
               stats.boolean_nodes, stats.singleton_nodes,
@@ -117,7 +147,7 @@ int main(int argc, char** argv) {
               stats.decompose_nodes, stats.greedy_leaves,
               stats.drastic_leaves);
   if (!options.counting_only) {
-    WriteSolutionCsv(std::cout, q, db, sol.tuples);
+    WriteSolutionCsv(std::cout, q, engine.database(db_id)->db, sol.tuples);
   }
   if (options.verify) {
     std::printf("verified outputs removed: %lld\n",

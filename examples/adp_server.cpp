@@ -14,14 +14,29 @@
 //   REQ <db> <k> <query>
 //       Submits ADP(query, db, k), e.g.:  REQ d1 2 Q(A) :- R1(A,B), R2(B)
 //
+//   CANCEL
+//       Cancels every request still pending (AdpTicket::Cancel); their
+//       result lines report status CANCELLED.
+//
 //   STATS
 //       Drains pending requests, then prints engine counters.
 //
-// Usage:  adp_server [--workers=N] [--min-shard-groups=G] [requests.txt]
+// Usage:  adp_server [--workers=N] [--min-shard-groups=G]
+//                    [--coalesce-window-ms=W] [--timeout-ms=T]
+//                    [requests.txt]
 //
-//   --min-shard-groups=G   Universe nodes with >= G partition groups shard
-//                          their sub-solves across the pool (0 disables
-//                          intra-request sharding; default 4).
+//   --min-shard-groups=G     Universe nodes with >= G partition groups
+//                            shard their sub-solves across the pool (0
+//                            disables intra-request sharding; default 4).
+//   --coalesce-window-ms=W   serve a request identical to one completed
+//                            within the last W ms from the recent-results
+//                            ring instead of re-solving (0 = off).
+//   --timeout-ms=T           per-request deadline: queued or running work
+//                            past it reports DEADLINE_EXCEEDED (0 = none).
+//
+// Exit code: 0 when every request succeeded (or was explicitly CANCELled);
+// otherwise StatusExitCode of the first failing response — one distinct
+// code per Status code.
 //
 // Example input:
 //   DB d1 R1=11,21/12,22/13,23 R2=21,31/22,32/22,33/23,33 R3=31,41/32,43/33,43
@@ -29,6 +44,7 @@
 //   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
 //   STATS
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -46,6 +62,9 @@ using adp::AdpEngine;
 using adp::AdpRequest;
 using adp::AdpResponse;
 using adp::AdpSolution;
+using adp::AdpTicket;
+using adp::Status;
+using adp::StatusCode;
 
 struct Pending {
   int id;
@@ -53,6 +72,7 @@ struct Pending {
   std::string query_text;
   std::int64_t k;
   std::future<AdpResponse> future;
+  AdpTicket ticket;
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -125,9 +145,10 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
                    const adp::ConjunctiveQuery* query) {
   std::ostringstream out;
   out << "{\"req\":" << p.id << ",\"db\":\"" << p.db_name
-      << "\",\"k\":" << p.k << ",\"ok\":" << (r.ok ? "true" : "false");
-  if (!r.ok) {
-    out << ",\"error\":\"" << JsonEscape(r.error) << "\"}";
+      << "\",\"k\":" << p.k << ",\"status\":\""
+      << adp::StatusCodeName(r.status.code()) << "\"";
+  if (!r.ok()) {
+    out << ",\"error\":\"" << JsonEscape(r.status.message()) << "\"}";
     std::cout << out.str() << "\n";
     return;
   }
@@ -149,17 +170,27 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
   }
   out << "],\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
       << ",\"deduped\":" << (r.deduped ? "true" : "false")
+      << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
       << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
       << ",\"total_ms\":" << r.total_ms << "}";
   std::cout << out.str() << "\n";
 }
 
-void Drain(AdpEngine& engine, std::vector<Pending>& pending) {
+// First failing status decides the process exit code; explicit CANCELs are
+// operator-initiated, not failures.
+void NoteStatus(const Status& status, Status& first_error) {
+  if (status.ok() || status.code() == StatusCode::kCancelled) return;
+  if (first_error.ok()) first_error = status;
+}
+
+void Drain(AdpEngine& engine, std::vector<Pending>& pending,
+           Status& first_error) {
   for (Pending& p : pending) {
     const AdpResponse r = p.future.get();
+    NoteStatus(r.status, first_error);
     // Fetch the parsed query (a plan-cache hit) to render relation names.
     std::shared_ptr<const adp::CachedPlan> plan;
-    if (r.ok) {
+    if (r.ok()) {
       AdpRequest probe;
       probe.query_text = p.query_text;
       plan = engine.PlanFor(probe);
@@ -174,6 +205,8 @@ void Drain(AdpEngine& engine, std::vector<Pending>& pending) {
 int main(int argc, char** argv) {
   int workers = 4;
   std::size_t min_shard_groups = 4;
+  std::int64_t coalesce_window_ms = 0;
+  std::int64_t timeout_ms = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +216,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--min-shard-groups=", 0) == 0) {
       min_shard_groups = static_cast<std::size_t>(
           ParseFlagValue(arg, 19, /*min_value=*/0, /*max_value=*/1 << 20));
+    } else if (arg.rfind("--coalesce-window-ms=", 0) == 0) {
+      coalesce_window_ms = ParseFlagValue(arg, 21, /*min_value=*/0,
+                                          /*max_value=*/86'400'000);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      timeout_ms = ParseFlagValue(arg, 13, /*min_value=*/0,
+                                  /*max_value=*/86'400'000);
     } else {
       path = arg;
     }
@@ -201,9 +240,11 @@ int main(int argc, char** argv) {
   adp::EngineConfig config;
   config.num_workers = workers;
   config.min_shard_groups = min_shard_groups;
+  config.coalesce_window_ms = static_cast<double>(coalesce_window_ms);
   AdpEngine engine(config);
   std::unordered_map<std::string, adp::DbId> dbs;
   std::vector<Pending> pending;
+  Status first_error;
   int next_id = 0;
 
   std::string line;
@@ -232,6 +273,10 @@ int main(int argc, char** argv) {
         AdpRequest req;
         req.db = it->second;
         req.k = std::stoll(toks[2]);
+        if (timeout_ms > 0) {
+          req.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
+        }
         std::string query;
         for (std::size_t i = 3; i < toks.size(); ++i) {
           if (i > 3) query += ' ';
@@ -239,10 +284,18 @@ int main(int argc, char** argv) {
         }
         req.query_text = query;
         const std::int64_t k = req.k;
-        pending.push_back(Pending{next_id++, toks[1], query, k,
-                                  engine.Submit(std::move(req))});
+        Pending p{next_id++, toks[1], query, k, {}, {}};
+        p.future = engine.Submit(std::move(req), &p.ticket);
+        pending.push_back(std::move(p));
+      } else if (toks[0] == "CANCEL") {
+        int cancelled = 0;
+        for (Pending& p : pending) {
+          if (p.ticket.Cancel()) ++cancelled;
+        }
+        std::cout << "{\"cancelled\":" << cancelled
+                  << ",\"pending\":" << pending.size() << "}\n";
       } else if (toks[0] == "STATS") {
-        Drain(engine, pending);
+        Drain(engine, pending, first_error);
         const adp::EngineCounters c = engine.counters();
         std::cout << "{\"stats\":{\"requests\":" << c.requests
                   << ",\"failures\":" << c.failures
@@ -251,6 +304,9 @@ int main(int argc, char** argv) {
                   << ",\"binding_hits\":" << c.binding_hits
                   << ",\"binding_misses\":" << c.binding_misses
                   << ",\"dedup_hits\":" << c.dedup_hits
+                  << ",\"coalesce_hits\":" << c.coalesce_hits
+                  << ",\"cancelled\":" << c.cancelled
+                  << ",\"deadline_expired\":" << c.deadline_expired
                   << ",\"plan_cache_size\":" << c.plan_cache_size
                   << ",\"databases\":" << c.databases
                   << ",\"workers\":" << engine.num_workers() << "}}\n";
@@ -258,10 +314,13 @@ int main(int argc, char** argv) {
         throw std::runtime_error("unknown command " + toks[0]);
       }
     } catch (const std::exception& e) {
-      std::cout << "{\"req\":null,\"ok\":false,\"error\":\""
+      std::cout << "{\"req\":null,\"status\":\"INVALID_ARGUMENT\",\"error\":\""
                 << JsonEscape(e.what()) << "\"}\n";
+      if (first_error.ok()) {
+        first_error = Status(StatusCode::kInvalidArgument, e.what());
+      }
     }
   }
-  Drain(engine, pending);
-  return 0;
+  Drain(engine, pending, first_error);
+  return StatusExitCode(first_error.code());
 }

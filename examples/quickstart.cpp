@@ -1,36 +1,66 @@
-// Quickstart: the smallest end-to-end use of the adp library.
+// Quickstart: the smallest end-to-end use of the adp engine.
 //
 // Reproduces the paper's running example (Figure 1 + §3.2): a 3-relation
 // chain query over 10 tuples, where ADP(Q1, D, 2) finds a single input
-// tuple whose deletion removes two output tuples.
+// tuple whose deletion removes two output tuples — through the session
+// API: register a database, Prepare the query once (parse + dichotomy +
+// dispatch plan, cached), Bind it to the database, then Execute the
+// prepared handle.
 //
-// Build & run:  ./build/examples/quickstart
+// Exit codes: 0 on success, StatusExitCode(code) on engine failures.
+//
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "query/parser.h"
-#include "solver/compute_adp.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace adp;
 
-  // 1. Declare the query in datalog syntax. Relation names are free-form;
-  //    the head lists the output attributes (projection is allowed).
-  const ConjunctiveQuery q =
-      ParseQuery("Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)");
+  AdpEngine engine({.num_workers = 2});
 
-  // 2. Load the instance (Figure 1; a_i -> 10+i, b_i -> 20+i, ...).
-  Database db(q.num_relations());
-  db.Load(q.FindRelation("R1"), {{11, 21}, {12, 22}, {13, 23}});
-  db.Load(q.FindRelation("R2"), {{21, 31}, {22, 32}, {22, 33}, {23, 33}});
-  db.Load(q.FindRelation("R3"), {{31, 41}, {32, 43}, {33, 43}});
+  // 1. Load the instance (Figure 1; a_i -> 10+i, b_i -> 20+i, ...) and
+  //    register it. Relations are addressed by name at bind time.
+  NamedDatabase named;
+  named.relation_names = {"R1", "R2", "R3"};
+  named.db = Database(3);
+  named.db.Load(0, {{11, 21}, {12, 22}, {13, 23}});
+  named.db.Load(1, {{21, 31}, {22, 32}, {22, 33}, {23, 33}});
+  named.db.Load(2, {{31, 41}, {32, 43}, {33, 43}});
+  const DbId db = engine.RegisterDatabase(std::move(named));
 
-  // 3. Ask: what is the cheapest way to remove at least 2 of the 4 outputs?
+  // 2. Prepare the query once: parse, dichotomy verdict, linearization,
+  //    dispatch plan. Failures are typed — no exceptions to catch.
   AdpOptions options;
   options.verify = true;  // re-evaluate the query to confirm the effect
-  const AdpSolution sol = ComputeAdp(q, db, /*k=*/2, options);
+  StatusOr<PreparedQuery> prepared =
+      engine.Prepare("Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)", options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
+    return StatusExitCode(prepared.status().code());
+  }
 
-  std::printf("query:            %s\n", q.ToString().c_str());
+  // 3. Pin the database binding into the handle. From here every
+  //    Execute/Submit through the handle skips all cache probes.
+  if (Status bind = prepared->Bind(db); !bind.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", bind.ToString().c_str());
+    return StatusExitCode(bind.code());
+  }
+
+  // 4. Ask: what is the cheapest way to remove at least 2 of the 4 outputs?
+  const AdpResponse resp = engine.Execute(*prepared, /*k=*/2, options);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n",
+                 resp.status.ToString().c_str());
+    return StatusExitCode(resp.status.code());
+  }
+
+  const AdpSolution& sol = resp.solution;
+  const auto& plan = *prepared->plan();
+  std::printf("query:            %s\n", plan.query.ToString().c_str());
+  std::printf("dichotomy:        %s\n", plan.verdict.Summary().c_str());
   std::printf("|Q(D)|:           %lld\n",
               static_cast<long long>(sol.output_count));
   std::printf("target k:         2\n");
@@ -38,10 +68,11 @@ int main() {
               static_cast<long long>(sol.cost),
               sol.exact ? "optimal — query is poly-time solvable"
                         : "heuristic — query is NP-hard");
+  const Database& data = engine.database(db)->db;
   for (const TupleRef& t : sol.tuples) {
     std::printf("  delete %s row %u: (",
-                q.relation(t.relation).name.c_str(), t.row);
-    const Tuple& row = db.rel(t.relation).tuple(t.row);
+                plan.query.relation(t.relation).name.c_str(), t.row);
+    const Tuple& row = data.rel(t.relation).tuple(t.row);
     for (std::size_t c = 0; c < row.size(); ++c) {
       std::printf("%s%lld", c ? ", " : "", static_cast<long long>(row[c]));
     }

@@ -7,6 +7,14 @@
 // until everything outstanding has completed). One queue may receive
 // submissions from any number of threads and engines; the queue must
 // outlive every submission tagged to it.
+//
+// Every submission produces exactly one completion, whatever its outcome:
+// the typed Status round-trips through the queue, so failures arrive as
+// responses with kParseError / kUnknownDatabase / ..., a ticket cancelled
+// via AdpTicket::Cancel arrives as kCancelled (pushed at Cancel() time,
+// not when the dropped solve would have finished), and an expired deadline
+// as kDeadlineExceeded — detected lazily (at worker dequeue, at solver
+// node boundaries, or at delivery; there is no timer thread).
 
 #ifndef ADP_ENGINE_COMPLETION_QUEUE_H_
 #define ADP_ENGINE_COMPLETION_QUEUE_H_

@@ -12,6 +12,44 @@
 namespace adp {
 namespace {
 
+/// Recent-results ring capacity (coalescing admission). Deliberately tiny:
+/// the window is short, and a probe is a linear scan under the engine lock.
+constexpr std::size_t kRecentResultsCapacity = 64;
+
+/// Engine-internal failure carrying the Status code the response should
+/// surface. Thrown by the resolution steps (database lookup, binding) and
+/// mapped back to a Status in SolveNow's catch ladder.
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+AdpResponse FailureResponse(Status status) {
+  AdpResponse resp;
+  resp.status = std::move(status);
+  return resp;
+}
+
+AdpResponse ShutdownResponse() {
+  return FailureResponse(Status(StatusCode::kShutdown, "engine is shut down"));
+}
+
+/// Response for a request dropped before its solve ever ran (cancelled or
+/// expired while queued).
+AdpResponse DroppedResponse(CancelReason reason) {
+  return FailureResponse(
+      reason == CancelReason::kDeadlineExceeded
+          ? Status(StatusCode::kDeadlineExceeded,
+                   "deadline expired before the solve started")
+          : Status(StatusCode::kCancelled,
+                   "cancelled before the solve started"));
+}
+
 // Option knobs that influence Algorithm-2 classification (and hence the
 // dispatch plan). Part of every plan-cache key so that requests with
 // different knobs never share a plan built for the wrong configuration.
@@ -26,12 +64,6 @@ std::string OptionBits(const AdpOptions& options) {
   bits += restricted ? 'r' : '-';
   return bits;
 }
-
-/// The two cache identities of one request; solve is an extension of plan.
-struct RequestKeys {
-  std::string plan;   // plan-cache key
-  std::string solve;  // single-flight dedup key
-};
 
 std::string PlanKey(const AdpRequest& req) {
   if (req.query.has_value()) {
@@ -65,32 +97,6 @@ std::string SolveBits(const AdpOptions& options) {
   return bits;
 }
 
-// Single-flight identity of the data-dependent work: plan key (query
-// structure + relation names + classification knobs) plus database, target,
-// and solve knobs. Restriction sets are compared by pointer — distinct
-// pointers never dedup, which is conservative but always sound.
-// Both keys are derived in one pass so the request path formats the plan
-// key exactly once.
-RequestKeys MakeKeys(const AdpRequest& req) {
-  RequestKeys keys;
-  keys.plan = PlanKey(req);
-  std::string& key = keys.solve;
-  key = keys.plan;
-  key += "|d";
-  key += std::to_string(req.db);
-  key += "|k";
-  key += std::to_string(req.k);
-  key += '|';
-  key += SolveBits(req.options);
-  if (req.options.restrictions != nullptr &&
-      !req.options.restrictions->Empty()) {
-    key += "|r";
-    key += std::to_string(
-        reinterpret_cast<std::uintptr_t>(req.options.restrictions));
-  }
-  return keys;
-}
-
 std::shared_ptr<const CachedPlan> BuildPlan(const AdpRequest& req) {
   auto plan = std::make_shared<CachedPlan>();
   plan->query = req.query.has_value() ? *req.query : ParseQuery(req.query_text);
@@ -110,11 +116,28 @@ std::shared_ptr<const CachedPlan> BuildPlan(const AdpRequest& req) {
   return plan;
 }
 
+std::string PointerKey(const void* p) {
+  return std::to_string(reinterpret_cast<std::uintptr_t>(p));
+}
+
 }  // namespace
+
+// --- PreparedQuery -----------------------------------------------------------
+
+Status PreparedQuery::Bind(DbId db) {
+  if (engine_ == nullptr || plan_ == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "Bind on a default-constructed PreparedQuery");
+  }
+  return engine_->BindPrepared(*this, db);
+}
+
+// --- AdpEngine ---------------------------------------------------------------
 
 AdpEngine::AdpEngine(const EngineConfig& config)
     : config_(config),
       plan_cache_(config.plan_cache_capacity),
+      ticket_counters_(std::make_shared<internal::TicketCounters>()),
       pool_(config.num_workers) {
   if (config_.min_shard_groups > 0) {
     sharding_.min_groups = config_.min_shard_groups;
@@ -150,6 +173,192 @@ std::shared_ptr<const NamedDatabase> AdpEngine::database(DbId id) const {
   return databases_[static_cast<std::size_t>(id)];
 }
 
+void AdpEngine::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+}
+
+bool AdpEngine::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+// --- Keys and admission ------------------------------------------------------
+
+AdpEngine::RequestKeys AdpEngine::KeysFor(const AdpRequest& req) const {
+  RequestKeys keys;
+  if (req.prepared.valid()) {
+    // Prepared hot path: the dedup key is built from pinned-object
+    // identities — no canonical-key derivation, no query-text hashing.
+    keys.solve = req.prepared.base_key_;
+    if (!req.prepared.bound()) {
+      keys.solve += "|d";
+      keys.solve += std::to_string(req.db);
+    }
+  } else {
+    keys.plan = PlanKey(req);
+    keys.solve = keys.plan;
+    keys.solve += "|d";
+    keys.solve += std::to_string(req.db);
+  }
+  std::string& key = keys.solve;
+  key += "|k";
+  key += std::to_string(req.k);
+  key += '|';
+  key += SolveBits(req.options);
+  // Restriction sets are compared by pointer — distinct pointers never
+  // dedup, which is conservative but always sound.
+  if (req.options.restrictions != nullptr &&
+      !req.options.restrictions->Empty()) {
+    key += "|r";
+    key += PointerKey(req.options.restrictions);
+  }
+  return keys;
+}
+
+Status AdpEngine::ValidatePrepared(const AdpRequest& req) const {
+  const PreparedQuery& prepared = req.prepared;
+  if (prepared.engine_ != this) {
+    return Status(StatusCode::kInvalidArgument,
+                  "PreparedQuery belongs to a different engine");
+  }
+  if (OptionBits(req.options) != prepared.option_bits_) {
+    return Status(StatusCode::kInvalidArgument,
+                  "request options disagree with the PreparedQuery's "
+                  "classification knobs (use_singleton / universe_strategy "
+                  "/ restrictions); re-Prepare with these options");
+  }
+  return Status();
+}
+
+std::optional<AdpResponse> AdpEngine::Admit(const std::string& solve_key) {
+  std::shared_ptr<const AdpResponse> hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    if (config_.coalesce_window_ms <= 0 || recent_.empty()) {
+      return std::nullopt;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Newest first; the first key match decides (an older match is staler).
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+      if (it->key != solve_key) continue;
+      const double age_ms =
+          std::chrono::duration<double, std::milli>(now - it->completed)
+              .count();
+      if (age_ms > config_.coalesce_window_ms) break;
+      ++coalesce_hits_;
+      hit = it->response;
+      break;
+    }
+  }
+  if (hit == nullptr) return std::nullopt;
+  // The deep copy (witness tuples can be large) happens outside the lock.
+  AdpResponse resp = *hit;
+  resp.coalesced = true;
+  return resp;
+}
+
+AdpResponse AdpEngine::CountRejected(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    ++failures_;
+  }
+  return FailureResponse(std::move(status));
+}
+
+std::optional<AdpEngine::RecentResult> AdpEngine::MakeRecent(
+    const AdpRequest& req, const std::string& solve_key,
+    const AdpResponse& resp) const {
+  if (config_.coalesce_window_ms <= 0 || !resp.status.ok()) {
+    return std::nullopt;
+  }
+  if (req.options.restrictions != nullptr &&
+      !req.options.restrictions->Empty()) {
+    // The key names the restriction set by address but the engine does not
+    // own it; remembering would let a freed-and-reallocated set match.
+    return std::nullopt;
+  }
+  RecentResult entry;
+  entry.key = solve_key;
+  entry.completed = std::chrono::steady_clock::now();
+  entry.response = std::make_shared<const AdpResponse>(resp);
+  if (req.prepared.valid()) {
+    entry.pins.push_back(req.prepared.plan_);
+    if (req.prepared.bound_ != nullptr) {
+      entry.pins.push_back(req.prepared.bound_);
+    }
+  }
+  return entry;
+}
+
+// --- Prepared queries --------------------------------------------------------
+
+StatusOr<PreparedQuery> AdpEngine::Prepare(const std::string& query_text,
+                                           const AdpOptions& options) {
+  AdpRequest req;
+  req.query_text = query_text;
+  req.options = options;
+  return PrepareRequest(req);
+}
+
+StatusOr<PreparedQuery> AdpEngine::Prepare(const ConjunctiveQuery& query,
+                                           const AdpOptions& options) {
+  AdpRequest req;
+  req.query = query;
+  req.options = options;
+  return PrepareRequest(req);
+}
+
+StatusOr<PreparedQuery> AdpEngine::PrepareRequest(const AdpRequest& req) {
+  if (IsShutdown()) {
+    return Status(StatusCode::kShutdown, "engine is shut down");
+  }
+  const std::string plan_key = PlanKey(req);
+  std::shared_ptr<const CachedPlan> plan;
+  try {
+    plan = GetPlan(req, plan_key, nullptr);
+  } catch (const ParseError& e) {
+    return Status(StatusCode::kParseError, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+  PreparedQuery prepared;
+  prepared.engine_ = this;
+  prepared.plan_ = plan;
+  prepared.fingerprint_ = plan->fingerprint;
+  prepared.plan_key_ = plan_key;
+  prepared.option_bits_ = OptionBits(req.options);
+  prepared.base_key_ = "P|" + PointerKey(plan.get());
+  return prepared;
+}
+
+Status AdpEngine::BindPrepared(PreparedQuery& prepared, DbId db) {
+  std::shared_ptr<const NamedDatabase> named = database(db);
+  if (named == nullptr) {
+    return Status(StatusCode::kUnknownDatabase,
+                  "unknown database id " + std::to_string(db));
+  }
+  std::shared_ptr<const Database> bound;
+  try {
+    bound = BindDatabase(named, *prepared.plan_);
+  } catch (const EngineError& e) {
+    return Status(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+  prepared.named_ = std::move(named);
+  prepared.bound_ = std::move(bound);
+  prepared.db_ = db;
+  prepared.base_key_ =
+      "P|" + PointerKey(prepared.plan_.get()) + "|b" +
+      PointerKey(prepared.bound_.get());
+  return Status();
+}
+
+// --- Resolution --------------------------------------------------------------
+
 std::shared_ptr<const CachedPlan> AdpEngine::GetPlan(
     const AdpRequest& req, const std::string& plan_key, bool* hit) {
   return plan_cache_.GetOrBuild(
@@ -163,10 +372,11 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
     // Positional database: shared as-is, no copy.
     if (named->db.num_relations() !=
         static_cast<std::size_t>(q.num_relations())) {
-      throw std::runtime_error(
+      throw EngineError(
+          StatusCode::kInvalidArgument,
           "positional database has " +
-          std::to_string(named->db.num_relations()) + " relations, query has " +
-          std::to_string(q.num_relations()));
+              std::to_string(named->db.num_relations()) +
+              " relations, query has " + std::to_string(q.num_relations()));
     }
     return std::shared_ptr<const Database>(named, &named->db);
   }
@@ -175,7 +385,7 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
   // name sequence) so batches share one bound copy.
   std::string key;
   key.reserve(32);
-  key += std::to_string(reinterpret_cast<std::uintptr_t>(named.get()));
+  key += PointerKey(named.get());
   for (int i = 0; i < q.num_relations(); ++i) {
     key += '|';
     key += q.relation(i).name;
@@ -207,9 +417,9 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
     if (!found) {
       // Binding an empty instance here would silently turn a relation-name
       // typo into a wrong (usually zero-output) answer.
-      throw std::runtime_error("database has no relation named '" + name +
-                               "' (query body atom " + std::to_string(i) +
-                               ")");
+      throw EngineError(StatusCode::kUnknownRelation,
+                        "database has no relation named '" + name +
+                            "' (query body atom " + std::to_string(i) + ")");
     }
   }
 
@@ -222,35 +432,63 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
   return it->second;
 }
 
-AdpResponse AdpEngine::SolveNow(const AdpRequest& req,
-                                const std::string& plan_key) {
+AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
+                                const CancelToken* cancel) {
   AdpResponse resp;
   Stopwatch total;
   try {
+    // A request cancelled or expired before reaching here must not touch
+    // the caches at all ("never runs the solve").
+    if (cancel != nullptr) cancel->ThrowIfCancelled();
+
+    std::shared_ptr<const CachedPlan> plan;
+    std::shared_ptr<const Database> bound;
     Stopwatch plan_sw;
-    bool hit = false;
-    const std::shared_ptr<const CachedPlan> plan = GetPlan(req, plan_key, &hit);
+    if (req.prepared.valid()) {
+      // Prepared hot path: static work pinned, zero plan-cache traffic.
+      plan = req.prepared.plan_;
+      bound = req.prepared.bound_;  // null when the handle is unbound
+      resp.plan_cache_hit = true;
+    } else {
+      bool hit = false;
+      plan = GetPlan(req, keys.plan, &hit);
+      resp.plan_cache_hit = hit;
+    }
     resp.plan_ms = plan_sw.ElapsedMs();
-    resp.plan_cache_hit = hit;
     resp.fingerprint = plan->fingerprint;
 
-    const std::shared_ptr<const NamedDatabase> named = database(req.db);
-    if (named == nullptr) {
-      throw std::runtime_error("unknown database id " +
-                               std::to_string(req.db));
+    if (bound == nullptr) {
+      const std::shared_ptr<const NamedDatabase> named = database(req.db);
+      if (named == nullptr) {
+        throw EngineError(StatusCode::kUnknownDatabase,
+                          "unknown database id " + std::to_string(req.db));
+      }
+      bound = BindDatabase(named, *plan);
     }
-    const std::shared_ptr<const Database> bound = BindDatabase(named, *plan);
 
     AdpOptions options = req.options;
     options.plan = &plan->dispatch;
     options.stats = &resp.stats;
     options.parallelism = sharding_.run_all ? &sharding_ : nullptr;
+    options.cancel = cancel;
     Stopwatch solve_sw;
     resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
     resp.solve_ms = solve_sw.ElapsedMs();
-    resp.ok = true;
+  } catch (const CancelledError& e) {
+    resp.status = Status(e.reason() == CancelReason::kDeadlineExceeded
+                             ? StatusCode::kDeadlineExceeded
+                             : StatusCode::kCancelled,
+                         e.what());
+  } catch (const ParseError& e) {
+    resp.status = Status(StatusCode::kParseError, e.what());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
+  } catch (const EngineError& e) {
+    resp.status = Status(e.code(), e.what());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
   } catch (const std::exception& e) {
-    resp.error = e.what();
+    resp.status = Status(StatusCode::kInternal, e.what());
     std::lock_guard<std::mutex> lock(mu_);
     ++failures_;
   }
@@ -258,139 +496,239 @@ AdpResponse AdpEngine::SolveNow(const AdpRequest& req,
   return resp;
 }
 
-std::shared_ptr<AdpEngine::InflightSolve> AdpEngine::Lead(
-    const std::string& key, std::function<void(const AdpResponse&)> on_done) {
+// --- Single flight -----------------------------------------------------------
+
+std::shared_ptr<AdpEngine::InflightSolve> AdpEngine::LeadOrJoin(
+    const std::string& key, const std::shared_ptr<internal::TicketImpl>& ticket,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++requests_;  // every request passes through Lead exactly once
   auto it = inflight_.find(key);
   if (it != inflight_.end()) {
-    if (on_done != nullptr) {
-      ++dedup_hits_;
-      it->second->waiters.push_back(std::move(on_done));
+    if (ticket != nullptr) {
+      // AddParticipant registers and fired-checks atomically under the
+      // group mutex, so a successful join can never land on a solve that
+      // was cancelled between probe and registration.
+      if (it->second->group->AddParticipant(deadline)) {
+        ++dedup_hits_;
+        ticket->group = it->second->group;
+        it->second->followers.push_back(ticket);
+        return nullptr;  // joined as a follower
+      }
+      // Stale entry (solve already torn down): replace it below.
+    } else if (it->second->group->solve_token().Check() ==
+               CancelReason::kNone) {
+      // Sync (null ticket): the caller solves independently — joining
+      // would couple its latency to queue depth.
+      return nullptr;
     }
-    return nullptr;
   }
+  // No entry, or a stale one whose shared solve was already cancelled /
+  // expired (its queued task will still retire it; the erase-if-same guard
+  // in PublishInflight keeps it from clobbering this fresh entry).
   auto state = std::make_shared<InflightSolve>();
-  inflight_.emplace(key, state);
+  state->group = std::make_shared<internal::SolveCancelGroup>();
+  state->group->AddParticipant(deadline);  // fresh group: always succeeds
+  state->leader = ticket;
+  if (ticket != nullptr) ticket->group = state->group;
+  inflight_[key] = state;
   return state;
 }
 
 void AdpEngine::PublishInflight(const std::string& key,
                                 const std::shared_ptr<InflightSolve>& state,
-                                const AdpResponse& resp) {
-  std::vector<std::function<void(const AdpResponse&)>> waiters;
+                                const AdpResponse& resp,
+                                std::optional<RecentResult> recent) {
+  std::shared_ptr<internal::TicketImpl> leader;
+  std::vector<std::shared_ptr<internal::TicketImpl>> followers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end() && it->second == state) inflight_.erase(it);
-    waiters.swap(state->waiters);
-  }
-  if (waiters.empty()) return;
-  AdpResponse shared = resp;
-  shared.deduped = true;
-  for (const auto& w : waiters) {
-    try {
-      w(shared);
-    } catch (...) {
-      // A throwing user callback must not starve the remaining waiters,
-      // break Execute's never-throws contract, or kill a pool worker.
+    leader = std::move(state->leader);
+    followers.swap(state->followers);
+    if (recent.has_value()) {
+      recent_.push_back(*std::move(recent));
+      while (recent_.size() > kRecentResultsCapacity) recent_.pop_front();
     }
   }
+  if (leader != nullptr) internal::Deliver(*leader, resp);
+  if (followers.empty()) return;
+  AdpResponse shared = resp;
+  shared.deduped = true;
+  for (const auto& f : followers) internal::Deliver(*f, shared);
 }
 
-AdpResponse AdpEngine::Execute(const AdpRequest& req) {
-  // The synchronous path leads but never follows: an identical in-flight
-  // leader may still be *queued* behind arbitrary pool work, so joining it
-  // would couple this call's latency to queue depth (and from a worker
-  // thread could deadlock outright). Solving immediately keeps Execute's
-  // one-solve latency promise; async arrivals may still join this solve.
-  const RequestKeys keys = MakeKeys(req);
-  const std::shared_ptr<InflightSolve> lead = Lead(keys.solve, nullptr);
+// --- Request entry points ----------------------------------------------------
+
+AdpResponse AdpEngine::ExecuteImpl(const AdpRequest& req) {
+  if (IsShutdown()) return ShutdownResponse();
+  if (req.prepared.valid()) {
+    Status valid = ValidatePrepared(req);
+    if (!valid.ok()) return CountRejected(std::move(valid));
+  }
+  const RequestKeys keys = KeysFor(req);
+  if (std::optional<AdpResponse> coalesced = Admit(keys.solve)) {
+    // An already-expired deadline beats a coalesced result, matching the
+    // async path (whose ticket substitutes kDeadlineExceeded at delivery).
+    if (req.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *req.deadline) {
+      return DroppedResponse(CancelReason::kDeadlineExceeded);
+    }
+    return *std::move(coalesced);
+  }
+
+  // The synchronous path leads but never follows (see LeadOrJoin).
+  const std::shared_ptr<InflightSolve> lead =
+      LeadOrJoin(keys.solve, nullptr, req.deadline);
   AdpResponse resp;
+  const CancelToken* cancel = nullptr;
+  CancelToken solo;
+  if (lead != nullptr) {
+    cancel = &lead->group->solve_token();
+  } else if (req.deadline.has_value()) {
+    solo = CancelToken::Make();
+    solo.SetDeadline(*req.deadline);
+    cancel = &solo;
+  }
   try {
-    resp = SolveNow(req, keys.plan);
+    resp = SolveNow(req, keys, cancel);
   } catch (...) {
     // SolveNow absorbs std::exception itself; anything else must still
     // retire the in-flight entry (followers would hang forever on a
     // leaked leader) and keep Execute's never-throws contract.
-    resp.ok = false;
-    resp.error = "internal error: solve terminated abnormally";
+    resp = FailureResponse(
+        Status(StatusCode::kInternal, "solve terminated abnormally"));
     std::lock_guard<std::mutex> lock(mu_);
     ++failures_;
   }
-  if (lead != nullptr) PublishInflight(keys.solve, lead, resp);
+  if (lead != nullptr) {
+    PublishInflight(keys.solve, lead, resp, MakeRecent(req, keys.solve, resp));
+  }
   return resp;
 }
 
-std::future<AdpResponse> AdpEngine::Submit(AdpRequest req) {
+AdpResponse AdpEngine::Execute(const AdpRequest& req) {
+  AdpResponse resp = ExecuteImpl(req);
+  // The sync path has no ticket, so terminal cancelled/expired outcomes
+  // are counted here (async paths count through Deliver).
+  if (resp.status.code() == StatusCode::kDeadlineExceeded) {
+    ticket_counters_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  } else if (resp.status.code() == StatusCode::kCancelled) {
+    ticket_counters_->cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  return resp;
+}
+
+AdpResponse AdpEngine::Execute(const PreparedQuery& prepared, std::int64_t k,
+                               const AdpOptions& options) {
+  AdpRequest req;
+  req.prepared = prepared;
+  req.db = prepared.bound_db();
+  req.k = k;
+  req.options = options;
+  return Execute(req);
+}
+
+std::future<AdpResponse> AdpEngine::Submit(AdpRequest req, AdpTicket* ticket) {
   // Future-flavored SubmitAsync: same dedup, same nested-submission
   // inlining (a worker-thread caller gets a ready future back).
   auto promise = std::make_shared<std::promise<AdpResponse>>();
   std::future<AdpResponse> fut = promise->get_future();
-  SubmitAsync(std::move(req),
-              [promise](AdpResponse r) { promise->set_value(std::move(r)); });
+  AdpTicket t = SubmitAsync(std::move(req), [promise](AdpResponse r) {
+    promise->set_value(std::move(r));
+  });
+  if (ticket != nullptr) *ticket = std::move(t);
   return fut;
 }
 
-void AdpEngine::SubmitAsync(AdpRequest req,
-                            std::function<void(AdpResponse)> done) {
+std::future<AdpResponse> AdpEngine::Submit(const PreparedQuery& prepared,
+                                           std::int64_t k,
+                                           const AdpOptions& options,
+                                           AdpTicket* ticket) {
+  AdpRequest req;
+  req.prepared = prepared;
+  req.db = prepared.bound_db();
+  req.k = k;
+  req.options = options;
+  return Submit(std::move(req), ticket);
+}
+
+AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
+                                 std::function<void(AdpResponse)> done) {
+  auto impl = std::make_shared<internal::TicketImpl>();
+  impl->done = std::move(done);
+  impl->counters = ticket_counters_;
+  if (req.deadline.has_value()) impl->own.SetDeadline(*req.deadline);
+  AdpTicket ticket(impl);
+
   if (pool_.IsWorkerThread()) {
-    AdpResponse resp = Execute(req);
-    try {
-      done(std::move(resp));
-    } catch (...) {
-      // See PublishInflight: callbacks must not take the engine down.
-    }
-    return;
+    // Nested submission: run inline rather than deadlocking the pool.
+    internal::Deliver(*impl, ExecuteImpl(req));
+    return ticket;
   }
-  auto shared_done =
-      std::make_shared<std::function<void(AdpResponse)>>(std::move(done));
-  const RequestKeys keys = MakeKeys(req);
-  const std::shared_ptr<InflightSolve> lead = Lead(
-      keys.solve, [shared_done](const AdpResponse& r) { (*shared_done)(r); });
-  if (lead == nullptr) return;
+  if (IsShutdown()) {
+    internal::Deliver(*impl, ShutdownResponse());
+    return ticket;
+  }
+  if (req.prepared.valid()) {
+    Status valid = ValidatePrepared(req);
+    if (!valid.ok()) {
+      internal::Deliver(*impl, CountRejected(std::move(valid)));
+      return ticket;
+    }
+  }
+
+  const RequestKeys keys = KeysFor(req);
+  if (std::optional<AdpResponse> coalesced = Admit(keys.solve)) {
+    internal::Deliver(*impl, *std::move(coalesced));
+    return ticket;
+  }
+  const std::shared_ptr<InflightSolve> lead =
+      LeadOrJoin(keys.solve, impl, req.deadline);
+  if (lead == nullptr) return ticket;  // joined an identical in-flight solve
+
   // From here the in-flight entry MUST be retired on every path — a leaked
   // leader would hang all future identical requests — so both the solve
   // and the enqueue are exception-proofed.
   try {
-    pool_.Submit([this, req = std::move(req), keys, lead, shared_done] {
+    pool_.Submit([this, req = std::move(req), keys, lead] {
       AdpResponse resp;
-      try {
-        resp = SolveNow(req, keys.plan);
-      } catch (...) {
-        resp.ok = false;
-        resp.error = "internal error: solve terminated abnormally";
-        std::lock_guard<std::mutex> lock(mu_);
-        ++failures_;
+      const CancelReason queued = lead->group->solve_token().Check();
+      if (queued != CancelReason::kNone) {
+        // Cancelled or expired while queued: the solve never runs — no
+        // plan probe, no binding probe, no ComputeAdp.
+        resp = DroppedResponse(queued);
+      } else {
+        try {
+          resp = SolveNow(req, keys, &lead->group->solve_token());
+        } catch (...) {
+          resp = FailureResponse(
+              Status(StatusCode::kInternal, "solve terminated abnormally"));
+          std::lock_guard<std::mutex> lock(mu_);
+          ++failures_;
+        }
       }
-      PublishInflight(keys.solve, lead, resp);
-      try {
-        (*shared_done)(std::move(resp));
-      } catch (...) {
-        // See PublishInflight: callbacks must not take the engine down.
-      }
+      PublishInflight(keys.solve, lead, resp,
+                      MakeRecent(req, keys.solve, resp));
     });
   } catch (...) {
-    // The callback is the sole failure signal (`done` fires exactly once);
-    // rethrowing too would double-report the submission.
-    AdpResponse failure;
-    failure.error = "internal error: failed to enqueue request";
+    // The ticket delivery is the sole failure signal (`done` fires exactly
+    // once); rethrowing too would double-report the submission.
+    AdpResponse failure = FailureResponse(
+        Status(StatusCode::kInternal, "failed to enqueue request"));
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++failures_;
     }
-    PublishInflight(keys.solve, lead, failure);
-    try {
-      (*shared_done)(std::move(failure));
-    } catch (...) {
-    }
+    PublishInflight(keys.solve, lead, failure, std::nullopt);
   }
+  return ticket;
 }
 
-void AdpEngine::SubmitToQueue(AdpRequest req, CompletionQueue& cq,
-                              std::uint64_t tag) {
+AdpTicket AdpEngine::SubmitToQueue(AdpRequest req, CompletionQueue& cq,
+                                   std::uint64_t tag) {
   cq.AddPending();
-  SubmitAsync(std::move(req), [&cq, tag](AdpResponse resp) {
+  return SubmitAsync(std::move(req), [&cq, tag](AdpResponse resp) {
     cq.Push(Completion{tag, std::move(resp)});
   });
 }
@@ -406,17 +744,23 @@ std::vector<AdpResponse> AdpEngine::ExecuteBatch(
   return out;
 }
 
+// --- Introspection -----------------------------------------------------------
+
 EngineCounters AdpEngine::counters() const {
   EngineCounters c;
   c.plan_hits = plan_cache_.hits();
   c.plan_misses = plan_cache_.misses();
   c.plan_cache_size = plan_cache_.size();
+  c.cancelled = ticket_counters_->cancelled.load(std::memory_order_relaxed);
+  c.deadline_expired =
+      ticket_counters_->deadline_expired.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   c.requests = requests_;
   c.failures = failures_;
   c.binding_hits = binding_hits_;
   c.binding_misses = binding_misses_;
   c.dedup_hits = dedup_hits_;
+  c.coalesce_hits = coalesce_hits_;
   c.databases = databases_.size();
   return c;
 }
@@ -425,14 +769,24 @@ void AdpEngine::ClearCaches() {
   plan_cache_.Clear();
   std::lock_guard<std::mutex> lock(mu_);
   bindings_.clear();
+  recent_.clear();
 }
 
 std::shared_ptr<const CachedPlan> AdpEngine::PlanFor(const AdpRequest& req,
-                                                     std::string* error) {
+                                                     Status* status) {
+  if (req.prepared.valid()) {
+    if (status != nullptr) *status = Status();
+    return req.prepared.plan();
+  }
   try {
-    return GetPlan(req, PlanKey(req), nullptr);
+    auto plan = GetPlan(req, PlanKey(req), nullptr);
+    if (status != nullptr) *status = Status();
+    return plan;
+  } catch (const ParseError& e) {
+    if (status != nullptr) *status = Status(StatusCode::kParseError, e.what());
+    return nullptr;
   } catch (const std::exception& e) {
-    if (error != nullptr) *error = e.what();
+    if (status != nullptr) *status = Status(StatusCode::kInternal, e.what());
     return nullptr;
   }
 }

@@ -6,46 +6,61 @@
 //              linearization, Algorithm-2 dispatch tree. Query-complexity
 //              work, independent of the data; memoized in a PlanCache keyed
 //              by query text / canonical fingerprint (plus the option knobs
-//              that influence classification).
+//              that influence classification), and pinnable ahead of time
+//              via Prepare() -> PreparedQuery.
 //   dynamic  — the data-dependent solve (ComputeAdp with AdpOptions::plan
 //              set), run on a fixed-size worker pool.
 //
 // Databases are registered once and interned as shared immutable instances;
 // per-(query, database) positional bindings are cached too, so a batch of
-// requests against one database shares a single bound copy.
+// requests against one database shares a single bound copy. A
+// PreparedQuery::Bind pins one binding into the handle, so the
+// prepare-once / execute-many hot path performs no key derivation, plan
+// probes, or binding probes at all.
 //
-// Three mechanisms keep the pool busy and the work deduplicated:
+// Failures are typed: every AdpResponse carries a Status (engine/status.h)
+// whose code distinguishes parse errors, unknown databases/relations,
+// cancellation, deadline expiry, and shutdown. Factory entry points
+// (Prepare) return StatusOr.
+//
+// Mechanisms that keep the pool busy and the work deduplicated:
 //
 //   * intra-request sharding — one large request's Universe partition
 //     groups (Algorithm 4) are fanned out across the pool via
-//     ThreadPool::RunAll, so a single solve parallelizes internally
-//     (EngineConfig::min_shard_groups);
-//   * async submission — SubmitAsync invokes a callback on completion, and
-//     SubmitToQueue delivers tagged completions to a CompletionQueue with
-//     Poll/Next/Drain, so callers are not future-bound;
+//     ThreadPool::RunAll (EngineConfig::min_shard_groups);
+//   * async submission — Submit (future), SubmitAsync (callback), and
+//     SubmitToQueue (tagged CompletionQueue) all return an AdpTicket
+//     supporting Cancel(); AdpRequest::deadline bounds queue wait + solve;
 //   * single-flight solve dedup — identical concurrent (plan key, db, k,
-//     solve knobs) requests share one solve: the first becomes the leader,
-//     the rest receive copies of its response (AdpResponse::deduped,
-//     EngineCounters::dedup_hits).
+//     solve knobs) requests share one solve (AdpResponse::deduped); the
+//     shared solve is cancelled only when every participant cancels;
+//   * coalescing admission — with EngineConfig::coalesce_window_ms > 0,
+//     a request identical to one that *completed* within the window is
+//     served from a small recent-results ring without re-solving
+//     (AdpResponse::coalesced, EngineCounters::coalesce_hits).
 //
-// Thread safety: all public methods are safe to call concurrently, including
-// from inside engine callbacks (nested submissions run inline rather than
-// deadlocking the pool).
+// Thread safety: all public methods are safe to call concurrently,
+// including from inside engine callbacks (nested submissions run inline
+// rather than deadlocking the pool).
 //
 //   AdpEngine engine({.num_workers = 4});
 //   DbId db = engine.RegisterDatabase(std::move(named_db));
-//   auto fut = engine.Submit({.query_text = "Q(A) :- R1(A,B), R2(B)",
-//                             .db = db, .k = 2});
-//   AdpResponse r = fut.get();
+//   auto prepared = engine.Prepare("Q(A) :- R1(A,B), R2(B)");
+//   if (!prepared.ok()) return StatusExitCode(prepared.status().code());
+//   prepared->Bind(db);
+//   AdpResponse r = engine.Execute(*prepared, /*k=*/2);
 
 #ifndef ADP_ENGINE_ENGINE_H_
 #define ADP_ENGINE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,7 +68,9 @@
 #include "engine/completion_queue.h"
 #include "engine/plan_cache.h"
 #include "engine/request.h"
+#include "engine/status.h"
 #include "engine/thread_pool.h"
+#include "engine/ticket.h"
 #include "relational/database.h"
 
 namespace adp {
@@ -61,9 +78,9 @@ namespace adp {
 /// A database whose relations are addressed by name. `relation_names` is
 /// parallel to `db`'s instances; at request time each body atom of the
 /// query is bound to the instance with the matching name. A query naming a
-/// relation the database does not have is an error (reported through
-/// AdpResponse::error) — silently binding an empty instance would turn a
-/// typo into a wrong answer.
+/// relation the database does not have fails with kUnknownRelation —
+/// silently binding an empty instance would turn a typo into a wrong
+/// answer.
 /// When `relation_names` is empty the database is *positional*: it must
 /// align with the query body index-for-index and is shared without copying.
 struct NamedDatabase {
@@ -87,19 +104,38 @@ struct EngineConfig {
   /// (Parallelism::min_groups). 0 disables sharding — every request then
   /// runs single-threaded, parallel only across requests.
   std::size_t min_shard_groups = 4;
+
+  /// Dedup-aware admission window: a request identical to one that
+  /// completed successfully within the last `coalesce_window_ms`
+  /// milliseconds is answered from a small recent-results ring instead of
+  /// re-solving. 0 disables coalescing (every request solves, modulo
+  /// in-flight dedup). Serving a result up to this stale must be
+  /// acceptable to the caller.
+  double coalesce_window_ms = 0.0;
 };
 
 /// Monotonic counters, snapshot via AdpEngine::counters().
 struct EngineCounters {
+  /// Requests admitted — counted whatever the outcome, except kShutdown
+  /// rejections (the engine is no longer serving).
   std::uint64_t requests = 0;
+  /// Responses with a genuine error status (parse, unknown db/relation,
+  /// invalid prepared handle, internal). Cancelled / expired requests are
+  /// counted separately.
   std::uint64_t failures = 0;
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
   std::uint64_t binding_hits = 0;
   std::uint64_t binding_misses = 0;
   /// Requests served by joining an identical in-flight solve (the solve ran
-  /// once; these received copies). requests - dedup_hits = solves started.
+  /// once; these received copies).
   std::uint64_t dedup_hits = 0;
+  /// Requests served from the recent-results ring (coalescing admission).
+  std::uint64_t coalesce_hits = 0;
+  /// Requests whose response was kCancelled (AdpTicket::Cancel won).
+  std::uint64_t cancelled = 0;
+  /// Requests whose response was kDeadlineExceeded.
+  std::uint64_t deadline_expired = 0;
   std::size_t plan_cache_size = 0;
   std::size_t databases = 0;
 };
@@ -124,59 +160,126 @@ class AdpEngine {
   /// The interned database, or nullptr for an unknown id.
   std::shared_ptr<const NamedDatabase> database(DbId id) const;
 
+  // --- Prepared queries ----------------------------------------------------
+
+  /// Builds (or fetches from the plan cache) the static work for the query
+  /// and returns a handle pinning it. `options` matters only through its
+  /// classification-relevant knobs (use_singleton, universe_strategy,
+  /// presence of restrictions); executions through the handle must use
+  /// options agreeing on those knobs, or fail with kInvalidArgument.
+  /// Call PreparedQuery::Bind(db) afterwards to also pin the binding.
+  StatusOr<PreparedQuery> Prepare(const std::string& query_text,
+                                  const AdpOptions& options = {});
+  StatusOr<PreparedQuery> Prepare(const ConjunctiveQuery& query,
+                                  const AdpOptions& options = {});
+
   // --- Requests ------------------------------------------------------------
 
   /// Runs `req` synchronously in the calling thread. Never throws: failures
-  /// are reported via AdpResponse::ok / error. Leads the single-flight
-  /// entry when none exists (concurrent async arrivals then share this
-  /// solve) but never *joins* one — an in-flight leader may still be queued
-  /// behind other work, and the sync path keeps one-solve latency.
+  /// are reported via AdpResponse::status. Leads the single-flight entry
+  /// when none exists (concurrent async arrivals then share this solve) but
+  /// never *joins* one — an in-flight leader may still be queued behind
+  /// other work, and the sync path keeps one-solve latency.
   AdpResponse Execute(const AdpRequest& req);
+
+  /// Prepared-handle hot path: no key derivation, no cache probes.
+  AdpResponse Execute(const PreparedQuery& prepared, std::int64_t k,
+                      const AdpOptions& options = {});
 
   /// Enqueues `req` on the worker pool. An identical in-flight request is
   /// joined instead of enqueued (the returned future then completes with a
-  /// copy of the leader's response, deduped = true).
-  std::future<AdpResponse> Submit(AdpRequest req);
+  /// copy of the leader's response, deduped = true). If `ticket` is
+  /// non-null it receives the request's cancellation handle.
+  std::future<AdpResponse> Submit(AdpRequest req, AdpTicket* ticket = nullptr);
 
-  /// Enqueues `req`; `done` is invoked exactly once with the response, on
-  /// the worker (or deduped leader's) thread that completed it — including
-  /// on failures, which arrive as a failed AdpResponse rather than an
-  /// exception. When called from inside a pool worker the request runs —
-  /// and `done` fires — inline before SubmitAsync returns. `done` should
-  /// not throw; an exception escaping it is caught and dropped (it would
-  /// otherwise starve other deduped waiters or kill a worker thread).
-  void SubmitAsync(AdpRequest req, std::function<void(AdpResponse)> done);
+  /// Prepared-handle variant of Submit.
+  std::future<AdpResponse> Submit(const PreparedQuery& prepared,
+                                  std::int64_t k,
+                                  const AdpOptions& options = {},
+                                  AdpTicket* ticket = nullptr);
 
-  /// Enqueues `req`; on completion pushes {tag, response} onto `cq`.
-  /// `cq` must outlive the submission (consume with Poll/Next/Drain).
-  void SubmitToQueue(AdpRequest req, CompletionQueue& cq, std::uint64_t tag);
+  /// Enqueues `req`; `done` is invoked exactly once with the response —
+  /// by the worker that completed it, by the deduped leader's completion,
+  /// or by AdpTicket::Cancel / deadline expiry (failures arrive as a
+  /// response with the matching Status, never as an exception). When called
+  /// from inside a pool worker the request runs — and `done` fires — inline
+  /// before SubmitAsync returns. `done` should not throw; an exception
+  /// escaping it is caught and dropped. Returns the request's ticket.
+  AdpTicket SubmitAsync(AdpRequest req, std::function<void(AdpResponse)> done);
+
+  /// Enqueues `req`; on completion (including cancellation/expiry) pushes
+  /// {tag, response} onto `cq`. `cq` must outlive the submission (consume
+  /// with Poll/Next/Drain). Returns the request's ticket.
+  AdpTicket SubmitToQueue(AdpRequest req, CompletionQueue& cq,
+                          std::uint64_t tag);
 
   /// Runs a batch on the worker pool and returns responses in request
   /// order (blocking). Safe to call from inside a pool worker.
   std::vector<AdpResponse> ExecuteBatch(std::vector<AdpRequest> reqs);
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  /// Fail-fast shutdown gate: after this, every new request (and Prepare)
+  /// is answered with kShutdown without solving. Requests already admitted
+  /// drain normally; the destructor implies a drain either way. Idempotent.
+  void Shutdown();
 
   // --- Introspection -------------------------------------------------------
 
   EngineCounters counters() const;
   int num_workers() const { return pool_.num_threads(); }
 
-  /// Drops the plan cache and the binding cache. In-flight requests keep
-  /// the shared plans/bindings they already hold; later requests rebuild.
+  /// Drops the plan cache, the binding cache, and the recent-results ring.
+  /// In-flight requests and PreparedQuery handles keep the shared
+  /// plans/bindings they already hold; later requests rebuild.
   void ClearCaches();
 
   /// The cached plan a request would use, building it on demand; nullptr
-  /// with `error` filled on parse failure. Useful for EXPLAIN-style tools.
+  /// with `status` filled on failure. Useful for EXPLAIN-style tools.
   std::shared_ptr<const CachedPlan> PlanFor(const AdpRequest& req,
-                                            std::string* error = nullptr);
+                                            Status* status = nullptr);
 
  private:
-  /// A solve shared by every identical request that arrived while it was
-  /// in flight. Waiters are registered and the map entry erased under mu_,
-  /// so a joiner either sees the entry (and its callback fires) or becomes
-  /// the next leader.
-  struct InflightSolve {
-    std::vector<std::function<void(const AdpResponse&)>> waiters;
+  friend class PreparedQuery;
+
+  /// The two cache identities of one request; solve extends plan.
+  struct RequestKeys {
+    std::string plan;   // plan-cache key (empty for prepared handles)
+    std::string solve;  // single-flight dedup / coalesce key
   };
+
+  /// A solve shared by every identical request that arrived while it was
+  /// in flight. Tickets are registered and the map entry erased under mu_,
+  /// so a joiner either sees the entry (and its delivery fires at publish)
+  /// or becomes the next leader.
+  struct InflightSolve {
+    std::shared_ptr<internal::TicketImpl> leader;  // null for sync leaders
+    std::vector<std::shared_ptr<internal::TicketImpl>> followers;
+    std::shared_ptr<internal::SolveCancelGroup> group;
+  };
+
+  /// One completed solve, kept for coalescing admission. `pins` keep alive
+  /// every object whose address appears in `key` (a PreparedQuery's plan
+  /// and binding) — without them the allocator could reuse a freed plan's
+  /// address within the window and a later, different request would match
+  /// this entry (ABA) and be served the wrong result.
+  struct RecentResult {
+    std::string key;
+    std::chrono::steady_clock::time_point completed;
+    std::shared_ptr<const AdpResponse> response;
+    std::vector<std::shared_ptr<const void>> pins;
+  };
+
+  RequestKeys KeysFor(const AdpRequest& req) const;
+
+  /// kInvalidArgument when req.prepared belongs to another engine or its
+  /// classification knobs disagree with req.options; OK otherwise.
+  Status ValidatePrepared(const AdpRequest& req) const;
+
+  StatusOr<PreparedQuery> PrepareRequest(const AdpRequest& req);
+
+  /// Pins the binding for `db` into `prepared` (PreparedQuery::Bind body).
+  Status BindPrepared(PreparedQuery& prepared, DbId db);
 
   std::shared_ptr<const CachedPlan> GetPlan(const AdpRequest& req,
                                             const std::string& plan_key,
@@ -185,38 +288,71 @@ class AdpEngine {
       const std::shared_ptr<const NamedDatabase>& named,
       const CachedPlan& plan);
 
+  /// Counts the request and probes the recent-results ring. Returns the
+  /// coalesced response on a hit (deep-copied outside the engine lock).
+  std::optional<AdpResponse> Admit(const std::string& solve_key);
+
+  /// Counts a request rejected before admission (invalid prepared handle)
+  /// as one request and one failure, and returns its failure response.
+  AdpResponse CountRejected(Status status);
+
+  /// Builds the recent-results ring entry for (req, resp), or nullopt when
+  /// the result must not be remembered: coalescing disabled, a failed
+  /// response, or a key naming caller-owned memory the ring cannot pin
+  /// (deletion restrictions). Called outside mu_ (deep-copies `resp`).
+  std::optional<RecentResult> MakeRecent(const AdpRequest& req,
+                                         const std::string& solve_key,
+                                         const AdpResponse& resp) const;
+
   /// The full request pipeline (plan, bind, solve), without dedup or
-  /// request counting. `plan_key` is the precomputed plan-cache key of
-  /// `req` (callers derive it alongside the dedup key).
-  AdpResponse SolveNow(const AdpRequest& req, const std::string& plan_key);
+  /// request counting. `keys` are the precomputed cache keys of `req`;
+  /// `cancel`, when non-null, is polled by the solver recursion.
+  AdpResponse SolveNow(const AdpRequest& req, const RequestKeys& keys,
+                       const CancelToken* cancel);
 
-  /// Counts the request and probes the single-flight table. Returns a
-  /// fresh in-flight record when this request becomes the leader for
-  /// `key`, else nullptr. A non-null `on_done` joins an existing entry as
-  /// a follower (fires with the leader's response, deduped set; counted in
-  /// dedup_hits); a null `on_done` (sync path, which never waits) leaves
-  /// an existing entry untouched and the caller solves independently.
-  std::shared_ptr<InflightSolve> Lead(
-      const std::string& key, std::function<void(const AdpResponse&)> on_done);
+  /// Execute minus the terminal cancelled/expired counter bump (so the
+  /// inline SubmitAsync path can count through Deliver instead).
+  AdpResponse ExecuteImpl(const AdpRequest& req);
 
-  /// Leader side: publishes `resp` to every waiter and retires the entry.
+  /// Probes the single-flight table under mu_. Returns a fresh in-flight
+  /// record when this request becomes the leader for `key` (ticket may be
+  /// null: sync leaders have no cancellation handle), else null — either
+  /// `ticket` joined the existing entry as a follower (its delivery fires
+  /// with the leader's response, deduped set; counted in dedup_hits), or
+  /// the caller was synchronous and solves independently. An entry whose
+  /// shared solve has already been cancelled is replaced, never joined.
+  std::shared_ptr<InflightSolve> LeadOrJoin(
+      const std::string& key,
+      const std::shared_ptr<internal::TicketImpl>& ticket,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  /// Leader side: retires the entry, remembers `recent` (if any) for
+  /// coalescing, and delivers to the leader's and every follower's ticket.
   void PublishInflight(const std::string& key,
                        const std::shared_ptr<InflightSolve>& state,
-                       const AdpResponse& resp);
+                       const AdpResponse& resp,
+                       std::optional<RecentResult> recent);
+
+  bool IsShutdown() const;
 
   const EngineConfig config_;
   PlanCache plan_cache_;
   Parallelism sharding_;  // run_all bound to pool_; unset if disabled
+  std::shared_ptr<internal::TicketCounters> ticket_counters_;
 
-  mutable std::mutex mu_;  // guards databases_, bindings_, inflight_, counters
+  mutable std::mutex mu_;  // guards databases_, bindings_, inflight_,
+                           // recent_, counters, shutdown_
   std::vector<std::shared_ptr<const NamedDatabase>> databases_;
   std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
   std::unordered_map<std::string, std::shared_ptr<InflightSolve>> inflight_;
+  std::deque<RecentResult> recent_;  // newest at back; bounded ring
+  bool shutdown_ = false;
   std::uint64_t requests_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t binding_hits_ = 0;
   std::uint64_t binding_misses_ = 0;
   std::uint64_t dedup_hits_ = 0;
+  std::uint64_t coalesce_hits_ = 0;
 
   ThreadPool pool_;  // last member: workers must die before state above
 };

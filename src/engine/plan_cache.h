@@ -11,6 +11,11 @@
 // outside it. Concurrent requests for the same key are single-flighted —
 // the first caller builds, the rest block on a shared_future — so a burst
 // of identical queries does the static work exactly once.
+//
+// Entries are handed out as shared_ptr<const CachedPlan>, so holders —
+// in-flight solves, and PreparedQuery handles, which pin their plan for
+// the handle's whole lifetime — keep a plan alive across LRU eviction and
+// Clear(); the cache only controls what future lookups can *find*.
 
 #ifndef ADP_ENGINE_PLAN_CACHE_H_
 #define ADP_ENGINE_PLAN_CACHE_H_

@@ -1,49 +1,124 @@
-// Request/response types of the ADP engine.
+// Request/response/handle types of the ADP engine.
 
 #ifndef ADP_ENGINE_REQUEST_H_
 #define ADP_ENGINE_REQUEST_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "engine/status.h"
 #include "query/query.h"
 #include "solver/compute_adp.h"
 #include "solver/solution.h"
 
 namespace adp {
 
+class AdpEngine;
+class Database;
+struct CachedPlan;
+struct NamedDatabase;
+
 /// Handle of a database registered with an AdpEngine.
 using DbId = int;
 inline constexpr DbId kInvalidDbId = -1;
 
-/// One ADP(Q, D, k) request. The query is given either as Datalog-style
-/// text (parsed once, then served from the plan cache) or pre-parsed.
+/// A handle pinning the cached static work of one query — parsed form,
+/// dichotomy verdict, dispatch plan, fingerprint — and, once Bind() has
+/// been called, one database binding. Obtained from AdpEngine::Prepare.
+///
+/// Executing through a bound handle is the prepare-once / execute-many hot
+/// path: the engine skips plan-key derivation, plan-cache probes, and
+/// binding-cache probes entirely and goes straight to the data-dependent
+/// solve.
+///
+/// Handles are cheap to copy (shared immutable state) and safe to use from
+/// any thread, but must not outlive the engine that prepared them, and a
+/// handle is only valid with the engine it came from.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  /// True iff this handle came from a successful Prepare.
+  bool valid() const { return plan_ != nullptr; }
+
+  /// True iff Bind pinned a database binding.
+  bool bound() const { return bound_ != nullptr; }
+
+  /// Pins the binding for `db` (positional share or by-name bind, resolved
+  /// once here instead of per request). Rebinding replaces the pin.
+  Status Bind(DbId db);
+
+  /// Canonical fingerprint of the prepared query (0 when !valid()).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Database pinned by Bind, or kInvalidDbId.
+  DbId bound_db() const { return db_; }
+
+  /// The pinned plan; nullptr when !valid().
+  const std::shared_ptr<const CachedPlan>& plan() const { return plan_; }
+
+ private:
+  friend class AdpEngine;
+
+  AdpEngine* engine_ = nullptr;
+  std::shared_ptr<const CachedPlan> plan_;
+  std::shared_ptr<const NamedDatabase> named_;  // set by Bind
+  std::shared_ptr<const Database> bound_;       // set by Bind
+  DbId db_ = kInvalidDbId;
+  std::uint64_t fingerprint_ = 0;
+  std::string plan_key_;     // the text-path plan-cache key this handle pins
+  std::string option_bits_;  // classification knobs the plan was built with
+  std::string base_key_;     // dedup-key prefix (plan + binding identity)
+};
+
+/// One ADP(Q, D, k) request. The query is given as Datalog-style text
+/// (parsed once, then served from the plan cache), pre-parsed, or as a
+/// PreparedQuery handle whose static work — and, when bound, database
+/// binding — was resolved ahead of time.
 struct AdpRequest {
-  /// Query text, e.g. "Q(A) :- R1(A,B), R2(B)". Used when `query` is unset.
+  /// Query text, e.g. "Q(A) :- R1(A,B), R2(B)". Used when neither `query`
+  /// nor `prepared` is set.
   std::string query_text;
 
   /// Pre-parsed query; takes precedence over `query_text` when set.
   std::optional<ConjunctiveQuery> query;
 
-  /// Database handle from AdpEngine::RegisterDatabase.
+  /// Prepared handle; wins over `query` and `query_text` when valid. When
+  /// bound it also supplies the database and `db` is ignored.
+  PreparedQuery prepared;
+
+  /// Database handle from AdpEngine::RegisterDatabase. Ignored when
+  /// `prepared` is bound.
   DbId db = kInvalidDbId;
 
   /// Deletion target (number of output tuples to remove).
   std::int64_t k = 0;
 
-  /// Solver knobs. `options.plan`, `options.stats`, and
-  /// `options.parallelism` are engine-managed and ignored;
+  /// Absolute deadline. A request whose deadline passes while still queued
+  /// is dropped without ever solving; one that expires mid-solve aborts at
+  /// the next recursion node boundary. Either way the response arrives
+  /// with Status kDeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Solver knobs. `options.plan`, `options.stats`, `options.parallelism`,
+  /// and `options.cancel` are engine-managed and ignored;
   /// `options.restrictions`, if set, must outlive the request.
   AdpOptions options;
 };
 
 /// Result of one request.
 struct AdpResponse {
-  /// False iff the request failed (parse error, unknown database, ...);
-  /// `error` then describes the failure and `solution` is default-valued.
-  bool ok = false;
-  std::string error;
+  /// Typed outcome: status.ok() iff `solution` is valid; otherwise code()
+  /// identifies the failure (kParseError, kUnknownDatabase,
+  /// kUnknownRelation, kCancelled, kDeadlineExceeded, kShutdown, ...) and
+  /// message() carries the detail.
+  Status status;
+
+  /// Shorthand for status.ok().
+  bool ok() const { return status.ok(); }
 
   AdpSolution solution;
 
@@ -53,14 +128,19 @@ struct AdpResponse {
   /// 64-bit canonical fingerprint of the (parsed) query.
   std::uint64_t fingerprint = 0;
 
-  /// True iff the plan-cache lookup hit (parse + dichotomy + linearization
-  /// + dispatch-tree work all skipped).
+  /// True iff the static work was served without building (a plan-cache
+  /// hit, or a PreparedQuery pin).
   bool plan_cache_hit = false;
 
   /// True iff this response was served by joining an identical in-flight
   /// solve (cross-request single-flight deduplication): solution, stats,
   /// and timings are copies of the leader request's.
   bool deduped = false;
+
+  /// True iff this response was served from the recent-results ring: an
+  /// identical request completed within EngineConfig::coalesce_window_ms
+  /// and its response was reused without a new solve.
+  bool coalesced = false;
 
   /// Wall-clock timings. `plan_ms` covers plan-cache lookup including any
   /// miss-path construction (parse + classification + linearization);

@@ -1,0 +1,126 @@
+// Typed error propagation for the engine API.
+//
+// Status carries a machine-readable StatusCode plus a human-readable
+// message; StatusOr<T> is a Status-or-value union for factory functions
+// (AdpEngine::Prepare). Codes are stable and exhaustive — callers dispatch
+// on code(), never on message text — and every code maps to a distinct
+// process exit code for CLI tools (StatusExitCode).
+
+#ifndef ADP_ENGINE_STATUS_H_
+#define ADP_ENGINE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace adp {
+
+/// Outcome of one engine operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kParseError = 1,        // query text did not parse
+  kUnknownDatabase = 2,   // DbId was never registered
+  kUnknownRelation = 3,   // query names a relation the database lacks
+  kInvalidArgument = 4,   // malformed request (arity mismatch, stale handle)
+  kCancelled = 5,         // AdpTicket::Cancel fired before completion
+  kDeadlineExceeded = 6,  // AdpRequest::deadline passed before completion
+  kShutdown = 7,          // engine is shut down
+  kInternal = 8,          // unexpected failure inside the engine
+};
+
+/// Stable upper-case name of a code, e.g. "DEADLINE_EXCEEDED".
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kUnknownDatabase: return "UNKNOWN_DATABASE";
+    case StatusCode::kUnknownRelation: return "UNKNOWN_RELATION";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kShutdown: return "SHUTDOWN";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Distinct process exit code per status for CLI tools: 0 for kOk,
+/// 10 + code otherwise. Exit codes 1..9 stay free for tool-specific
+/// conditions (usage errors, infeasible targets, ...).
+constexpr int StatusExitCode(StatusCode code) {
+  return code == StatusCode::kOk ? 0 : 10 + static_cast<int>(code);
+}
+
+/// A code plus a message. Default-constructed Status is OK; any other code
+/// carries a description of the failure.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DEADLINE_EXCEEDED: solve aborted ..." (just "OK" when ok()).
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status explaining why there is no T.
+template <typename T>
+class StatusOr {
+ public:
+  /// Failure. Constructing from an OK status without a value is a logic
+  /// error and degrades to kInternal rather than fabricating a T.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "StatusOr constructed from an OK status with no value");
+    }
+  }
+
+  /// Success.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK iff ok().
+  const Status& status() const { return status_; }
+
+  /// Requires ok(); use status() first on failure paths.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_STATUS_H_

@@ -124,6 +124,7 @@ AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options) {
 
 AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
                        std::int64_t cap, const AdpOptions& options) {
+  ThrowIfCancelled(options);
   if (cap <= 0) return TrivialNode(options);
   const PlanEntry* entry = nullptr;
   switch (Classify(q, options, &entry)) {
@@ -143,6 +144,7 @@ AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
 
 AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
                        std::int64_t k, const AdpOptions& options) {
+  ThrowIfCancelled(options);
   // Lemma 12: push selections down first.
   const ConjunctiveQuery* query = &q;
   const Database* data = &db;

@@ -24,6 +24,7 @@
 #include "solver/profile.h"
 #include "solver/restrictions.h"
 #include "solver/solution.h"
+#include "util/cancel.h"
 
 namespace adp {
 
@@ -128,7 +129,21 @@ struct AdpOptions {
   /// outlive the solve. Engine-managed on requests that go through
   /// AdpEngine (like `plan` and `stats`).
   const Parallelism* parallelism = nullptr;
+
+  /// Cooperative cancellation/deadline token, polled at recursion node
+  /// boundaries — including sharded sub-solves and the long inner loops of
+  /// the Decompose case. A fired token aborts the solve by throwing
+  /// CancelledError (util/cancel.h). Not owned; must outlive the solve.
+  /// Engine-managed on requests that go through AdpEngine.
+  const CancelToken* cancel = nullptr;
 };
+
+/// Polls options.cancel and throws CancelledError iff it has fired. Called
+/// at every recursion node boundary; sub-solvers with long internal loops
+/// poll it themselves.
+inline void ThrowIfCancelled(const AdpOptions& options) {
+  if (options.cancel != nullptr) options.cancel->ThrowIfCancelled();
+}
 
 /// Solves ADP(Q, D, k). `q` may carry selections; `db` must be the root
 /// database (instances indexed as in `q`).

@@ -119,6 +119,7 @@ std::shared_ptr<DecomposeState> BuildChildren(const Components& parts,
                                               const AdpOptions& options) {
   auto state = std::make_shared<DecomposeState>();
   for (std::size_t idx : parts.order) {
+    ThrowIfCancelled(options);
     const std::int64_t child_cap = std::min(parts.m[idx], cap);
     state->children.push_back(ComputeAdpNode(
         parts.subs[idx].query, parts.dbs[idx], child_cap, options));
@@ -145,6 +146,7 @@ AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
     // Build the profile by probing every target (ablation-only path).
     std::vector<std::int64_t> cost(static_cast<std::size_t>(out_kmax) + 1, 0);
     for (std::int64_t j = 1; j <= out_kmax; ++j) {
+      ThrowIfCancelled(options);
       cost[j] = EnumerateVectors(*state, j, nullptr);
     }
     node.profile = CostProfile(std::move(cost));
@@ -229,6 +231,7 @@ DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
   std::int64_t prefix_m = state->m[0];
   state->choices.resize(n);
   for (std::size_t i = 1; i + 1 < n; ++i) {
+    ThrowIfCancelled(options);
     const std::int64_t prefix_cap =
         std::min(k, SatMul(prefix_m, state->m[i]));
     CheckProfileLimit(prefix_cap);
@@ -241,6 +244,7 @@ DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
 
   const AdpNode& last = state->children[n - 1];
   const std::int64_t mb = state->m[n - 1];
+  ThrowIfCancelled(options);
   std::int64_t best_k1 = 0;
   std::int64_t best_k2 = 0;
   for (std::int64_t k2 = 0; k2 <= last.profile.kmax(); ++k2) {

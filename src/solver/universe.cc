@@ -167,6 +167,9 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
         try {
           AdpOptions shard = options;
           if (options.stats) shard.stats = &shard_stats[i];
+          // Sharded sub-solves poll the token too: a cancel that lands
+          // mid-fan-out stops the remaining shards at their boundary.
+          ThrowIfCancelled(shard);
           state->children[i] =
               ComputeAdpNode(residual, groups[i].db, cap, shard);
         } catch (...) {
@@ -184,6 +187,7 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
   } else {
     state->children.reserve(groups.size());
     for (UniverseGroup& g : groups) {
+      ThrowIfCancelled(options);
       state->children.push_back(ComputeAdpNode(residual, g.db, cap, options));
     }
   }

@@ -1,0 +1,133 @@
+// Cooperative cancellation and deadlines for long-running solves.
+//
+// A CancelToken is a small shared handle: producers call Cancel() or arm a
+// deadline; consumers poll Check() at coarse work boundaries. The ComputeAdp
+// recursion polls at every node (AdpOptions::cancel), including sharded
+// sub-solves, so a fired token aborts a solve within one node's worth of
+// work by throwing CancelledError. A Check() is one relaxed atomic load on
+// the fast path plus, while a deadline is armed, one steady_clock read.
+//
+// Tokens are copyable; every copy observes the same shared state. The first
+// Cancel()/expiry wins and is sticky — a token never un-fires.
+
+#ifndef ADP_UTIL_CANCEL_H_
+#define ADP_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace adp {
+
+/// Why a token fired.
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,         // explicit Cancel()
+  kDeadlineExceeded = 2,  // armed deadline passed
+};
+
+/// Thrown out of the solver recursion when its token fires; the engine maps
+/// it to Status kCancelled / kDeadlineExceeded.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(reason == CancelReason::kDeadlineExceeded
+                               ? "solve aborted: deadline exceeded"
+                               : "solve aborted: cancelled"),
+        reason_(reason) {}
+
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  /// An empty token: Check() is kNone forever and Cancel() is a no-op.
+  /// Use Make() for a live one.
+  CancelToken() = default;
+
+  static CancelToken Make() {
+    return CancelToken(std::make_shared<State>());
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Fires the token. The first reason to land is sticky. Returns true iff
+  /// this call performed the transition.
+  bool Cancel(CancelReason reason = CancelReason::kCancelled) const {
+    if (state_ == nullptr || reason == CancelReason::kNone) return false;
+    int expected = 0;
+    return state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(reason), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  /// Arms (or replaces) an absolute deadline. Expiry is detected lazily at
+  /// the next Check(); an already-fired token is unaffected.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) const {
+    if (state_ == nullptr) return;
+    state_->deadline_ns.store(deadline.time_since_epoch().count(),
+                              std::memory_order_relaxed);
+    state_->has_deadline.store(true, std::memory_order_release);
+  }
+
+  /// Disarms the deadline. An expiry that already fired stays fired.
+  void ClearDeadline() const {
+    if (state_ != nullptr) {
+      state_->has_deadline.store(false, std::memory_order_release);
+    }
+  }
+
+  /// kNone while live; the sticky reason once fired. Promotes a passed
+  /// deadline to the fired state as a side effect (so expiry observed once
+  /// is observed forever, even if the deadline is later re-armed).
+  CancelReason Check() const {
+    if (state_ == nullptr) return CancelReason::kNone;
+    const int fired = state_->reason.load(std::memory_order_acquire);
+    if (fired != 0) return static_cast<CancelReason>(fired);
+    if (state_->has_deadline.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            state_->deadline_ns.load(std::memory_order_relaxed)) {
+      // CAS, not store: an explicit Cancel() racing in keeps its reason.
+      int expected = 0;
+      state_->reason.compare_exchange_strong(
+          expected, static_cast<int>(CancelReason::kDeadlineExceeded),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+      return static_cast<CancelReason>(
+          state_->reason.load(std::memory_order_acquire));
+    }
+    return CancelReason::kNone;
+  }
+
+  /// Throws CancelledError iff the token has fired.
+  void ThrowIfCancelled() const {
+    const CancelReason reason = Check();
+    if (reason != CancelReason::kNone) throw CancelledError(reason);
+  }
+
+  /// Token identity (same shared state), not fired-state equality.
+  friend bool operator==(const CancelToken& a, const CancelToken& b) {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  struct State {
+    std::atomic<int> reason{0};  // CancelReason; 0 = live
+    std::atomic<bool> has_deadline{false};
+    std::atomic<std::int64_t> deadline_ns{0};  // steady_clock epoch ticks
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace adp
+
+#endif  // ADP_UTIL_CANCEL_H_

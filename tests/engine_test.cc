@@ -1,11 +1,14 @@
 // AdpEngine: plan-cache accounting, equivalence with the direct ComputeAdp
-// path, database interning, error handling, and a multi-threaded smoke test.
+// path, database interning, typed Status errors, PreparedQuery hot path,
+// cancellation/deadline tickets, coalescing admission, and multi-threaded
+// smoke tests.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "query/parser.h"
 #include "solver/compute_adp.h"
 #include "test_util.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace adp {
@@ -36,6 +40,27 @@ NamedDatabase Fig1NamedDb() {
   return named;
 }
 
+/// Occupies the single worker of `engine` until `release` is satisfied, and
+/// resolves `plugged` once the worker is provably busy. Used to make "still
+/// queued" states deterministic.
+struct WorkerPlug {
+  std::promise<void> plugged;
+  std::promise<void> release;
+
+  void Install(AdpEngine& engine, DbId db) {
+    AdpRequest plug;
+    plug.query_text = "Q() :- R1(A,B)";
+    plug.db = db;
+    plug.k = 0;
+    auto released = std::make_shared<std::future<void>>(release.get_future());
+    engine.SubmitAsync(plug, [this, released](AdpResponse) {
+      plugged.set_value();
+      released->wait();
+    });
+    plugged.get_future().wait();
+  }
+};
+
 TEST(AdpEngineTest, PlanCacheHitAndMissCounting) {
   AdpEngine engine(EngineConfig{.num_workers = 1});
   const DbId db = engine.RegisterDatabase(Fig1NamedDb());
@@ -46,11 +71,11 @@ TEST(AdpEngineTest, PlanCacheHitAndMissCounting) {
   req.k = 2;
 
   AdpResponse first = engine.Execute(req);
-  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
   EXPECT_FALSE(first.plan_cache_hit);
 
   AdpResponse second = engine.Execute(req);
-  ASSERT_TRUE(second.ok) << second.error;
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
   EXPECT_TRUE(second.plan_cache_hit);
   EXPECT_EQ(second.fingerprint, first.fingerprint);
 
@@ -64,7 +89,7 @@ TEST(AdpEngineTest, PlanCacheHitAndMissCounting) {
   // A structurally different query is a fresh miss.
   AdpRequest other = req;
   other.query_text = "Q() :- R1(A,B), R2(B,C), R3(C,E)";
-  ASSERT_TRUE(engine.Execute(other).ok);
+  ASSERT_TRUE(engine.Execute(other).ok());
   EXPECT_EQ(engine.counters().plan_misses, 2u);
 }
 
@@ -84,7 +109,7 @@ TEST(AdpEngineTest, MatchesDirectComputeAdp) {
     req.k = k;
     req.options.verify = true;
     const AdpResponse resp = engine.Execute(req);
-    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
 
     AdpOptions options;
     options.verify = true;
@@ -107,7 +132,7 @@ TEST(AdpEngineTest, PreParsedQueriesShareCanonicalPlans) {
   req.query = ParseQuery(kChainText);
   req.db = db;
   req.k = 2;
-  ASSERT_TRUE(engine.Execute(req).ok);
+  ASSERT_TRUE(engine.Execute(req).ok());
 
   // A renamed copy canonicalizes to the same plan key.
   AdpRequest renamed;
@@ -115,7 +140,7 @@ TEST(AdpEngineTest, PreParsedQueriesShareCanonicalPlans) {
   renamed.db = db;
   renamed.k = 2;
   const AdpResponse resp = engine.Execute(renamed);
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.status.ToString();
   EXPECT_TRUE(resp.plan_cache_hit);
 }
 
@@ -145,7 +170,7 @@ TEST(AdpEngineTest, StructurallyIdenticalQueriesOverDifferentRelationsDoNotShare
   r_req.db = r_id;
   r_req.k = 1;
   const AdpResponse r_resp = engine.Execute(r_req);
-  ASSERT_TRUE(r_resp.ok) << r_resp.error;
+  ASSERT_TRUE(r_resp.ok()) << r_resp.status.ToString();
   EXPECT_EQ(r_resp.solution.output_count, 1);
 
   AdpRequest s_req;
@@ -153,7 +178,7 @@ TEST(AdpEngineTest, StructurallyIdenticalQueriesOverDifferentRelationsDoNotShare
   s_req.db = s_id;
   s_req.k = 1;
   const AdpResponse s_resp = engine.Execute(s_req);
-  ASSERT_TRUE(s_resp.ok) << s_resp.error;
+  ASSERT_TRUE(s_resp.ok()) << s_resp.status.ToString();
   // Before the fix this hit R1/R2's plan, bound empty instances, and
   // reported output_count == 0.
   EXPECT_EQ(s_resp.solution.output_count, 1);
@@ -169,7 +194,7 @@ TEST(AdpEngineTest, DatabaseInterningSharesBindings) {
   req.query_text = kChainText;
   req.db = db;
   req.k = 1;
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(engine.Execute(req).ok);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(engine.Execute(req).ok());
 
   const EngineCounters c = engine.counters();
   EXPECT_EQ(c.binding_misses, 1u);
@@ -177,7 +202,7 @@ TEST(AdpEngineTest, DatabaseInterningSharesBindings) {
   EXPECT_EQ(c.databases, 1u);
 }
 
-TEST(AdpEngineTest, ErrorsAreReportedNotThrown) {
+TEST(AdpEngineTest, ErrorsCarryTypedStatusCodes) {
   AdpEngine engine(EngineConfig{.num_workers = 1});
   const DbId db = engine.RegisterDatabase(Fig1NamedDb());
 
@@ -185,20 +210,40 @@ TEST(AdpEngineTest, ErrorsAreReportedNotThrown) {
   bad_query.query_text = "this is not datalog";
   bad_query.db = db;
   const AdpResponse r1 = engine.Execute(bad_query);
-  EXPECT_FALSE(r1.ok);
-  EXPECT_FALSE(r1.error.empty());
+  EXPECT_EQ(r1.status.code(), StatusCode::kParseError);
+  EXPECT_FALSE(r1.status.message().empty());
 
   AdpRequest bad_db;
   bad_db.query_text = kChainText;
   bad_db.db = 999;
   const AdpResponse r2 = engine.Execute(bad_db);
-  EXPECT_FALSE(r2.ok);
-  EXPECT_NE(r2.error.find("database"), std::string::npos);
+  EXPECT_EQ(r2.status.code(), StatusCode::kUnknownDatabase);
+  EXPECT_NE(r2.status.message().find("database"), std::string::npos);
 
-  // A failed parse is not cached: the next occurrence fails afresh (miss).
-  const AdpResponse r3 = engine.Execute(bad_query);
-  EXPECT_FALSE(r3.ok);
-  EXPECT_EQ(engine.counters().failures, 3u);
+  AdpRequest bad_rel;
+  bad_rel.query_text = "Q(A,B,C) :- R1(A,B), R9(B,C)";  // R9 does not exist
+  bad_rel.db = db;
+  bad_rel.k = 1;
+  const AdpResponse r3 = engine.Execute(bad_rel);
+  EXPECT_EQ(r3.status.code(), StatusCode::kUnknownRelation);
+  EXPECT_NE(r3.status.message().find("R9"), std::string::npos)
+      << r3.status.ToString();
+
+  // A failed parse is not cached: the next occurrence fails afresh.
+  const AdpResponse r4 = engine.Execute(bad_query);
+  EXPECT_EQ(r4.status.code(), StatusCode::kParseError);
+  EXPECT_EQ(engine.counters().failures, 4u);
+
+  // Correctly named atoms still bind.
+  bad_rel.query_text = kChainText;
+  EXPECT_TRUE(engine.Execute(bad_rel).ok());
+
+  // Every code has a distinct name and exit code.
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusExitCode(StatusCode::kOk), 0);
+  EXPECT_NE(StatusExitCode(StatusCode::kParseError),
+            StatusExitCode(StatusCode::kCancelled));
 }
 
 TEST(AdpEngineTest, BatchPreservesRequestOrder) {
@@ -219,7 +264,7 @@ TEST(AdpEngineTest, BatchPreservesRequestOrder) {
   const Database direct_db = Fig1NamedDb().db;
   // Batch order must match request order: check each k against direct.
   for (std::int64_t k = 0; k <= 4; ++k) {
-    ASSERT_TRUE(out[static_cast<std::size_t>(k)].ok);
+    ASSERT_TRUE(out[static_cast<std::size_t>(k)].ok());
     const AdpSolution direct = ComputeAdp(q, direct_db, k, AdpOptions{});
     EXPECT_EQ(out[static_cast<std::size_t>(k)].solution.cost, direct.cost);
   }
@@ -261,7 +306,7 @@ TEST(AdpEngineTest, ConcurrentMixedWorkloadSmoke) {
   for (int i = 0; i < 120; ++i) {
     const Case& c = cases[static_cast<std::size_t>(i) % cases.size()];
     const AdpResponse& resp = out[static_cast<std::size_t>(i)];
-    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
     const AdpSolution direct =
         ComputeAdp(c.query, engine.database(c.db)->db, c.k, AdpOptions{});
     ASSERT_EQ(resp.solution.cost, direct.cost) << "request " << i;
@@ -280,46 +325,14 @@ TEST(AdpEngineTest, ConcurrentMixedWorkloadSmoke) {
   EXPECT_GE(c.plan_hits + c.dedup_hits, 108u);
 }
 
-TEST(AdpEngineTest, MissingRelationNameIsAnError) {
-  // Regression: a query atom whose name is absent from the named database
-  // used to bind a default-constructed empty instance, silently turning a
-  // typo into a wrong (zero-output) answer.
-  AdpEngine engine(EngineConfig{.num_workers = 1});
-  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
-
-  AdpRequest req;
-  req.query_text = "Q(A,B,C) :- R1(A,B), R9(B,C)";  // R9 does not exist
-  req.db = db;
-  req.k = 1;
-  const AdpResponse resp = engine.Execute(req);
-  EXPECT_FALSE(resp.ok);
-  EXPECT_NE(resp.error.find("R9"), std::string::npos) << resp.error;
-  EXPECT_EQ(engine.counters().failures, 1u);
-
-  // Correctly named atoms still bind.
-  req.query_text = kChainText;
-  EXPECT_TRUE(engine.Execute(req).ok);
-}
-
 // N identical concurrent requests must perform exactly one solve: the first
 // becomes the leader, the rest join its in-flight entry and receive copies.
 TEST(AdpEngineTest, IdenticalConcurrentRequestsShareOneSolve) {
   AdpEngine engine(EngineConfig{.num_workers = 1});
   const DbId db = engine.RegisterDatabase(Fig1NamedDb());
 
-  // Plug the single worker: its completion callback blocks until released,
-  // so every submission below is provably in flight at the same time.
-  std::promise<void> plugged;
-  std::promise<void> release;
-  AdpRequest plug;
-  plug.query_text = "Q() :- R1(A,B)";
-  plug.db = db;
-  plug.k = 0;
-  engine.SubmitAsync(plug, [&](AdpResponse) {
-    plugged.set_value();
-    release.get_future().wait();
-  });
-  plugged.get_future().wait();
+  WorkerPlug plug;
+  plug.Install(engine, db);
 
   AdpRequest req;
   req.query_text = kChainText;
@@ -328,12 +341,12 @@ TEST(AdpEngineTest, IdenticalConcurrentRequestsShareOneSolve) {
   constexpr int kIdentical = 8;
   std::vector<std::future<AdpResponse>> futures;
   for (int i = 0; i < kIdentical; ++i) futures.push_back(engine.Submit(req));
-  release.set_value();
+  plug.release.set_value();
 
   int deduped = 0;
   for (auto& fut : futures) {
     const AdpResponse resp = fut.get();
-    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
     EXPECT_EQ(resp.solution.cost, 1);
     if (resp.deduped) ++deduped;
   }
@@ -360,12 +373,14 @@ TEST(AdpEngineTest, SubmitAsyncInvokesCallback) {
   req.db = db;
   req.k = 2;
   std::promise<AdpResponse> done;
-  engine.SubmitAsync(req, [&](AdpResponse r) { done.set_value(std::move(r)); });
+  const AdpTicket ticket = engine.SubmitAsync(
+      req, [&](AdpResponse r) { done.set_value(std::move(r)); });
+  EXPECT_TRUE(ticket.valid());
   auto fut = done.get_future();
   ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
             std::future_status::ready);
   const AdpResponse resp = fut.get();
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.status.ToString();
   EXPECT_EQ(resp.solution.cost, 1);
 }
 
@@ -391,7 +406,7 @@ TEST(AdpEngineTest, CompletionQueueDeliversTaggedCompletions) {
     ASSERT_LT(c.tag, 6u);
     EXPECT_FALSE(seen[c.tag]);
     seen[c.tag] = true;
-    ASSERT_TRUE(c.response.ok) << c.response.error;
+    ASSERT_TRUE(c.response.ok()) << c.response.status.ToString();
     const AdpSolution direct =
         ComputeAdp(q, direct_db, static_cast<std::int64_t>(c.tag), {});
     EXPECT_EQ(c.response.solution.cost, direct.cost) << "tag " << c.tag;
@@ -409,7 +424,66 @@ TEST(AdpEngineTest, CompletionQueueDeliversTaggedCompletions) {
   const auto next = cq.Next();
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(next->tag, 42u);
-  EXPECT_TRUE(next->response.ok);
+  EXPECT_TRUE(next->response.ok());
+}
+
+// The typed Status must round-trip through the CompletionQueue unchanged:
+// one completion per submission whatever the outcome, each carrying the
+// code the synchronous path would have reported.
+TEST(AdpEngineTest, StatusRoundTripsThroughCompletionQueue) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  CompletionQueue cq;
+  AdpRequest good;
+  good.query_text = kChainText;
+  good.db = db;
+  good.k = 2;
+  engine.SubmitToQueue(good, cq, 1);
+
+  AdpRequest bad_parse;
+  bad_parse.query_text = "not datalog";
+  bad_parse.db = db;
+  engine.SubmitToQueue(bad_parse, cq, 2);
+
+  AdpRequest bad_db;
+  bad_db.query_text = kChainText;
+  bad_db.db = 999;
+  engine.SubmitToQueue(bad_db, cq, 3);
+
+  std::vector<Completion> done = cq.Drain();
+  ASSERT_EQ(done.size(), 3u);
+  for (const Completion& c : done) {
+    switch (c.tag) {
+      case 1:
+        EXPECT_EQ(c.response.status.code(), StatusCode::kOk);
+        break;
+      case 2:
+        EXPECT_EQ(c.response.status.code(), StatusCode::kParseError);
+        break;
+      case 3:
+        EXPECT_EQ(c.response.status.code(), StatusCode::kUnknownDatabase);
+        break;
+      default:
+        FAIL() << "unexpected tag " << c.tag;
+    }
+  }
+
+  // A cancellation round-trips too — pushed at Cancel() time, while the
+  // request is still queued behind the plugged worker.
+  WorkerPlug plug;
+  plug.Install(engine, db);
+  AdpRequest queued;
+  queued.query_text = kChainText;
+  queued.db = db;
+  queued.k = 3;
+  AdpTicket ticket = engine.SubmitToQueue(queued, cq, 4);
+  EXPECT_TRUE(ticket.Cancel());
+  const auto completion = cq.Next();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->tag, 4u);
+  EXPECT_EQ(completion->response.status.code(), StatusCode::kCancelled);
+  plug.release.set_value();
 }
 
 // Regression: ExecuteBatch/Submit from inside a pool worker used to park
@@ -443,7 +517,7 @@ TEST(AdpEngineTest, NestedBatchFromWorkerRunsInline) {
       << "nested ExecuteBatch deadlocked";
   const std::vector<AdpResponse> out = fut.get();
   ASSERT_EQ(out.size(), 3u);
-  for (const AdpResponse& r : out) EXPECT_TRUE(r.ok) << r.error;
+  for (const AdpResponse& r : out) EXPECT_TRUE(r.ok()) << r.status.ToString();
 }
 
 // Intra-request sharding must be invisible in the results: a sharded solve
@@ -474,8 +548,9 @@ TEST(AdpEngineTest, IntraRequestShardingMatchesSequential) {
     req.db = sequential.RegisterDatabase(std::move(db));
     const AdpResponse b = sequential.Execute(req);
 
-    ASSERT_EQ(a.ok, b.ok) << "iter " << iter << ": " << a.error << b.error;
-    if (!a.ok) continue;
+    ASSERT_EQ(a.ok(), b.ok()) << "iter " << iter << ": "
+                              << a.status.ToString() << b.status.ToString();
+    if (!a.ok()) continue;
     EXPECT_EQ(a.solution.cost, b.solution.cost) << "iter " << iter;
     EXPECT_EQ(a.solution.exact, b.solution.exact) << "iter " << iter;
     EXPECT_EQ(a.solution.feasible, b.solution.feasible) << "iter " << iter;
@@ -518,7 +593,7 @@ TEST(AdpEngineTest, ClearCachesUnderLoadStaysCorrect) {
         req.db = db;
         req.k = k;
         const AdpResponse resp = engine.Execute(req);
-        if (!resp.ok ||
+        if (!resp.ok() ||
             resp.solution.cost != expected[static_cast<std::size_t>(k)]) {
           ++mismatches;
         }
@@ -550,9 +625,648 @@ TEST(AdpEngineTest, LruEvictionBoundsCacheSize) {
     req.query_text = text;
     req.db = db;
     req.k = 0;
-    ASSERT_TRUE(engine.Execute(req).ok);
+    ASSERT_TRUE(engine.Execute(req).ok());
   }
   EXPECT_LE(engine.counters().plan_cache_size, 2u);
+}
+
+// --- PreparedQuery -----------------------------------------------------------
+
+// The acceptance bar of the prepared hot path: after Prepare + Bind, a
+// request performs ZERO plan-cache and ZERO binding-cache probes, while the
+// text path pays one of each per request.
+TEST(AdpEngineTest, PreparedHotPathSkipsCacheProbes) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  StatusOr<PreparedQuery> prepared = engine.Prepare(kChainText);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_TRUE(prepared->valid());
+  ASSERT_NE(prepared->fingerprint(), 0u);
+  ASSERT_TRUE(prepared->Bind(db).ok());
+  ASSERT_TRUE(prepared->bound());
+  EXPECT_EQ(prepared->bound_db(), db);
+
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database direct_db = Fig1NamedDb().db;
+
+  constexpr int kRequests = 10;
+  const EngineCounters before = engine.counters();
+  for (int i = 0; i < kRequests; ++i) {
+    const AdpResponse resp = engine.Execute(*prepared, /*k=*/2);
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+    EXPECT_TRUE(resp.plan_cache_hit);  // static work pinned
+    EXPECT_EQ(resp.solution.cost, ComputeAdp(q, direct_db, 2, {}).cost);
+    EXPECT_EQ(resp.fingerprint, prepared->fingerprint());
+  }
+  const EngineCounters after = engine.counters();
+  EXPECT_EQ(after.requests, before.requests + kRequests);
+  // Zero per-request cache traffic on the prepared path.
+  EXPECT_EQ(after.plan_hits, before.plan_hits);
+  EXPECT_EQ(after.plan_misses, before.plan_misses);
+  EXPECT_EQ(after.binding_hits, before.binding_hits);
+  EXPECT_EQ(after.binding_misses, before.binding_misses);
+
+  // Text path: one plan probe and one binding probe per request.
+  for (int i = 0; i < kRequests; ++i) {
+    AdpRequest req;
+    req.query_text = kChainText;
+    req.db = db;
+    req.k = 2;
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  const EngineCounters text = engine.counters();
+  EXPECT_EQ(text.plan_hits + text.plan_misses,
+            after.plan_hits + after.plan_misses + kRequests);
+  EXPECT_EQ(text.binding_hits + text.binding_misses,
+            after.binding_hits + after.binding_misses + kRequests);
+}
+
+TEST(AdpEngineTest, PreparedUnboundResolvesDatabasePerRequest) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  StatusOr<PreparedQuery> prepared = engine.Prepare(kChainText);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_FALSE(prepared->bound());
+
+  AdpRequest req;
+  req.prepared = *prepared;
+  req.db = db;
+  req.k = 2;
+  const EngineCounters before = engine.counters();
+  const AdpResponse resp = engine.Execute(req);
+  ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.solution.cost, 1);
+  const EngineCounters after = engine.counters();
+  // Plan pinned (no plan probe), but the binding resolves per request.
+  EXPECT_EQ(after.plan_hits + after.plan_misses,
+            before.plan_hits + before.plan_misses);
+  EXPECT_EQ(after.binding_hits + after.binding_misses,
+            before.binding_hits + before.binding_misses + 1);
+
+  // Unknown database id still fails typed.
+  req.db = 777;
+  EXPECT_EQ(engine.Execute(req).status.code(), StatusCode::kUnknownDatabase);
+}
+
+TEST(AdpEngineTest, PreparedSubmitAndDedupAcrossHandleAndCopies) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  StatusOr<PreparedQuery> prepared = engine.Prepare(kChainText);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->Bind(db).ok());
+  const PreparedQuery copy = *prepared;  // handles are cheap value types
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  std::vector<std::future<AdpResponse>> futures;
+  futures.push_back(engine.Submit(*prepared, /*k=*/2));
+  futures.push_back(engine.Submit(copy, /*k=*/2));  // same pinned identity
+  plug.release.set_value();
+
+  int deduped = 0;
+  for (auto& fut : futures) {
+    const AdpResponse resp = fut.get();
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+    EXPECT_EQ(resp.solution.cost, 1);
+    if (resp.deduped) ++deduped;
+  }
+  EXPECT_EQ(deduped, 1);
+  EXPECT_EQ(engine.counters().dedup_hits, 1u);
+}
+
+TEST(AdpEngineTest, PreparedValidationIsTyped) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  AdpEngine other(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  // Parse failure comes back as a Status, not an exception.
+  EXPECT_EQ(engine.Prepare("not a query").status().code(),
+            StatusCode::kParseError);
+
+  StatusOr<PreparedQuery> prepared = engine.Prepare(kChainText);
+  ASSERT_TRUE(prepared.ok());
+
+  // Binding to a database the engine doesn't know.
+  EXPECT_EQ(prepared->Bind(123).code(), StatusCode::kUnknownDatabase);
+  // Binding a handle that was never prepared.
+  PreparedQuery blank;
+  EXPECT_EQ(blank.Bind(db).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(prepared->Bind(db).ok());
+
+  // A handle is only valid with the engine that prepared it.
+  EXPECT_EQ(other.Execute(*prepared, 2).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Classification-relevant option knobs must match Prepare's.
+  AdpOptions mismatched;
+  mismatched.use_singleton = false;
+  EXPECT_EQ(engine.Execute(*prepared, 2, mismatched).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Solve-only knobs (heuristic choice, counting) are free to vary.
+  AdpOptions counting;
+  counting.counting_only = true;
+  EXPECT_TRUE(engine.Execute(*prepared, 2, counting).ok());
+}
+
+// A prepared query naming a relation the database lacks fails at Bind time
+// with kUnknownRelation — not at execute time, and never silently.
+TEST(AdpEngineTest, PreparedBindReportsUnknownRelation) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  StatusOr<PreparedQuery> prepared =
+      engine.Prepare("Q(A,B) :- R1(A,B), R9(B,C)");
+  ASSERT_TRUE(prepared.ok());  // static work is data-independent
+  const Status bind = prepared->Bind(db);
+  EXPECT_EQ(bind.code(), StatusCode::kUnknownRelation);
+  EXPECT_NE(bind.message().find("R9"), std::string::npos);
+}
+
+// --- Cancellation and deadlines ----------------------------------------------
+
+// A Cancel() issued before the worker dequeues the request must (a) deliver
+// kCancelled immediately, (b) drop the queued work without ever running the
+// solve — zero plan-cache and binding-cache probes.
+TEST(AdpEngineTest, CancelBeforeDequeueNeverRunsSolve) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+  const EngineCounters before = engine.counters();
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  AdpTicket ticket;
+  std::future<AdpResponse> fut = engine.Submit(req, &ticket);
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_FALSE(ticket.done());
+
+  EXPECT_TRUE(ticket.Cancel());
+  // Delivery happens at Cancel() time, not when the worker gets around to
+  // the queue entry.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const AdpResponse resp = fut.get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(ticket.done());
+  EXPECT_FALSE(ticket.Cancel());  // second cancel is a no-op
+
+  plug.release.set_value();
+  // Let the worker drain the dropped entry before reading counters.
+  AdpRequest sync;
+  sync.query_text = "Q() :- R1(A,B)";
+  sync.db = db;
+  sync.k = 0;
+  ASSERT_TRUE(engine.Execute(sync).ok());
+
+  const EngineCounters after = engine.counters();
+  EXPECT_EQ(after.cancelled, before.cancelled + 1);
+  // The cancelled request itself never touched either cache. (The drain
+  // request above accounts for exactly one plan probe and one binding
+  // share; the chain query's entries stay untouched.)
+  EXPECT_EQ(after.plan_hits + after.plan_misses,
+            before.plan_hits + before.plan_misses + 1);
+  EXPECT_EQ(after.failures, before.failures);
+}
+
+// Cancelling one of N deduped waiters only cancels that waiter's delivery;
+// the shared solve still runs for the others. Cancelling every participant
+// cancels the solve itself.
+TEST(AdpEngineTest, CancelOneOfNDedupedWaiters) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  AdpTicket t0, t1, t2;
+  std::future<AdpResponse> f0 = engine.Submit(req, &t0);  // leader
+  std::future<AdpResponse> f1 = engine.Submit(req, &t1);  // follower
+  std::future<AdpResponse> f2 = engine.Submit(req, &t2);  // follower
+
+  // Cancel one follower: its future completes kCancelled right away...
+  EXPECT_TRUE(t1.Cancel());
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f1.get().status.code(), StatusCode::kCancelled);
+
+  plug.release.set_value();
+
+  // ...while the leader and the other follower still get the real answer.
+  const AdpResponse r0 = f0.get();
+  const AdpResponse r2 = f2.get();
+  ASSERT_TRUE(r0.ok()) << r0.status.ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+  EXPECT_EQ(r0.solution.cost, 1);
+  EXPECT_EQ(r2.solution.cost, 1);
+  EXPECT_FALSE(r0.deduped);
+  EXPECT_TRUE(r2.deduped);
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.dedup_hits, 2u);
+}
+
+TEST(AdpEngineTest, AllDedupedWaitersCancelledDropsSolve) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+  const EngineCounters before = engine.counters();
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  constexpr int kWaiters = 3;
+  std::vector<AdpTicket> tickets(kWaiters);
+  std::vector<std::future<AdpResponse>> futures;
+  for (int i = 0; i < kWaiters; ++i) {
+    futures.push_back(engine.Submit(req, &tickets[i]));
+  }
+  for (AdpTicket& t : tickets) EXPECT_TRUE(t.Cancel());
+  for (auto& fut : futures) {
+    EXPECT_EQ(fut.get().status.code(), StatusCode::kCancelled);
+  }
+
+  plug.release.set_value();
+  AdpRequest sync;
+  sync.query_text = "Q() :- R1(A,B)";
+  sync.db = db;
+  sync.k = 0;
+  ASSERT_TRUE(engine.Execute(sync).ok());
+
+  const EngineCounters after = engine.counters();
+  EXPECT_EQ(after.cancelled, before.cancelled + kWaiters);
+  // With every participant cancelled, the solve was dropped at dequeue:
+  // only the drain request touched the plan cache.
+  EXPECT_EQ(after.plan_hits + after.plan_misses,
+            before.plan_hits + before.plan_misses + 1);
+}
+
+// A new identical request arriving after every participant of an in-flight
+// solve cancelled must not join the torn-down solve: it becomes a fresh
+// leader and gets a real answer.
+TEST(AdpEngineTest, JoinAfterFullCancelStartsFreshSolve) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  AdpTicket t0, t1;
+  std::future<AdpResponse> f0 = engine.Submit(req, &t0);
+  std::future<AdpResponse> f1 = engine.Submit(req, &t1);
+  EXPECT_TRUE(t0.Cancel());
+  EXPECT_TRUE(t1.Cancel());
+
+  // Arrives while the cancelled leader's task is still queued.
+  std::future<AdpResponse> f2 = engine.Submit(req);
+  plug.release.set_value();
+
+  EXPECT_EQ(f0.get().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(f1.get().status.code(), StatusCode::kCancelled);
+  const AdpResponse fresh = f2.get();
+  ASSERT_TRUE(fresh.ok()) << fresh.status.ToString();
+  EXPECT_FALSE(fresh.deduped);
+  EXPECT_EQ(fresh.solution.cost, 1);
+  EXPECT_EQ(engine.counters().cancelled, 2u);
+}
+
+// A request rejected before admission (prepared handle from a different
+// engine) still counts as a request and a failure.
+TEST(AdpEngineTest, PreparedRejectionCountsAsFailure) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  AdpEngine other(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  StatusOr<PreparedQuery> prepared = engine.Prepare(kChainText);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->Bind(db).ok());
+
+  EXPECT_EQ(other.Execute(*prepared, 2).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(other.Submit(*prepared, 2).get().status.code(),
+            StatusCode::kInvalidArgument);
+  const EngineCounters c = other.counters();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.failures, 2u);
+}
+
+// An already-expired deadline beats a coalesced result on every entry
+// point: the sync path must not hand back a ring hit the caller's deadline
+// disowned (the async path substitutes at delivery).
+TEST(AdpEngineTest, ExpiredDeadlineBeatsCoalescedResult) {
+  EngineConfig config;
+  config.num_workers = 1;
+  config.coalesce_window_ms = 60'000;
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  ASSERT_TRUE(engine.Execute(req).ok());  // warm the ring
+
+  req.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const AdpResponse sync = engine.Execute(req);
+  EXPECT_EQ(sync.status.code(), StatusCode::kDeadlineExceeded);
+  const AdpResponse async_resp = engine.Submit(req).get();
+  EXPECT_EQ(async_resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.counters().deadline_expired, 2u);
+}
+
+// A deadline that passes while the request is still queued drops the solve
+// the same way an explicit cancel does.
+TEST(AdpEngineTest, DeadlineExpiryWhileQueuedSkipsSolve) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  WorkerPlug plug;
+  plug.Install(engine, db);
+  const EngineCounters before = engine.counters();
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  req.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  std::future<AdpResponse> fut = engine.Submit(req);
+
+  // Hold the worker until the deadline is decisively in the past.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  plug.release.set_value();
+
+  const AdpResponse resp = fut.get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+
+  AdpRequest sync;
+  sync.query_text = "Q() :- R1(A,B)";
+  sync.db = db;
+  sync.k = 0;
+  ASSERT_TRUE(engine.Execute(sync).ok());
+
+  const EngineCounters after = engine.counters();
+  EXPECT_EQ(after.deadline_expired, before.deadline_expired + 1);
+  EXPECT_EQ(after.plan_hits + after.plan_misses,
+            before.plan_hits + before.plan_misses + 1);
+  EXPECT_EQ(after.failures, before.failures);
+}
+
+TEST(AdpEngineTest, SyncDeadlineAlreadyExpiredFailsFast) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  req.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const EngineCounters before = engine.counters();
+  const AdpResponse resp = engine.Execute(req);
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  const EngineCounters after = engine.counters();
+  EXPECT_EQ(after.deadline_expired, before.deadline_expired + 1);
+  // The pre-solve check fires before any cache traffic.
+  EXPECT_EQ(after.plan_hits + after.plan_misses,
+            before.plan_hits + before.plan_misses);
+}
+
+// Solver-level: a fired token aborts the recursion with the right reason.
+TEST(AdpEngineTest, CancelTokenAbortsComputeAdp) {
+  const ConjunctiveQuery q = ParseQuery(kChainText);
+  const Database db = Fig1NamedDb().db;
+
+  const CancelToken cancelled = CancelToken::Make();
+  cancelled.Cancel();
+  AdpOptions options;
+  options.cancel = &cancelled;
+  try {
+    ComputeAdp(q, db, 2, options);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+  }
+
+  const CancelToken expired = CancelToken::Make();
+  expired.SetDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  options.cancel = &expired;
+  try {
+    ComputeAdp(q, db, 2, options);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kDeadlineExceeded);
+  }
+}
+
+// Solver-level, deterministic: a cancel landing mid-fan-out stops the
+// remaining sharded sub-solves at their node boundary.
+TEST(AdpEngineTest, CancelMidSolveStopsShardedSubSolves) {
+  // A is universal: Algorithm 4 partitions into one group per A value.
+  const ConjunctiveQuery q = ParseQuery("Q(A,B,C) :- R1(A,B), R2(A,C)");
+  Database db(2);
+  for (Value a = 0; a < 8; ++a) {
+    db.rel(0).Add({a, 100 + a});
+    db.rel(1).Add({a, 200 + a});
+  }
+  db.rel(0).set_root_relation(0);
+  db.rel(1).set_root_relation(1);
+
+  const CancelToken token = CancelToken::Make();
+  std::atomic<int> ran{0};
+  Parallelism par;
+  par.min_groups = 2;
+  // Run the first shard, then cancel; every later shard must abort before
+  // doing its work.
+  par.run_all = [&](std::vector<std::function<void()>> tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i]();
+      ++ran;
+      if (i == 0) token.Cancel();
+    }
+  };
+
+  AdpOptions options;
+  options.cancel = &token;
+  options.parallelism = &par;
+  try {
+    ComputeAdp(q, db, 4, options);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+  }
+  // All tasks were invoked (run_all contract) but only the first solved.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// Engine-level: cancel a large sharded request racing the solve. The
+// outcome is either kCancelled (cancel landed mid-solve — the common case
+// with this workload) or OK (the solve won); what must never happen is a
+// hang, a crash, or a corrupted response. Run under TSan in CI.
+TEST(AdpEngineTest, CancelMidSolveUnderShardingIsClean) {
+  EngineConfig config;
+  config.num_workers = 2;
+  config.min_shard_groups = 2;
+  AdpEngine engine(config);
+
+  // The bench's sharding workload, shrunk: kGroups universe groups whose
+  // residual (a boolean 3-chain) is solved via max-flow — real work per
+  // group.
+  constexpr std::int64_t kGroups = 16;
+  constexpr std::int64_t kRows = 6000;
+  NamedDatabase named;
+  named.relation_names = {"R1", "R2", "R3"};
+  Rng rng(11);
+  const std::int64_t domain = kRows / (2 * kGroups) + 2;
+  for (int r = 0; r < 3; ++r) {
+    RelationInstance inst;
+    for (std::int64_t i = 0; i < kRows; ++i) {
+      const Value a = static_cast<Value>(i % kGroups);
+      const Value b = static_cast<Value>(rng.Uniform(domain));
+      const Value c = static_cast<Value>(rng.Uniform(domain));
+      if (r == 0) {
+        inst.Add({a, b});
+      } else if (r == 1) {
+        inst.Add({a, b, c});
+      } else {
+        inst.Add({a, c});
+      }
+    }
+    inst.Dedup();
+    named.db.Append(std::move(inst));
+  }
+  const DbId db = engine.RegisterDatabase(std::move(named));
+
+  AdpRequest req;
+  req.query_text = "Q(A) :- R1(A,B), R2(A,B,C), R3(A,C)";
+  req.db = db;
+  req.k = kGroups / 2;
+  req.options.counting_only = true;
+
+  AdpTicket ticket;
+  std::future<AdpResponse> fut = engine.Submit(req, &ticket);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ticket.Cancel();
+
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "cancelled sharded solve hung";
+  const AdpResponse resp = fut.get();
+  EXPECT_TRUE(resp.status.code() == StatusCode::kCancelled ||
+              resp.status.code() == StatusCode::kOk)
+      << resp.status.ToString();
+
+  // The engine stays fully usable afterwards.
+  AdpRequest again = req;
+  const AdpResponse clean = engine.Execute(again);
+  ASSERT_TRUE(clean.ok()) << clean.status.ToString();
+}
+
+// --- Coalescing admission ----------------------------------------------------
+
+TEST(AdpEngineTest, CoalesceWindowServesRecentResults) {
+  EngineConfig config;
+  config.num_workers = 1;
+  config.coalesce_window_ms = 60'000;  // anything this test does is "recent"
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  const AdpResponse first = engine.Execute(req);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.coalesced);
+
+  const EngineCounters before = engine.counters();
+  const AdpResponse second = engine.Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.coalesced);
+  EXPECT_EQ(second.solution.cost, first.solution.cost);
+  EXPECT_EQ(second.solution.tuples, first.solution.tuples);
+  const EngineCounters mid = engine.counters();
+  EXPECT_EQ(mid.coalesce_hits, before.coalesce_hits + 1);
+  EXPECT_EQ(mid.requests, before.requests + 1);
+  // Served from the ring: no cache traffic, no solve.
+  EXPECT_EQ(mid.plan_hits + mid.plan_misses,
+            before.plan_hits + before.plan_misses);
+  EXPECT_EQ(mid.binding_hits + mid.binding_misses,
+            before.binding_hits + before.binding_misses);
+
+  // The async path coalesces too.
+  const AdpResponse async_resp = engine.Submit(req).get();
+  ASSERT_TRUE(async_resp.ok());
+  EXPECT_TRUE(async_resp.coalesced);
+  EXPECT_EQ(engine.counters().coalesce_hits, before.coalesce_hits + 2);
+
+  // A different target is a different request — no coalescing.
+  req.k = 3;
+  const AdpResponse other_k = engine.Execute(req);
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_FALSE(other_k.coalesced);
+}
+
+TEST(AdpEngineTest, CoalescingDisabledByDefault) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  ASSERT_TRUE(engine.Execute(req).ok());
+  const AdpResponse second = engine.Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.coalesced);
+  EXPECT_EQ(engine.counters().coalesce_hits, 0u);
+}
+
+// --- Shutdown ----------------------------------------------------------------
+
+TEST(AdpEngineTest, ShutdownRejectsNewWorkTyped) {
+  AdpEngine engine(EngineConfig{.num_workers = 2});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  ASSERT_TRUE(engine.Execute(req).ok());
+
+  engine.Shutdown();
+  EXPECT_EQ(engine.Execute(req).status.code(), StatusCode::kShutdown);
+  EXPECT_EQ(engine.Submit(req).get().status.code(), StatusCode::kShutdown);
+  EXPECT_EQ(engine.Prepare(kChainText).status().code(),
+            StatusCode::kShutdown);
+
+  std::promise<AdpResponse> done;
+  engine.SubmitAsync(req,
+                     [&](AdpResponse r) { done.set_value(std::move(r)); });
+  EXPECT_EQ(done.get_future().get().status.code(), StatusCode::kShutdown);
+  engine.Shutdown();  // idempotent
 }
 
 }  // namespace
