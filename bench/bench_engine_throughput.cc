@@ -19,6 +19,13 @@
 // speedup; the sharded/sequential parity on one core shows the dispatch
 // overhead is negligible.
 //
+// EngineDecomposeSharding measures the second sharding axis: ONE request
+// whose query is disconnected (Algorithm 5), so its connected components'
+// per-k profiles are independent sub-solves fanned out across the pool
+// (EngineConfig::min_shard_components) while the cross-product DP combining
+// them stays on the solving thread. The sharded_decompose_nodes counter
+// proves the sharded path engaged.
+//
 // EnginePreparedVsText measures the prepare-once / execute-many hot path:
 // the same batch submitted through bound PreparedQuery handles (zero key
 // derivation, zero plan/binding-cache probes per request) versus query
@@ -33,6 +40,7 @@
 
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "engine/grouped_workload.h"
 #include "query/parser.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
@@ -235,9 +243,9 @@ void EnginePreparedVsText(benchmark::State& state) {
 }
 
 // One large request: Q(A) :- R1(A,B), R2(A,B,C), R3(A,C). A is universal,
-// so Algorithm 4 partitions the instance into kGroups classes whose
-// residual (a boolean 3-chain) is solved by max-flow resilience — enough
-// work per group for sharding to matter.
+// so Algorithm 4 partitions the AppendGroupedComponent instance
+// (engine/grouped_workload.h, shared with engine_test) into kGroups
+// classes with real max-flow work per group.
 void EngineIntraRequestSharding(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
   const int workers = static_cast<int>(state.range(1));
@@ -245,26 +253,8 @@ void EngineIntraRequestSharding(benchmark::State& state) {
   constexpr std::int64_t kGroups = 16;
 
   NamedDatabase named;
-  named.relation_names = {"R1", "R2", "R3"};
   Rng rng(11);
-  const std::int64_t domain = rows / (2 * kGroups) + 2;
-  for (int r = 0; r < 3; ++r) {
-    RelationInstance inst;
-    for (std::int64_t i = 0; i < rows; ++i) {
-      const Value a = static_cast<Value>(i % kGroups);
-      const Value b = static_cast<Value>(rng.Uniform(domain));
-      const Value c = static_cast<Value>(rng.Uniform(domain));
-      if (r == 0) {
-        inst.Add({a, b});
-      } else if (r == 1) {
-        inst.Add({a, b, c});
-      } else {
-        inst.Add({a, c});
-      }
-    }
-    inst.Dedup();
-    named.db.Append(std::move(inst));
-  }
+  AppendGroupedComponent(named, rng, rows, kGroups, "R1", "R2", "R3");
 
   EngineConfig config;
   config.num_workers = workers;
@@ -289,6 +279,60 @@ void EngineIntraRequestSharding(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.counters["workers"] = workers;
   state.counters["sharded_nodes"] = sharded_nodes;
+}
+
+// One large disconnected request: kComponents copies of the Universe
+// workload above, each over its own relations (Si, Ti, Ui), joined only by
+// the cross product. Algorithm 5 solves each component independently —
+// exactly the profile-per-component work the Decompose axis shards.
+void EngineDecomposeSharding(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const int workers = static_cast<int>(state.range(1));
+  const bool shard = state.range(2) != 0;
+  constexpr int kComponents = 4;
+  constexpr std::int64_t kGroups = 8;
+
+  NamedDatabase named;
+  Rng rng(13);
+  std::string query = "Q(";
+  for (int comp = 0; comp < kComponents; ++comp) {
+    const std::string n = std::to_string(comp + 1);
+    query += (comp ? ",A" : "A") + n;
+    AppendGroupedComponent(named, rng, rows, kGroups, "S" + n, "T" + n,
+                           "U" + n);
+  }
+  query += ") :- ";
+  for (int comp = 0; comp < kComponents; ++comp) {
+    const std::string n = std::to_string(comp + 1);
+    if (comp) query += ", ";
+    query += "S" + n + "(A" + n + ",B" + n + "), T" + n + "(A" + n + ",B" +
+             n + ",C" + n + "), U" + n + "(A" + n + ",C" + n + ")";
+  }
+
+  EngineConfig config;
+  config.num_workers = workers;
+  config.min_shard_groups = 0;  // isolate the Decompose axis
+  config.min_shard_components = shard ? 2 : 0;
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(std::move(named));
+
+  AdpRequest req;
+  req.query_text = query;
+  req.db = db;
+  req.k = kGroups;
+  req.options.counting_only = true;
+
+  engine.Execute(req);  // warm the plan and binding caches
+
+  double sharded_nodes = 0;
+  for (auto _ : state) {
+    const AdpResponse resp = engine.Execute(req);
+    benchmark::DoNotOptimize(resp.solution.cost);
+    sharded_nodes = resp.stats.sharded_decompose_nodes;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["workers"] = workers;
+  state.counters["sharded_decompose_nodes"] = sharded_nodes;
 }
 
 void DirectSweep(benchmark::internal::Benchmark* b) {
@@ -340,6 +384,20 @@ BENCHMARK(EnginePreparedVsText)
 
 BENCHMARK(EngineIntraRequestSharding)
     ->Apply(ShardingSweep)
+    ->ArgNames({"rows", "workers", "shard"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void DecomposeShardingSweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t workers : {1, 4}) {
+    for (std::int64_t shard : {0, 1}) {
+      b->Args({/*rows=*/6000, workers, shard});
+    }
+  }
+}
+
+BENCHMARK(EngineDecomposeSharding)
+    ->Apply(DecomposeShardingSweep)
     ->ArgNames({"rows", "workers", "shard"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -22,12 +22,18 @@
 //       Drains pending requests, then prints engine counters.
 //
 // Usage:  adp_server [--workers=N] [--min-shard-groups=G]
-//                    [--coalesce-window-ms=W] [--timeout-ms=T]
-//                    [requests.txt]
+//                    [--min-shard-components=C] [--coalesce-window-ms=W]
+//                    [--timeout-ms=T] [requests.txt]
 //
 //   --min-shard-groups=G     Universe nodes with >= G partition groups
 //                            shard their sub-solves across the pool (0
-//                            disables intra-request sharding; default 4).
+//                            disables the Universe axis; default 4).
+//   --min-shard-components=C Decompose nodes with >= C connected
+//                            components shard their per-component
+//                            sub-solves across the pool (0 disables the
+//                            Decompose axis; default 4). STATS reports
+//                            engagement of both axes (sharded_universe_
+//                            nodes / sharded_decompose_nodes).
 //   --coalesce-window-ms=W   serve a request identical to one completed
 //                            within the last W ms from the recent-results
 //                            ring instead of re-solving (0 = off).
@@ -205,6 +211,7 @@ void Drain(AdpEngine& engine, std::vector<Pending>& pending,
 int main(int argc, char** argv) {
   int workers = 4;
   std::size_t min_shard_groups = 4;
+  std::size_t min_shard_components = 4;
   std::int64_t coalesce_window_ms = 0;
   std::int64_t timeout_ms = 0;
   std::string path;
@@ -216,6 +223,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--min-shard-groups=", 0) == 0) {
       min_shard_groups = static_cast<std::size_t>(
           ParseFlagValue(arg, 19, /*min_value=*/0, /*max_value=*/1 << 20));
+    } else if (arg.rfind("--min-shard-components=", 0) == 0) {
+      min_shard_components = static_cast<std::size_t>(
+          ParseFlagValue(arg, 23, /*min_value=*/0, /*max_value=*/1 << 20));
     } else if (arg.rfind("--coalesce-window-ms=", 0) == 0) {
       coalesce_window_ms = ParseFlagValue(arg, 21, /*min_value=*/0,
                                           /*max_value=*/86'400'000);
@@ -240,6 +250,7 @@ int main(int argc, char** argv) {
   adp::EngineConfig config;
   config.num_workers = workers;
   config.min_shard_groups = min_shard_groups;
+  config.min_shard_components = min_shard_components;
   config.coalesce_window_ms = static_cast<double>(coalesce_window_ms);
   AdpEngine engine(config);
   std::unordered_map<std::string, adp::DbId> dbs;
@@ -307,6 +318,9 @@ int main(int argc, char** argv) {
                   << ",\"coalesce_hits\":" << c.coalesce_hits
                   << ",\"cancelled\":" << c.cancelled
                   << ",\"deadline_expired\":" << c.deadline_expired
+                  << ",\"sharded_universe_nodes\":" << c.sharded_universe_nodes
+                  << ",\"sharded_decompose_nodes\":"
+                  << c.sharded_decompose_nodes
                   << ",\"plan_cache_size\":" << c.plan_cache_size
                   << ",\"databases\":" << c.databases
                   << ",\"workers\":" << engine.num_workers() << "}}\n";

@@ -7,6 +7,11 @@
 // dispatch plan, cached), Bind it to the database, then Execute the
 // prepared handle.
 //
+// Every outcome below arrives as AdpResponse::status (a typed adp::Status;
+// docs/ENGINE.md has the full code table) — responses also carry the
+// deduped/coalesced admission flags and per-solve AdpStats, none of which
+// this single-request walkthrough exercises.
+//
 // Exit codes: 0 on success, StatusExitCode(code) on engine failures.
 //
 // Build & run:  ./build/quickstart
@@ -50,6 +55,8 @@ int main() {
   }
 
   // 4. Ask: what is the cheapest way to remove at least 2 of the 4 outputs?
+  //    resp.ok() is shorthand for resp.status.ok(); on failure the typed
+  //    code (kCancelled, kDeadlineExceeded, ...) picks the exit code.
   const AdpResponse resp = engine.Execute(*prepared, /*k=*/2, options);
   if (!resp.ok()) {
     std::fprintf(stderr, "execute failed: %s\n",

@@ -139,8 +139,11 @@ AdpEngine::AdpEngine(const EngineConfig& config)
       plan_cache_(config.plan_cache_capacity),
       ticket_counters_(std::make_shared<internal::TicketCounters>()),
       pool_(config.num_workers) {
-  if (config_.min_shard_groups > 0) {
+  if (config_.min_shard_groups > 0 || config_.min_shard_components > 0) {
+    // A zero threshold disables that axis inside the solver (see
+    // Parallelism); run_all is bound once for whichever axes are live.
     sharding_.min_groups = config_.min_shard_groups;
+    sharding_.min_components = config_.min_shard_components;
     sharding_.run_all = [this](std::vector<std::function<void()>> tasks) {
       pool_.RunAll(std::move(tasks));
     };
@@ -474,6 +477,16 @@ AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
     Stopwatch solve_sw;
     resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
     resp.solve_ms = solve_sw.ElapsedMs();
+    if (resp.stats.sharded_universe_nodes > 0 ||
+        resp.stats.sharded_decompose_nodes > 0) {
+      // Rolled up only here, where the solve actually ran: deduped and
+      // coalesced copies of this response must not re-count its shards.
+      std::lock_guard<std::mutex> lock(mu_);
+      sharded_universe_nodes_ +=
+          static_cast<std::uint64_t>(resp.stats.sharded_universe_nodes);
+      sharded_decompose_nodes_ +=
+          static_cast<std::uint64_t>(resp.stats.sharded_decompose_nodes);
+    }
   } catch (const CancelledError& e) {
     resp.status = Status(e.reason() == CancelReason::kDeadlineExceeded
                              ? StatusCode::kDeadlineExceeded
@@ -761,6 +774,8 @@ EngineCounters AdpEngine::counters() const {
   c.binding_misses = binding_misses_;
   c.dedup_hits = dedup_hits_;
   c.coalesce_hits = coalesce_hits_;
+  c.sharded_universe_nodes = sharded_universe_nodes_;
+  c.sharded_decompose_nodes = sharded_decompose_nodes_;
   c.databases = databases_.size();
   return c;
 }

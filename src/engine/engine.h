@@ -26,8 +26,9 @@
 // Mechanisms that keep the pool busy and the work deduplicated:
 //
 //   * intra-request sharding — one large request's Universe partition
-//     groups (Algorithm 4) are fanned out across the pool via
-//     ThreadPool::RunAll (EngineConfig::min_shard_groups);
+//     groups (Algorithm 4) and Decompose connected components (Algorithm 5)
+//     are fanned out across the pool via ThreadPool::RunAll
+//     (EngineConfig::min_shard_groups / min_shard_components);
 //   * async submission — Submit (future), SubmitAsync (callback), and
 //     SubmitToQueue (tagged CompletionQueue) all return an AdpTicket
 //     supporting Cancel(); AdpRequest::deadline bounds queue wait + solve;
@@ -99,11 +100,18 @@ struct EngineConfig {
   /// (database, query-shape) pair.
   std::size_t binding_cache_capacity = 4096;
 
-  /// Intra-request sharding: a Universe node with at least this many
-  /// partition groups fans its sub-solves out across the worker pool
-  /// (Parallelism::min_groups). 0 disables sharding — every request then
-  /// runs single-threaded, parallel only across requests.
+  /// Intra-request sharding, Universe axis: a Universe node with at least
+  /// this many partition groups fans its sub-solves out across the worker
+  /// pool (Parallelism::min_groups). 0 disables Universe sharding.
   std::size_t min_shard_groups = 4;
+
+  /// Intra-request sharding, Decompose axis: a Decompose node with at
+  /// least this many connected components fans its per-component
+  /// sub-solves out across the worker pool (Parallelism::min_components);
+  /// the cross-product DP combining their profiles stays on the solving
+  /// thread. 0 disables Decompose sharding. With both axes 0 every request
+  /// runs single-threaded, parallel only across requests.
+  std::size_t min_shard_components = 4;
 
   /// Dedup-aware admission window: a request identical to one that
   /// completed successfully within the last `coalesce_window_ms`
@@ -136,6 +144,14 @@ struct EngineCounters {
   std::uint64_t cancelled = 0;
   /// Requests whose response was kDeadlineExceeded.
   std::uint64_t deadline_expired = 0;
+  /// Rollup of AdpStats::sharded_universe_nodes across completed solves:
+  /// Universe nodes whose partition groups fanned out across the pool.
+  /// Deduped/coalesced responses reuse the leader's solve and do not
+  /// re-count its sharded nodes.
+  std::uint64_t sharded_universe_nodes = 0;
+  /// Rollup of AdpStats::sharded_decompose_nodes across completed solves:
+  /// Decompose nodes whose component sub-solves fanned out across the pool.
+  std::uint64_t sharded_decompose_nodes = 0;
   std::size_t plan_cache_size = 0;
   std::size_t databases = 0;
 };
@@ -353,6 +369,8 @@ class AdpEngine {
   std::uint64_t binding_misses_ = 0;
   std::uint64_t dedup_hits_ = 0;
   std::uint64_t coalesce_hits_ = 0;
+  std::uint64_t sharded_universe_nodes_ = 0;
+  std::uint64_t sharded_decompose_nodes_ = 0;
 
   ThreadPool pool_;  // last member: workers must die before state above
 };

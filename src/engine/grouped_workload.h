@@ -1,0 +1,55 @@
+// Grouped-component workload builder shared by the engine's benches and
+// tests (bench_engine_throughput's sharding scenarios, engine_test's
+// cancel-under-sharding tests), so the bench workload and the test
+// workload that mirrors it cannot drift apart.
+
+#ifndef ADP_ENGINE_GROUPED_WORKLOAD_H_
+#define ADP_ENGINE_GROUPED_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "engine/engine.h"
+#include "util/rng.h"
+
+namespace adp {
+
+/// Appends the 3-relation grouped workload {r1(A,B), r2(A,B,C), r3(A,C)}
+/// to `named`: A ranges over `groups` values, so A is universal within the
+/// component and Algorithm 4 partitions it into `groups` classes whose
+/// residual (a boolean 3-chain) is solved by max-flow resilience — enough
+/// work per group for intra-request sharding to matter. Call once for a
+/// Universe-sharding workload, or several times with distinct relation
+/// names for a disconnected (Decompose-sharding) one.
+inline void AppendGroupedComponent(NamedDatabase& named, Rng& rng,
+                                   std::int64_t rows, std::int64_t groups,
+                                   const std::string& r1,
+                                   const std::string& r2,
+                                   const std::string& r3) {
+  named.relation_names.push_back(r1);
+  named.relation_names.push_back(r2);
+  named.relation_names.push_back(r3);
+  const std::int64_t domain = rows / (2 * groups) + 2;
+  for (int r = 0; r < 3; ++r) {
+    RelationInstance inst;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const Value a = static_cast<Value>(i % groups);
+      const Value b = static_cast<Value>(rng.Uniform(domain));
+      const Value c = static_cast<Value>(rng.Uniform(domain));
+      if (r == 0) {
+        inst.Add({a, b});
+      } else if (r == 1) {
+        inst.Add({a, b, c});
+      } else {
+        inst.Add({a, c});
+      }
+    }
+    inst.Dedup();
+    named.db.Append(std::move(inst));
+  }
+}
+
+}  // namespace adp
+
+#endif  // ADP_ENGINE_GROUPED_WORKLOAD_H_

@@ -122,7 +122,10 @@ struct AdpResponse {
 
   AdpSolution solution;
 
-  /// Recursion statistics of this solve.
+  /// Recursion statistics of this solve, including intra-request sharding
+  /// engagement (AdpStats::sharded_universe_nodes /
+  /// sharded_decompose_nodes). Deduped and coalesced responses carry a copy
+  /// of the leader solve's stats.
   AdpStats stats;
 
   /// 64-bit canonical fingerprint of the (parsed) query.

@@ -106,6 +106,7 @@ void MergeAdpStats(AdpStats& into, const AdpStats& from) {
   into.drastic_leaves += from.drastic_leaves;
   into.universe_groups += from.universe_groups;
   into.sharded_universe_nodes += from.sharded_universe_nodes;
+  into.sharded_decompose_nodes += from.sharded_decompose_nodes;
 }
 
 AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options) {

@@ -51,6 +51,9 @@ struct AdpStats {
   /// Universe nodes whose partition groups were solved in parallel via
   /// AdpOptions::parallelism.
   int sharded_universe_nodes = 0;
+  /// Decompose nodes whose connected-component sub-solves were solved in
+  /// parallel via AdpOptions::parallelism.
+  int sharded_decompose_nodes = 0;
 };
 
 /// Field-wise accumulation, used to fold per-shard statistics back into the
@@ -59,20 +62,28 @@ void MergeAdpStats(AdpStats& into, const AdpStats& from);
 
 /// Intra-request parallelism hook. When AdpOptions::parallelism is set,
 /// recursion nodes whose subproblems are independent — the Universe case's
-/// partition groups (Algorithm 4) — dispatch them through `run_all`,
-/// typically backed by a worker pool, instead of solving sequentially.
-/// Results are bitwise-identical to the sequential path: shard outputs are
-/// combined in partition order and each shard gets a private AdpStats that
-/// is merged afterwards.
+/// partition groups (Algorithm 4) and the Decompose case's connected
+/// components (Algorithm 5) — dispatch them through `run_all`, typically
+/// backed by a worker pool, instead of solving sequentially. Results are
+/// bitwise-identical to the sequential path: shard outputs land at fixed
+/// indices, are combined in the same order the sequential fold would use
+/// (partition order / ascending-|Q_i(D)| fold order), and each shard gets a
+/// private AdpStats that is merged afterwards.
 struct Parallelism {
   /// Executes every task exactly once and returns when all have finished.
   /// Must be safe to invoke from inside one of its own tasks (nested
-  /// Universe nodes shard recursively); ThreadPool::RunAll qualifies.
+  /// Universe/Decompose nodes shard recursively); ThreadPool::RunAll — whose
+  /// calling thread helps drain the batch — qualifies.
   std::function<void(std::vector<std::function<void()>>)> run_all;
 
-  /// Shard only nodes with at least this many partition groups; smaller
-  /// nodes stay sequential (dispatch overhead would dominate).
+  /// Shard only Universe nodes with at least this many partition groups;
+  /// smaller nodes stay sequential (dispatch overhead would dominate).
+  /// 0 disables Universe sharding entirely.
   std::size_t min_groups = 4;
+
+  /// Shard only Decompose nodes with at least this many connected
+  /// components. 0 disables Decompose sharding entirely.
+  std::size_t min_components = 4;
 };
 
 /// Tuning knobs. Defaults reproduce the paper's recommended configuration;

@@ -1,6 +1,7 @@
 #include "solver/decompose.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <functional>
 #include <numeric>
@@ -118,6 +119,51 @@ std::shared_ptr<DecomposeState> BuildChildren(const Components& parts,
                                               std::int64_t cap,
                                               const AdpOptions& options) {
   auto state = std::make_shared<DecomposeState>();
+  const std::size_t n = parts.order.size();
+  const Parallelism* par = options.parallelism;
+  if (par != nullptr && par->run_all != nullptr && par->min_components > 0 &&
+      n >= std::max<std::size_t>(par->min_components, 2)) {
+    // Sharded path: the components are independent subproblems (Lemma 3),
+    // so their per-k profiles can be solved concurrently. Children land at
+    // fixed fold-order indices and are combined by the caller's
+    // cross-product DP in that same order, keeping the result
+    // bitwise-identical to the sequential path. Each shard writes a private
+    // AdpStats (the shared pointer would race) merged afterwards.
+    if (options.stats) ++options.stats->sharded_decompose_nodes;
+    state->children.resize(n);
+    state->m.resize(n);
+    std::vector<AdpStats> shard_stats(options.stats ? n : 0);
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks.push_back([&, i] {
+        const std::size_t idx = parts.order[i];
+        try {
+          AdpOptions shard = options;
+          if (options.stats) shard.stats = &shard_stats[i];
+          // Sharded sub-solves poll the token too: a cancel that lands
+          // mid-fan-out stops the remaining components at their boundary.
+          ThrowIfCancelled(shard);
+          const std::int64_t child_cap = std::min(parts.m[idx], cap);
+          state->children[i] = ComputeAdpNode(parts.subs[idx].query,
+                                              parts.dbs[idx], child_cap,
+                                              shard);
+          state->m[i] = parts.m[idx];
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    par->run_all(std::move(tasks));
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    if (options.stats) {
+      for (const AdpStats& s : shard_stats) MergeAdpStats(*options.stats, s);
+    }
+    return state;
+  }
   for (std::size_t idx : parts.order) {
     ThrowIfCancelled(options);
     const std::int64_t child_cap = std::min(parts.m[idx], cap);

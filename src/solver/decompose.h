@@ -10,6 +10,12 @@
 // The root of a ComputeADP call additionally uses a single-target scan
 // (SolveDecomposeSingleK) that avoids materializing a profile of length k —
 // essential when k is a fraction of a cross-product-sized |Q(D)|.
+//
+// When AdpOptions::parallelism is set (Parallelism::min_components > 0),
+// the per-component sub-solves of a node with enough components fan out
+// across the executor; the cross-product DP that combines their profiles
+// stays on the calling thread, so results are bitwise-identical to the
+// sequential path (AdpStats::sharded_decompose_nodes reports engagement).
 
 #ifndef ADP_SOLVER_DECOMPOSE_H_
 #define ADP_SOLVER_DECOMPOSE_H_

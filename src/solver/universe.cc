@@ -149,7 +149,7 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
 
   auto state = std::make_shared<UniverseState>();
   const Parallelism* par = options.parallelism;
-  if (par != nullptr && par->run_all != nullptr &&
+  if (par != nullptr && par->run_all != nullptr && par->min_groups > 0 &&
       groups.size() >= std::max<std::size_t>(par->min_groups, 2)) {
     // Sharded path: the groups are disjoint sub-instances of independent
     // subproblems, so their solves can run concurrently. Children land at

@@ -1,9 +1,16 @@
 // Decompose solver tests (Algorithm 5): cross-product accounting, agreement
-// of the three strategies (Fig 29), the root single-k fast path, and an
+// of the three strategies (Fig 29), the root single-k fast path, sharded
+// component sub-solves (serial/sharded equivalence + cancellation), and an
 // oracle sweep.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
 #include "query/parser.h"
 #include "solver/decompose.h"
 #include "solver/solution.h"
@@ -92,6 +99,158 @@ TEST(DecomposeTest, ThreeComponentsSingleK) {
   EXPECT_EQ(SolveDecomposeSingleK(q, db, 6, options).cost, 2);
   EXPECT_EQ(SolveDecomposeSingleK(q, db, 7, options).cost, 2);  // whole factor
   EXPECT_EQ(SolveDecomposeSingleK(q, db, 8, options).cost, 2);
+}
+
+// Sharding the component sub-solves across an executor must not change any
+// profile entry, witness, or recursion statistic: children land at fixed
+// fold-order indices and the cross-product DP runs on the caller exactly as
+// in the sequential path. Property-tested over randomly generated instances
+// of multi-component query shapes (2..4 components, mixed sub-solver cases).
+TEST(DecomposeTest, ShardedComponentsMatchSequential) {
+  ThreadPool pool(4);
+  Parallelism par;
+  par.min_components = 2;
+  par.min_groups = 0;  // isolate the Decompose axis (stats compared below)
+  par.run_all = [&pool](std::vector<std::function<void()>> tasks) {
+    pool.RunAll(std::move(tasks));
+  };
+
+  const char* shapes[] = {
+      "Q(A,B) :- R1(A), R2(B)",
+      "Q(A,B,C) :- R1(A,B), R2(C)",
+      "Q(A,B,C) :- R1(A), R2(B), R3(C)",
+      "Q(A,B,C,E) :- R1(A), R2(A,B), R3(C), R4(C,E)",
+      "Q(A,B,C,E) :- R1(A), R2(B), R3(C), R4(E)",
+  };
+  Rng rng(85);
+  int sharded_nodes = 0;
+  for (const char* text : shapes) {
+    const ConjunctiveQuery q = ParseQuery(text);
+    for (int iter = 0; iter < 8; ++iter) {
+      const Database db = RandomDb(q, rng, 4, 3);
+      const std::int64_t total = OracleCount(q, db);
+      if (total == 0) continue;
+      const std::int64_t cap = std::min<std::int64_t>(total, 24);
+
+      AdpOptions sequential;
+      AdpStats seq_stats;
+      sequential.stats = &seq_stats;
+      const AdpNode a = DecomposeNode(q, db, cap, sequential);
+
+      AdpOptions sharded = sequential;
+      AdpStats shard_stats;
+      sharded.stats = &shard_stats;
+      sharded.parallelism = &par;
+      const AdpNode b = DecomposeNode(q, db, cap, sharded);
+
+      for (std::int64_t j = 0; j <= cap; ++j) {
+        ASSERT_EQ(a.profile.At(j), b.profile.At(j))
+            << text << " iter " << iter << " j " << j;
+      }
+      EXPECT_EQ(a.exact, b.exact);
+      for (std::int64_t j = 1; j <= cap; ++j) {
+        EXPECT_EQ(a.report(j), b.report(j))
+            << text << " iter " << iter << " j " << j;
+      }
+
+      // The root single-target fast path shards its BuildChildren too.
+      for (std::int64_t k = 1; k <= cap; k += 3) {
+        const DecomposeSingleResult sa =
+            SolveDecomposeSingleK(q, db, k, sequential);
+        const DecomposeSingleResult sb =
+            SolveDecomposeSingleK(q, db, k, sharded);
+        EXPECT_EQ(sa.cost, sb.cost) << text << " iter " << iter << " k " << k;
+        EXPECT_EQ(sa.tuples, sb.tuples)
+            << text << " iter " << iter << " k " << k;
+      }
+
+      sharded_nodes += shard_stats.sharded_decompose_nodes;
+      EXPECT_EQ(seq_stats.sharded_decompose_nodes, 0);
+      // Sharding must not perturb the recursion accounting: every AdpStats
+      // field agrees (also guards MergeAdpStats against dropping a field).
+      EXPECT_EQ(seq_stats.boolean_nodes, shard_stats.boolean_nodes) << text;
+      EXPECT_EQ(seq_stats.boolean_fallbacks, shard_stats.boolean_fallbacks)
+          << text;
+      EXPECT_EQ(seq_stats.singleton_nodes, shard_stats.singleton_nodes)
+          << text;
+      EXPECT_EQ(seq_stats.universe_nodes, shard_stats.universe_nodes) << text;
+      EXPECT_EQ(seq_stats.universe_groups, shard_stats.universe_groups)
+          << text;
+      EXPECT_EQ(seq_stats.greedy_leaves, shard_stats.greedy_leaves) << text;
+      EXPECT_EQ(seq_stats.drastic_leaves, shard_stats.drastic_leaves) << text;
+      EXPECT_EQ(seq_stats.sharded_universe_nodes,
+                shard_stats.sharded_universe_nodes)
+          << text;
+      // decompose_nodes: the SolveDecomposeSingleK probes above bump the
+      // counter identically for both options structs, so plain equality
+      // still must hold.
+      EXPECT_EQ(seq_stats.decompose_nodes, shard_stats.decompose_nodes)
+          << text;
+    }
+  }
+  // The shapes all have >= 2 components: sharding must actually engage.
+  EXPECT_GT(sharded_nodes, 0);
+}
+
+// Parallelism::min_components == 0 must disable the Decompose axis even
+// when an executor is wired up.
+TEST(DecomposeTest, ZeroMinComponentsDisablesSharding) {
+  Parallelism par;
+  par.min_components = 0;
+  std::atomic<int> fanouts{0};
+  par.run_all = [&](std::vector<std::function<void()>> tasks) {
+    ++fanouts;
+    for (auto& t : tasks) t();
+  };
+  const ConjunctiveQuery q = TwoParts();
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}}, {"R2", {{5}, {6}}}});
+  AdpOptions options;
+  AdpStats stats;
+  options.stats = &stats;
+  options.parallelism = &par;
+  const AdpNode node = DecomposeNode(q, db, 4, options);
+  EXPECT_EQ(node.profile.At(2), 1);
+  EXPECT_EQ(fanouts.load(), 0);
+  EXPECT_EQ(stats.sharded_decompose_nodes, 0);
+}
+
+// A cancel landing mid-fan-out stops the remaining component sub-solves at
+// their node boundary: deterministic run_all that cancels after the first
+// component; every later shard must abort before doing its work.
+TEST(DecomposeTest, CancelMidComponentStopsShardedSubSolves) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C,E) :- R1(A), R2(B), R3(C), R4(E)");
+  const Database db = MakeDb(q, {{"R1", {{1}, {2}}},
+                                 {"R2", {{1}, {2}}},
+                                 {"R3", {{1}, {2}}},
+                                 {"R4", {{1}, {2}}}});
+
+  const CancelToken token = CancelToken::Make();
+  std::atomic<int> ran{0};
+  Parallelism par;
+  par.min_components = 2;
+  par.run_all = [&](std::vector<std::function<void()>> tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i]();
+      ++ran;
+      if (i == 0) token.Cancel();
+    }
+  };
+
+  AdpOptions options;
+  options.cancel = &token;
+  options.parallelism = &par;
+  try {
+    // Root-path entry (ComputeAdp classifies this query as Decompose and
+    // takes the single-k fast path); the sharded BuildChildren is shared
+    // with DecomposeNode.
+    ComputeAdp(q, db, 6, options);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+  }
+  // All tasks were invoked (run_all contract) but only the first solved.
+  EXPECT_EQ(ran.load(), 4);
 }
 
 class DecomposeOracleSweep : public ::testing::TestWithParam<int> {};

@@ -15,6 +15,7 @@
 
 #include "engine/completion_queue.h"
 #include "engine/engine.h"
+#include "engine/grouped_workload.h"
 #include "query/parser.h"
 #include "solver/compute_adp.h"
 #include "test_util.h"
@@ -564,6 +565,119 @@ TEST(AdpEngineTest, IntraRequestShardingMatchesSequential) {
   }
   // The workload is Universe-shaped: sharding must actually have engaged.
   EXPECT_GT(sharded_nodes, 0);
+}
+
+// Decompose-axis twin of the test above: sharding the connected-component
+// sub-solves must be invisible in the results, and the engine must roll the
+// per-solve engagement up into EngineCounters::sharded_decompose_nodes.
+TEST(AdpEngineTest, DecomposeShardingMatchesSequential) {
+  EngineConfig sharded_cfg;
+  sharded_cfg.num_workers = 4;
+  sharded_cfg.min_shard_components = 2;
+  sharded_cfg.min_shard_groups = 0;  // isolate the Decompose axis
+  AdpEngine sharded(sharded_cfg);
+
+  EngineConfig sequential_cfg;
+  sequential_cfg.num_workers = 4;
+  sequential_cfg.min_shard_components = 0;
+  sequential_cfg.min_shard_groups = 0;
+  AdpEngine sequential(sequential_cfg);
+
+  Rng rng(4343);
+  // Two connected components ({R1,R2} and {R3,R4}), combined by the
+  // cross-product DP.
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C,E) :- R1(A), R2(A,B), R3(C), R4(C,E)");
+  std::uint64_t sharded_nodes = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    Database db = RandomDb(q, rng, 12, 5);
+    AdpRequest req;
+    req.query = q;
+    req.db = sharded.RegisterDatabase(db);
+    req.k = 1 + static_cast<std::int64_t>(rng.Uniform(6));
+    req.options.verify = true;
+    const AdpResponse a = sharded.Execute(req);
+
+    req.db = sequential.RegisterDatabase(std::move(db));
+    const AdpResponse b = sequential.Execute(req);
+
+    ASSERT_EQ(a.ok(), b.ok()) << "iter " << iter << ": "
+                              << a.status.ToString() << b.status.ToString();
+    if (!a.ok()) continue;
+    EXPECT_EQ(a.solution.cost, b.solution.cost) << "iter " << iter;
+    EXPECT_EQ(a.solution.exact, b.solution.exact) << "iter " << iter;
+    EXPECT_EQ(a.solution.feasible, b.solution.feasible) << "iter " << iter;
+    EXPECT_EQ(a.solution.output_count, b.solution.output_count)
+        << "iter " << iter;
+    EXPECT_EQ(a.solution.tuples, b.solution.tuples) << "iter " << iter;
+    EXPECT_EQ(a.solution.removed_outputs, b.solution.removed_outputs)
+        << "iter " << iter;
+    sharded_nodes +=
+        static_cast<std::uint64_t>(a.stats.sharded_decompose_nodes);
+    EXPECT_EQ(b.stats.sharded_decompose_nodes, 0) << "iter " << iter;
+  }
+  // The workload is Decompose-shaped: sharding must actually have engaged,
+  // and the engine-level rollup must agree with the per-response stats.
+  EXPECT_GT(sharded_nodes, 0u);
+  EXPECT_EQ(sharded.counters().sharded_decompose_nodes, sharded_nodes);
+  EXPECT_EQ(sequential.counters().sharded_decompose_nodes, 0u);
+}
+
+// Cancelling a sharded Decompose request mid-solve must surface kCancelled
+// with no partial results — the default-constructed solution, not a
+// half-combined profile. The race with solve completion is inherent
+// (Cancel may lose), so OK is tolerated; a hang, crash, or partially
+// filled kCancelled response is not. Run under TSan in CI.
+TEST(AdpEngineTest, CancelledShardedDecomposeHasNoPartialResults) {
+  EngineConfig config;
+  config.num_workers = 2;
+  config.min_shard_components = 2;
+  config.min_shard_groups = 0;
+  AdpEngine engine(config);
+
+  // Two heavyweight components, each the bench's universe workload.
+  constexpr std::int64_t kGroups = 16;
+  constexpr std::int64_t kRows = 3000;
+  NamedDatabase named;
+  Rng rng(17);
+  for (int comp = 0; comp < 2; ++comp) {
+    const std::string n = std::to_string(comp + 1);
+    AppendGroupedComponent(named, rng, kRows, kGroups, "S" + n, "T" + n,
+                           "U" + n);
+  }
+  const DbId db = engine.RegisterDatabase(std::move(named));
+
+  AdpRequest req;
+  req.query_text =
+      "Q(A1,A2) :- S1(A1,B1), T1(A1,B1,C1), U1(A1,C1), "
+      "S2(A2,B2), T2(A2,B2,C2), U2(A2,C2)";
+  req.db = db;
+  req.k = 4;
+  req.options.counting_only = true;
+
+  AdpTicket ticket;
+  std::future<AdpResponse> fut = engine.Submit(req, &ticket);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ticket.Cancel();
+
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "cancelled sharded Decompose solve hung";
+  const AdpResponse resp = fut.get();
+  if (resp.status.code() == StatusCode::kCancelled) {
+    // No partial results may leak out of an aborted solve.
+    EXPECT_TRUE(resp.solution.tuples.empty());
+    EXPECT_EQ(resp.solution.cost, 0);
+    EXPECT_EQ(resp.solution.output_count, 0);
+    EXPECT_GE(engine.counters().cancelled, 1u);
+  } else {
+    ASSERT_EQ(resp.status.code(), StatusCode::kOk) << resp.status.ToString();
+  }
+
+  // The engine stays fully usable afterwards.
+  const AdpResponse clean = engine.Execute(req);
+  ASSERT_TRUE(clean.ok()) << clean.status.ToString();
+  EXPECT_GT(clean.stats.sharded_decompose_nodes, 0);
 }
 
 TEST(AdpEngineTest, ClearCachesUnderLoadStaysCorrect) {
@@ -1131,32 +1245,13 @@ TEST(AdpEngineTest, CancelMidSolveUnderShardingIsClean) {
   config.min_shard_groups = 2;
   AdpEngine engine(config);
 
-  // The bench's sharding workload, shrunk: kGroups universe groups whose
-  // residual (a boolean 3-chain) is solved via max-flow — real work per
-  // group.
+  // The bench's sharding workload, shrunk: kGroups universe groups with
+  // real work per group.
   constexpr std::int64_t kGroups = 16;
   constexpr std::int64_t kRows = 6000;
   NamedDatabase named;
-  named.relation_names = {"R1", "R2", "R3"};
   Rng rng(11);
-  const std::int64_t domain = kRows / (2 * kGroups) + 2;
-  for (int r = 0; r < 3; ++r) {
-    RelationInstance inst;
-    for (std::int64_t i = 0; i < kRows; ++i) {
-      const Value a = static_cast<Value>(i % kGroups);
-      const Value b = static_cast<Value>(rng.Uniform(domain));
-      const Value c = static_cast<Value>(rng.Uniform(domain));
-      if (r == 0) {
-        inst.Add({a, b});
-      } else if (r == 1) {
-        inst.Add({a, b, c});
-      } else {
-        inst.Add({a, c});
-      }
-    }
-    inst.Dedup();
-    named.db.Append(std::move(inst));
-  }
+  AppendGroupedComponent(named, rng, kRows, kGroups, "R1", "R2", "R3");
   const DbId db = engine.RegisterDatabase(std::move(named));
 
   AdpRequest req;

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs hygiene checks, run by the CI `docs` job (stdlib only).
+
+1. Link check: every relative markdown link in README.md and docs/*.md
+   must resolve to an existing file (external http(s)/mailto links and
+   same-file #anchors are skipped).
+
+2. Engine handbook drift: every `EngineConfig::field` and
+   `EngineCounters::member` named in docs/ENGINE.md must still be declared
+   in src/engine/engine.h — and, the other way, every field those structs
+   declare must be named in the handbook. Either direction failing means
+   docs/ENGINE.md silently rotted relative to the engine surface.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `code` spans are stripped first so example links inside backticks
+# (protocol lines, shell output) are not treated as real links.
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def check_links(md_files):
+    errors = []
+    for md in md_files:
+        text = CODE_SPAN_RE.sub("", md.read_text(encoding="utf-8"))
+        # Fenced code blocks hold shell/C++ samples, not navigable links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def struct_members(header_text, struct_name):
+    """Names of the data members declared in `struct <name> { ... };`."""
+    start = header_text.index(f"struct {struct_name} {{")
+    depth = 0
+    body = []
+    for i in range(start, len(header_text)):
+        c = header_text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                break
+        if depth >= 1:
+            body.append(c)
+    block = "".join(body)
+    block = re.sub(r"//[^\n]*", "", block)  # comments mention other names
+    members = set()
+    # Both structs are plain aggregates: every `;`-terminated statement is a
+    # data member. The member name is the last identifier of the declarator
+    # once a default initializer and an array suffix are stripped — this
+    # stays correct for pointer/reference/array/std::function members.
+    for stmt in block.split(";"):
+        stmt = stmt.split("=", 1)[0]           # drop default initializer
+        stmt = re.sub(r"\[[^\]]*\]\s*$", "", stmt.strip())  # array suffix
+        if not stmt or stmt.endswith(")"):     # defensive: skip functions
+            continue
+        m = re.search(r"(\w+)$", stmt)
+        if m and not m.group(1).isdigit():
+            members.add(m.group(1))
+    return members
+
+
+def check_engine_handbook():
+    errors = []
+    handbook = (REPO / "docs" / "ENGINE.md").read_text(encoding="utf-8")
+    header = (REPO / "src" / "engine" / "engine.h").read_text(encoding="utf-8")
+    for struct in ("EngineConfig", "EngineCounters"):
+        declared = struct_members(header, struct)
+        documented = set(re.findall(rf"{struct}::(\w+)", handbook))
+        for name in sorted(documented - declared):
+            errors.append(
+                f"docs/ENGINE.md names {struct}::{name}, which "
+                "src/engine/engine.h no longer declares"
+            )
+        for name in sorted(declared - documented):
+            errors.append(
+                f"src/engine/engine.h declares {struct}::{name}, which "
+                "docs/ENGINE.md does not document"
+            )
+    return errors
+
+
+def main():
+    md_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    errors = check_links(md_files) + check_engine_handbook()
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    names = ", ".join(str(p.relative_to(REPO)) for p in md_files)
+    print(f"docs OK: links resolve in {names}; "
+          "docs/ENGINE.md agrees with src/engine/engine.h")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
