@@ -26,6 +26,18 @@
 // them stays on the solving thread. The sharded_decompose_nodes counter
 // proves the sharded path engaged.
 //
+// EngineStreamVsBatch measures the streaming results path (StreamAdp /
+// ResultStream, docs/STREAMING.md) against the one-shot Execute on a
+// large-witness workload: a singleton projection whose optimal witness set
+// is thousands of tuples. mode=0 runs Execute and reports its full-response
+// latency; mode=1 drains a stream and reports time-to-first-witness
+// (ttfw_ms) and time-to-first-item (ttfi_ms) next to the same end-to-end
+// drain time. The streaming figures of merit: ttfi_ms ≈ the DP alone
+// (profile increments arrive before witness enumeration starts), and
+// ttfw_ms < the batch path's full_batch_ms (the first batch arrives while
+// later batches and the terminal are still being produced and the batch
+// path is still deep-copying its monolithic response).
+//
 // EnginePreparedVsText measures the prepare-once / execute-many hot path:
 // the same batch submitted through bound PreparedQuery handles (zero key
 // derivation, zero plan/binding-cache probes per request) versus query
@@ -43,6 +55,7 @@
 #include "engine/grouped_workload.h"
 #include "query/parser.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "workload/synthetic.h"
 
 namespace adp::bench {
@@ -242,6 +255,76 @@ void EnginePreparedVsText(benchmark::State& state) {
                 measured;
 }
 
+// Streaming vs one-shot on a large-witness workload: a singleton projection
+// Q(A) :- R1(A,B) over 64 A-groups with `group_rows` B-rows each, target
+// k = 32 — the optimal witness set is 32 * group_rows tuples (every row of
+// the 32 cheapest groups), dwarfing the 32 profile increments. See the
+// header comment for what ttfi_ms / ttfw_ms / full_batch_ms mean.
+void EngineStreamVsBatch(benchmark::State& state) {
+  const std::int64_t group_rows = state.range(0);
+  const bool streaming = state.range(1) != 0;
+  constexpr std::int64_t kGroups = 64;
+
+  NamedDatabase named;
+  named.relation_names = {"R1"};
+  RelationInstance inst;
+  for (std::int64_t a = 0; a < kGroups; ++a) {
+    for (std::int64_t b = 0; b < group_rows; ++b) {
+      inst.Add({static_cast<Value>(a), static_cast<Value>(b)});
+    }
+  }
+  named.db.Append(std::move(inst));
+
+  EngineConfig config;
+  config.num_workers = 2;  // the stream producer runs on a worker
+  AdpEngine engine(config);
+  const DbId db = engine.RegisterDatabase(std::move(named));
+
+  AdpRequest req;
+  req.query_text = "Q(A) :- R1(A,B)";
+  req.db = db;
+  req.k = kGroups / 2;
+
+  engine.Execute(req);  // warm the plan and binding caches
+
+  double ttfi_sum = 0.0, ttfw_sum = 0.0, full_sum = 0.0;
+  std::int64_t witnesses = 0;
+  for (auto _ : state) {
+    Stopwatch sw;
+    std::int64_t checksum = 0;
+    witnesses = 0;
+    if (streaming) {
+      ResultStream stream = engine.StreamAdp(req);
+      double ttfi = -1.0, ttfw = -1.0;
+      while (std::optional<StreamItem> item = stream.Next()) {
+        if (ttfi < 0) ttfi = sw.ElapsedMs();
+        if (item->kind == StreamItem::Kind::kWitnesses) {
+          if (ttfw < 0) ttfw = sw.ElapsedMs();
+          witnesses += static_cast<std::int64_t>(item->witnesses.size());
+          for (const TupleRef& t : item->witnesses) checksum += t.row;
+        }
+      }
+      ttfi_sum += ttfi;
+      ttfw_sum += ttfw;
+    } else {
+      const AdpResponse resp = engine.Execute(req);
+      witnesses = static_cast<std::int64_t>(resp.solution.tuples.size());
+      for (const TupleRef& t : resp.solution.tuples) checksum += t.row;
+      full_sum += sw.ElapsedMs();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations());
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["witnesses"] = static_cast<double>(witnesses);
+  if (streaming) {
+    state.counters["ttfi_ms"] = ttfi_sum / iters;
+    state.counters["ttfw_ms"] = ttfw_sum / iters;
+  } else {
+    state.counters["full_batch_ms"] = full_sum / iters;
+  }
+}
+
 // One large request: Q(A) :- R1(A,B), R2(A,B,C), R3(A,C). A is universal,
 // so Algorithm 4 partitions the AppendGroupedComponent instance
 // (engine/grouped_workload.h, shared with engine_test) into kGroups
@@ -385,6 +468,20 @@ BENCHMARK(EnginePreparedVsText)
 BENCHMARK(EngineIntraRequestSharding)
     ->Apply(ShardingSweep)
     ->ArgNames({"rows", "workers", "shard"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void StreamVsBatchSweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t group_rows : {500, 2000}) {
+    for (std::int64_t stream : {0, 1}) {
+      b->Args({group_rows, stream});
+    }
+  }
+}
+
+BENCHMARK(EngineStreamVsBatch)
+    ->Apply(StreamVsBatchSweep)
+    ->ArgNames({"group_rows", "stream"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -14,6 +14,14 @@
 //   REQ <db> <k> <query>
 //       Submits ADP(query, db, k), e.g.:  REQ d1 2 Q(A) :- R1(A,B), R2(B)
 //
+//   STREAM <db> <k> <query>
+//       Streaming ranked-witness enumeration (AdpEngine::StreamAdp): runs
+//       ONE solve and prints incremental lines as items arrive — one line
+//       per profile increment {"stream":id,"k":j,"cost":c}, one per witness
+//       batch {"stream":id,"witnesses":[...]}, then a terminal
+//       {"stream":id,"end":true,...} line. Emitted in-place, ahead of any
+//       still-pending REQ results (protocol: docs/STREAMING.md).
+//
 //   CANCEL
 //       Cancels every request still pending (AdpTicket::Cancel); their
 //       result lines report status CANCELLED.
@@ -23,7 +31,8 @@
 //
 // Usage:  adp_server [--workers=N] [--min-shard-groups=G]
 //                    [--min-shard-components=C] [--coalesce-window-ms=W]
-//                    [--timeout-ms=T] [requests.txt]
+//                    [--timeout-ms=T] [--stream-batch-tuples=B]
+//                    [requests.txt]
 //
 //   --min-shard-groups=G     Universe nodes with >= G partition groups
 //                            shard their sub-solves across the pool (0
@@ -38,7 +47,10 @@
 //                            within the last W ms from the recent-results
 //                            ring instead of re-solving (0 = off).
 //   --timeout-ms=T           per-request deadline: queued or running work
-//                            past it reports DEADLINE_EXCEEDED (0 = none).
+//                            past it reports DEADLINE_EXCEEDED (0 = none);
+//                            also bounds STREAM solves.
+//   --stream-batch-tuples=B  max witness tuples per STREAM batch line
+//                            (0 = one batch; default 256).
 //
 // Exit code: 0 when every request succeeded (or was explicitly CANCELled);
 // otherwise StatusExitCode of the first failing response — one distinct
@@ -47,7 +59,7 @@
 // Example input:
 //   DB d1 R1=11,21/12,22/13,23 R2=21,31/22,32/22,33/23,33 R3=31,41/32,43/33,43
 //   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
-//   REQ d1 2 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
+//   STREAM d1 3 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
 //   STATS
 
 #include <chrono>
@@ -57,6 +69,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -147,6 +160,23 @@ std::pair<std::string, adp::RelationInstance> ParseRelationSpec(
   return out;
 }
 
+void PrintTupleRefs(std::ostringstream& out,
+                    const std::vector<adp::TupleRef>& tuples,
+                    const adp::ConjunctiveQuery* query) {
+  out << '[';
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "[\"";
+    if (query != nullptr && tuples[i].relation < query->num_relations()) {
+      out << query->relation(tuples[i].relation).name;
+    } else {
+      out << tuples[i].relation;
+    }
+    out << "\"," << tuples[i].row << ']';
+  }
+  out << ']';
+}
+
 void PrintResponse(const Pending& p, const AdpResponse& r,
                    const adp::ConjunctiveQuery* query) {
   std::ostringstream out;
@@ -163,18 +193,9 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
   const std::int64_t cost = s.feasible ? s.cost : -1;
   out << ",\"feasible\":" << (s.feasible ? "true" : "false")
       << ",\"exact\":" << (s.exact ? "true" : "false") << ",\"cost\":" << cost
-      << ",\"output_count\":" << s.output_count << ",\"tuples\":[";
-  for (std::size_t i = 0; i < s.tuples.size(); ++i) {
-    if (i > 0) out << ',';
-    out << "[\"";
-    if (query != nullptr && s.tuples[i].relation < query->num_relations()) {
-      out << query->relation(s.tuples[i].relation).name;
-    } else {
-      out << s.tuples[i].relation;
-    }
-    out << "\"," << s.tuples[i].row << ']';
-  }
-  out << "],\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+      << ",\"output_count\":" << s.output_count << ",\"tuples\":";
+  PrintTupleRefs(out, s.tuples, query);
+  out << ",\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
       << ",\"deduped\":" << (r.deduped ? "true" : "false")
       << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
       << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
@@ -187,6 +208,85 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
 void NoteStatus(const Status& status, Status& first_error) {
   if (status.ok() || status.code() == StatusCode::kCancelled) return;
   if (first_error.ok()) first_error = status;
+}
+
+// The shared "<cmd> <db> <k> <query...>" tail of REQ and STREAM lines,
+// parsed once so the two commands cannot drift.
+struct ParsedRequest {
+  std::string db_name;
+  std::string query_text;
+  AdpRequest req;
+};
+
+ParsedRequest ParseRequestLine(
+    const std::vector<std::string>& toks, const char* usage,
+    const std::unordered_map<std::string, adp::DbId>& dbs,
+    std::int64_t timeout_ms) {
+  if (toks.size() < 3) throw std::runtime_error(usage);
+  auto it = dbs.find(toks[1]);
+  if (it == dbs.end()) {
+    throw std::runtime_error("unknown database " + toks[1]);
+  }
+  ParsedRequest out;
+  out.db_name = toks[1];
+  out.req.db = it->second;
+  out.req.k = std::stoll(toks[2]);
+  if (timeout_ms > 0) {
+    out.req.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  }
+  for (std::size_t i = 3; i < toks.size(); ++i) {
+    if (i > 3) out.query_text += ' ';
+    out.query_text += toks[i];
+  }
+  out.req.query_text = out.query_text;
+  return out;
+}
+
+// Drains one StreamAdp call synchronously, printing one line per item as it
+// arrives: time-to-first-line is one DP solve, not the full enumeration.
+void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
+                      adp::AdpRequest req, Status& first_error) {
+  // Fetch the parsed query (a plan-cache probe) to render relation names.
+  std::shared_ptr<const adp::CachedPlan> plan = engine.PlanFor(req);
+  const adp::ConjunctiveQuery* query = plan ? &plan->query : nullptr;
+
+  adp::ResultStream stream = engine.StreamAdp(std::move(req));
+  std::size_t items = 0;
+  while (std::optional<adp::StreamItem> item = stream.Next()) {
+    ++items;
+    std::ostringstream out;
+    out << "{\"stream\":" << id << ",\"db\":\"" << db << '"';
+    switch (item->kind) {
+      case adp::StreamItem::Kind::kProfile:
+        out << ",\"k\":" << item->k
+            << ",\"cost\":" << (item->feasible ? item->cost : -1)
+            << ",\"feasible\":" << (item->feasible ? "true" : "false") << '}';
+        break;
+      case adp::StreamItem::Kind::kWitnesses:
+        out << ",\"witnesses\":";
+        PrintTupleRefs(out, item->witnesses, query);
+        out << '}';
+        break;
+      case adp::StreamItem::Kind::kEnd:
+        NoteStatus(item->status, first_error);
+        out << ",\"end\":true,\"status\":\""
+            << adp::StatusCodeName(item->status.code()) << '"';
+        if (!item->status.ok()) {
+          out << ",\"error\":\"" << JsonEscape(item->status.message()) << '"';
+        } else {
+          out << ",\"feasible\":" << (item->feasible ? "true" : "false")
+              << ",\"exact\":" << (item->exact ? "true" : "false")
+              << ",\"cost\":" << (item->feasible ? item->cost : -1)
+              << ",\"output_count\":" << item->output_count;
+        }
+        out << ",\"items\":" << items << ",\"plan_ms\":" << item->plan_ms
+            << ",\"solve_ms\":" << item->solve_ms
+            << ",\"total_ms\":" << item->total_ms << '}';
+        break;
+    }
+    std::cout << out.str() << "\n";
+  }
 }
 
 void Drain(AdpEngine& engine, std::vector<Pending>& pending,
@@ -214,6 +314,7 @@ int main(int argc, char** argv) {
   std::size_t min_shard_components = 4;
   std::int64_t coalesce_window_ms = 0;
   std::int64_t timeout_ms = 0;
+  std::int64_t stream_batch_tuples = 256;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -232,6 +333,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       timeout_ms = ParseFlagValue(arg, 13, /*min_value=*/0,
                                   /*max_value=*/86'400'000);
+    } else if (arg.rfind("--stream-batch-tuples=", 0) == 0) {
+      stream_batch_tuples = ParseFlagValue(arg, 22, /*min_value=*/0,
+                                           /*max_value=*/1 << 24);
     } else {
       path = arg;
     }
@@ -252,6 +356,7 @@ int main(int argc, char** argv) {
   config.min_shard_groups = min_shard_groups;
   config.min_shard_components = min_shard_components;
   config.coalesce_window_ms = static_cast<double>(coalesce_window_ms);
+  config.stream_batch_tuples = static_cast<std::size_t>(stream_batch_tuples);
   AdpEngine engine(config);
   std::unordered_map<std::string, adp::DbId> dbs;
   std::vector<Pending> pending;
@@ -276,28 +381,17 @@ int main(int argc, char** argv) {
         }
         dbs[toks[1]] = engine.RegisterDatabase(std::move(named));
       } else if (toks[0] == "REQ") {
-        if (toks.size() < 3) throw std::runtime_error("REQ <db> <k> <query>");
-        auto it = dbs.find(toks[1]);
-        if (it == dbs.end()) {
-          throw std::runtime_error("unknown database " + toks[1]);
-        }
-        AdpRequest req;
-        req.db = it->second;
-        req.k = std::stoll(toks[2]);
-        if (timeout_ms > 0) {
-          req.deadline = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(timeout_ms);
-        }
-        std::string query;
-        for (std::size_t i = 3; i < toks.size(); ++i) {
-          if (i > 3) query += ' ';
-          query += toks[i];
-        }
-        req.query_text = query;
-        const std::int64_t k = req.k;
-        Pending p{next_id++, toks[1], query, k, {}, {}};
-        p.future = engine.Submit(std::move(req), &p.ticket);
+        ParsedRequest parsed =
+            ParseRequestLine(toks, "REQ <db> <k> <query>", dbs, timeout_ms);
+        Pending p{next_id++, parsed.db_name, parsed.query_text, parsed.req.k,
+                  {}, {}};
+        p.future = engine.Submit(std::move(parsed.req), &p.ticket);
         pending.push_back(std::move(p));
+      } else if (toks[0] == "STREAM") {
+        ParsedRequest parsed = ParseRequestLine(
+            toks, "STREAM <db> <k> <query>", dbs, timeout_ms);
+        RunStreamCommand(engine, next_id++, parsed.db_name,
+                         std::move(parsed.req), first_error);
       } else if (toks[0] == "CANCEL") {
         int cancelled = 0;
         for (Pending& p : pending) {
@@ -321,6 +415,9 @@ int main(int argc, char** argv) {
                   << ",\"sharded_universe_nodes\":" << c.sharded_universe_nodes
                   << ",\"sharded_decompose_nodes\":"
                   << c.sharded_decompose_nodes
+                  << ",\"streams_opened\":" << c.streams_opened
+                  << ",\"stream_items\":" << c.stream_items
+                  << ",\"stream_cancelled\":" << c.stream_cancelled
                   << ",\"plan_cache_size\":" << c.plan_cache_size
                   << ",\"databases\":" << c.databases
                   << ",\"workers\":" << engine.num_workers() << "}}\n";

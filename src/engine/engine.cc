@@ -1,11 +1,13 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "query/fingerprint.h"
 #include "query/parser.h"
 #include "query/transform.h"
+#include "relational/join.h"
 #include "solver/restrictions.h"
 #include "util/stopwatch.h"
 
@@ -15,6 +17,11 @@ namespace {
 /// Recent-results ring capacity (coalescing admission). Deliberately tiny:
 /// the window is short, and a probe is a linear scan under the engine lock.
 constexpr std::size_t kRecentResultsCapacity = 64;
+
+/// Stream buffer capacity, in items. Small on purpose: the buffer exists to
+/// decouple producer and consumer, not to hold the result — backpressure
+/// (a blocked producer) is the intended steady state for slow consumers.
+constexpr std::size_t kStreamBufferItems = 8;
 
 /// Engine-internal failure carrying the Status code the response should
 /// surface. Thrown by the resolution steps (database lookup, binding) and
@@ -120,6 +127,35 @@ std::string PointerKey(const void* p) {
   return std::to_string(reinterpret_cast<std::uintptr_t>(p));
 }
 
+/// Maps the exception currently being handled (call only from a catch
+/// block) to the Status its response / stream terminal should carry.
+/// Shared by SolveNow and RunStream so the two catch ladders cannot
+/// drift. `shutdown_requested` upgrades a plain cancellation to kShutdown
+/// (stream producers torn down by Shutdown()). Sets *genuine_failure for
+/// the outcomes EngineCounters::failures counts (cancellation/expiry are
+/// tracked separately).
+Status MapSolveException(bool shutdown_requested, bool* genuine_failure) {
+  *genuine_failure = true;
+  try {
+    throw;
+  } catch (const CancelledError& e) {
+    *genuine_failure = false;
+    return Status(e.reason() == CancelReason::kDeadlineExceeded
+                      ? StatusCode::kDeadlineExceeded
+                      : (shutdown_requested ? StatusCode::kShutdown
+                                            : StatusCode::kCancelled),
+                  e.what());
+  } catch (const ParseError& e) {
+    return Status(StatusCode::kParseError, e.what());
+  } catch (const EngineError& e) {
+    return Status(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status(StatusCode::kInternal, "solve terminated abnormally");
+  }
+}
+
 }  // namespace
 
 // --- PreparedQuery -----------------------------------------------------------
@@ -138,6 +174,7 @@ AdpEngine::AdpEngine(const EngineConfig& config)
     : config_(config),
       plan_cache_(config.plan_cache_capacity),
       ticket_counters_(std::make_shared<internal::TicketCounters>()),
+      stream_counters_(std::make_shared<internal::StreamCounters>()),
       pool_(config.num_workers) {
   if (config_.min_shard_groups > 0 || config_.min_shard_components > 0) {
     // A zero threshold disables that axis inside the solver (see
@@ -150,7 +187,12 @@ AdpEngine::AdpEngine(const EngineConfig& config)
   }
 }
 
-AdpEngine::~AdpEngine() = default;
+AdpEngine::~AdpEngine() {
+  // A stream whose consumer stopped draining would leave its producer
+  // blocked on the buffer forever, and the pool (last member) joins its
+  // workers below — cancel open streams first so every producer can finish.
+  CancelOpenStreams();
+}
 
 DbId AdpEngine::RegisterDatabase(NamedDatabase db) {
   if (!db.relation_names.empty() &&
@@ -177,8 +219,29 @@ std::shared_ptr<const NamedDatabase> AdpEngine::database(DbId id) const {
 }
 
 void AdpEngine::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
-  shutdown_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  CancelOpenStreams();
+}
+
+void AdpEngine::CancelOpenStreams() {
+  std::vector<std::shared_ptr<internal::StreamState>> open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& weak : streams_) {
+      if (auto state = weak.lock()) open.push_back(std::move(state));
+    }
+    streams_.clear();
+  }
+  for (const auto& state : open) {
+    // The flag makes the producer's CancelledError surface as kShutdown
+    // rather than kCancelled (a deadline that already fired keeps its
+    // kDeadlineExceeded reason).
+    state->NoteShutdown();
+    state->Cancel();
+  }
 }
 
 bool AdpEngine::IsShutdown() const {
@@ -435,6 +498,34 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
   return it->second;
 }
 
+void AdpEngine::ResolveStatic(const AdpRequest& req,
+                              const std::string& plan_key,
+                              std::shared_ptr<const CachedPlan>* plan,
+                              std::shared_ptr<const Database>* bound,
+                              bool* plan_cache_hit, double* plan_ms,
+                              std::uint64_t* fingerprint) {
+  Stopwatch plan_sw;
+  if (req.prepared.valid()) {
+    // Prepared hot path: static work pinned, zero plan-cache traffic.
+    *plan = req.prepared.plan_;
+    *bound = req.prepared.bound_;  // null when the handle is unbound
+    *plan_cache_hit = true;
+  } else {
+    *plan = GetPlan(req, plan_key, plan_cache_hit);
+  }
+  *plan_ms = plan_sw.ElapsedMs();
+  if (fingerprint != nullptr) *fingerprint = (*plan)->fingerprint;
+
+  if (*bound == nullptr) {
+    const std::shared_ptr<const NamedDatabase> named = database(req.db);
+    if (named == nullptr) {
+      throw EngineError(StatusCode::kUnknownDatabase,
+                        "unknown database id " + std::to_string(req.db));
+    }
+    *bound = BindDatabase(named, **plan);
+  }
+}
+
 AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
                                 const CancelToken* cancel) {
   AdpResponse resp;
@@ -446,28 +537,8 @@ AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
 
     std::shared_ptr<const CachedPlan> plan;
     std::shared_ptr<const Database> bound;
-    Stopwatch plan_sw;
-    if (req.prepared.valid()) {
-      // Prepared hot path: static work pinned, zero plan-cache traffic.
-      plan = req.prepared.plan_;
-      bound = req.prepared.bound_;  // null when the handle is unbound
-      resp.plan_cache_hit = true;
-    } else {
-      bool hit = false;
-      plan = GetPlan(req, keys.plan, &hit);
-      resp.plan_cache_hit = hit;
-    }
-    resp.plan_ms = plan_sw.ElapsedMs();
-    resp.fingerprint = plan->fingerprint;
-
-    if (bound == nullptr) {
-      const std::shared_ptr<const NamedDatabase> named = database(req.db);
-      if (named == nullptr) {
-        throw EngineError(StatusCode::kUnknownDatabase,
-                          "unknown database id " + std::to_string(req.db));
-      }
-      bound = BindDatabase(named, *plan);
-    }
+    ResolveStatic(req, keys.plan, &plan, &bound, &resp.plan_cache_hit,
+                  &resp.plan_ms, &resp.fingerprint);
 
     AdpOptions options = req.options;
     options.plan = &plan->dispatch;
@@ -487,23 +558,14 @@ AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
       sharded_decompose_nodes_ +=
           static_cast<std::uint64_t>(resp.stats.sharded_decompose_nodes);
     }
-  } catch (const CancelledError& e) {
-    resp.status = Status(e.reason() == CancelReason::kDeadlineExceeded
-                             ? StatusCode::kDeadlineExceeded
-                             : StatusCode::kCancelled,
-                         e.what());
-  } catch (const ParseError& e) {
-    resp.status = Status(StatusCode::kParseError, e.what());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failures_;
-  } catch (const EngineError& e) {
-    resp.status = Status(e.code(), e.what());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failures_;
-  } catch (const std::exception& e) {
-    resp.status = Status(StatusCode::kInternal, e.what());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failures_;
+  } catch (...) {
+    bool genuine_failure = false;
+    resp.status = MapSolveException(/*shutdown_requested=*/false,
+                                    &genuine_failure);
+    if (genuine_failure) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failures_;
+    }
   }
   resp.total_ms = total.ElapsedMs();
   return resp;
@@ -757,6 +819,191 @@ std::vector<AdpResponse> AdpEngine::ExecuteBatch(
   return out;
 }
 
+// --- Streaming ---------------------------------------------------------------
+
+namespace {
+
+/// Terminal-only stream: used for admission failures (shutdown, invalid
+/// prepared handle, enqueue failure).
+void FinishStream(const std::shared_ptr<internal::StreamState>& state,
+                  Status status) {
+  StreamItem end;
+  end.kind = StreamItem::Kind::kEnd;
+  end.status = std::move(status);
+  state->Finish(std::move(end));
+}
+
+}  // namespace
+
+ResultStream AdpEngine::StreamAdp(AdpRequest req) {
+  auto state = std::make_shared<internal::StreamState>(kStreamBufferItems);
+  if (req.deadline.has_value()) {
+    state->cancel_token().SetDeadline(*req.deadline);
+  }
+  ResultStream stream(state);
+
+  {
+    // Shutdown gate and registration under ONE critical section: a stream
+    // admitted here is in streams_ before Shutdown() can drain the list,
+    // so it is guaranteed to be cancelled — never left to complete after
+    // Shutdown() returned. kShutdown rejections get no counters attached:
+    // they are excluded from streams_opened, and counting their terminal
+    // would let stream_cancelled exceed streams_opened.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      FinishStream(state,
+                   Status(StatusCode::kShutdown, "engine is shut down"));
+      return stream;
+    }
+    state->counters = stream_counters_;
+    // Prune streams that already finished (their producers released the
+    // state) so the open-stream list stays proportional to live streams.
+    std::erase_if(streams_, [](const auto& weak) { return weak.expired(); });
+    streams_.push_back(state);
+  }
+  stream_counters_->opened.fetch_add(1, std::memory_order_relaxed);
+  if (req.prepared.valid()) {
+    Status valid = ValidatePrepared(req);
+    if (!valid.ok()) {
+      FinishStream(state, std::move(valid));
+      return stream;
+    }
+  }
+
+  if (pool_.IsWorkerThread()) {
+    // Nested streaming: no independent consumer can drain while we
+    // produce, so the capacity bound would deadlock — buffer everything
+    // and return a fully-produced stream.
+    state->MakeUnbounded();
+    RunStream(req, state);
+    return stream;
+  }
+  try {
+    pool_.Submit([this, req = std::move(req), state] { RunStream(req, state); });
+  } catch (...) {
+    FinishStream(state,
+                 Status(StatusCode::kInternal, "failed to enqueue stream"));
+  }
+  return stream;
+}
+
+ResultStream AdpEngine::StreamAdp(const PreparedQuery& prepared,
+                                  std::int64_t k, const AdpOptions& options) {
+  AdpRequest req;
+  req.prepared = prepared;
+  req.db = prepared.bound_db();
+  req.k = k;
+  req.options = options;
+  return StreamAdp(std::move(req));
+}
+
+void AdpEngine::RunStream(const AdpRequest& req,
+                          const std::shared_ptr<internal::StreamState>& state) {
+  StreamItem end;
+  end.kind = StreamItem::Kind::kEnd;
+  Stopwatch total;
+  try {
+    // Cancelled or expired while queued: never touches the caches.
+    state->cancel_token().ThrowIfCancelled();
+
+    std::shared_ptr<const CachedPlan> plan;
+    std::shared_ptr<const Database> bound;
+    ResolveStatic(req, req.prepared.valid() ? std::string() : PlanKey(req),
+                  &plan, &bound, &end.plan_cache_hit, &end.plan_ms, nullptr);
+
+    AdpOptions options = req.options;
+    options.plan = &plan->dispatch;
+    options.stats = &end.stats;
+    options.parallelism = sharding_.run_all ? &sharding_ : nullptr;
+    options.cancel = &state->cancel_token();
+
+    // Mirror ComputeAdp's preamble (Lemma 12 selection pushdown + the
+    // feasibility gates) so streamed results concatenate to exactly what
+    // Execute would have returned. Kept in sync by the stream-vs-batch
+    // equivalence property test (result_stream_test), which compares the
+    // two paths field-for-field on every CI run.
+    Stopwatch solve_sw;
+    const ConjunctiveQuery* query = &plan->query;
+    const Database* data = bound.get();
+    QueryDb pushed;
+    if (query->HasSelections()) {
+      pushed = ApplySelections(*query, *data);
+      query = &pushed.query;
+      data = &pushed.db;
+    }
+    end.output_count = static_cast<std::int64_t>(
+        CountOutputs(query->body(), query->head(), *data));
+
+    if (req.k > end.output_count) {
+      end.cost = kInfCost;
+      end.feasible = false;
+    } else if (req.k <= 0) {
+      end.removed_outputs = 0;  // nothing to remove; trivially "verified"
+    } else {
+      // THE solve: one DP covering every target 1..k. Per-k increments
+      // stream straight off its profile — no per-k re-solves.
+      AdpNode node = ComputeAdpNode(*query, *data, req.k, options);
+      end.exact = node.exact;
+      for (std::int64_t j = 1; j <= req.k; ++j) {
+        state->cancel_token().ThrowIfCancelled();
+        StreamItem item;
+        item.kind = StreamItem::Kind::kProfile;
+        item.k = j;
+        item.cost = node.profile.At(j);
+        item.feasible = item.cost < kInfCost;
+        state->Emit(std::move(item));
+      }
+      end.cost = node.profile.At(req.k);
+      end.feasible = end.cost < kInfCost;
+      if (!options.counting_only && node.report && end.feasible) {
+        // Witnesses stream in enumeration order, NOT normalized: sorting
+        // would force the whole set to be materialized-and-ordered before
+        // the first batch could leave, forfeiting exactly the
+        // time-to-first-witness a stream exists for. Consumers recover
+        // AdpSolution::tuples with NormalizeTupleRefs (docs/STREAMING.md).
+        std::vector<TupleRef> witnesses = node.report(req.k);
+        const std::size_t batch = config_.stream_batch_tuples == 0
+                                      ? std::max<std::size_t>(
+                                            witnesses.size(), 1)
+                                      : config_.stream_batch_tuples;
+        for (std::size_t off = 0; off < witnesses.size(); off += batch) {
+          state->cancel_token().ThrowIfCancelled();
+          StreamItem item;
+          item.kind = StreamItem::Kind::kWitnesses;
+          const std::size_t hi = std::min(off + batch, witnesses.size());
+          item.witnesses.assign(witnesses.begin() + static_cast<std::ptrdiff_t>(off),
+                                witnesses.begin() + static_cast<std::ptrdiff_t>(hi));
+          state->Emit(std::move(item));
+        }
+        if (options.verify) {
+          // Against the ROOT query/database, as ComputeAdp does.
+          end.removed_outputs =
+              CountRemovedOutputs(plan->query, *bound, witnesses);
+        }
+      }
+    }
+    end.solve_ms = solve_sw.ElapsedMs();
+    if (end.stats.sharded_universe_nodes > 0 ||
+        end.stats.sharded_decompose_nodes > 0) {
+      // Same rollup SolveNow does: streamed solves shard through the pool
+      // too, and STATS must attribute that engagement.
+      std::lock_guard<std::mutex> lock(mu_);
+      sharded_universe_nodes_ +=
+          static_cast<std::uint64_t>(end.stats.sharded_universe_nodes);
+      sharded_decompose_nodes_ +=
+          static_cast<std::uint64_t>(end.stats.sharded_decompose_nodes);
+    }
+  } catch (...) {
+    // Streams do not count into EngineCounters::failures (see counters
+    // doc): the terminal Status is the outcome signal.
+    bool genuine_failure = false;
+    end.status =
+        MapSolveException(state->shutdown_requested(), &genuine_failure);
+  }
+  end.total_ms = total.ElapsedMs();
+  state->Finish(std::move(end));
+}
+
 // --- Introspection -----------------------------------------------------------
 
 EngineCounters AdpEngine::counters() const {
@@ -767,6 +1014,11 @@ EngineCounters AdpEngine::counters() const {
   c.cancelled = ticket_counters_->cancelled.load(std::memory_order_relaxed);
   c.deadline_expired =
       ticket_counters_->deadline_expired.load(std::memory_order_relaxed);
+  c.streams_opened =
+      stream_counters_->opened.load(std::memory_order_relaxed);
+  c.stream_items = stream_counters_->items.load(std::memory_order_relaxed);
+  c.stream_cancelled =
+      stream_counters_->cancelled.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   c.requests = requests_;
   c.failures = failures_;

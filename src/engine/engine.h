@@ -38,7 +38,11 @@
 //   * coalescing admission — with EngineConfig::coalesce_window_ms > 0,
 //     a request identical to one that *completed* within the window is
 //     served from a small recent-results ring without re-solving
-//     (AdpResponse::coalesced, EngineCounters::coalesce_hits).
+//     (AdpResponse::coalesced, EngineCounters::coalesce_hits);
+//   * streaming enumeration — StreamAdp runs one solve and delivers its
+//     ranked profile (k = 1..K) and witness set incrementally through a
+//     backpressured ResultStream instead of one monolithic response
+//     (engine/result_stream.h, docs/STREAMING.md).
 //
 // Thread safety: all public methods are safe to call concurrently,
 // including from inside engine callbacks (nested submissions run inline
@@ -69,6 +73,7 @@
 #include "engine/completion_queue.h"
 #include "engine/plan_cache.h"
 #include "engine/request.h"
+#include "engine/result_stream.h"
 #include "engine/status.h"
 #include "engine/thread_pool.h"
 #include "engine/ticket.h"
@@ -120,6 +125,12 @@ struct EngineConfig {
   /// in-flight dedup). Serving a result up to this stale must be
   /// acceptable to the caller.
   double coalesce_window_ms = 0.0;
+
+  /// StreamAdp: maximum witness tuples per kWitnesses StreamItem. Larger
+  /// batches amortize per-item overhead; smaller ones bound per-item memory
+  /// and tighten backpressure. 0 delivers the whole witness set as one
+  /// batch. See docs/STREAMING.md.
+  std::size_t stream_batch_tuples = 256;
 };
 
 /// Monotonic counters, snapshot via AdpEngine::counters().
@@ -152,6 +163,15 @@ struct EngineCounters {
   /// Rollup of AdpStats::sharded_decompose_nodes across completed solves:
   /// Decompose nodes whose component sub-solves fanned out across the pool.
   std::uint64_t sharded_decompose_nodes = 0;
+  /// StreamAdp calls admitted, whatever their outcome (kShutdown rejections
+  /// excepted, mirroring `requests`). Streams are counted here, not in
+  /// `requests` — they are not request/response traffic.
+  std::uint64_t streams_opened = 0;
+  /// StreamItems delivered into stream buffers, terminal items included.
+  std::uint64_t stream_items = 0;
+  /// Streams torn down before a natural end: terminal status kCancelled
+  /// (explicit Cancel/Close), kDeadlineExceeded, or kShutdown.
+  std::uint64_t stream_cancelled = 0;
   std::size_t plan_cache_size = 0;
   std::size_t databases = 0;
 };
@@ -232,6 +252,27 @@ class AdpEngine {
   /// Runs a batch on the worker pool and returns responses in request
   /// order (blocking). Safe to call from inside a pool worker.
   std::vector<AdpResponse> ExecuteBatch(std::vector<AdpRequest> reqs);
+
+  // --- Streaming ----------------------------------------------------------
+
+  /// Streaming ranked-witness enumeration: runs ONE solve for `req` on the
+  /// worker pool and returns immediately with a ResultStream that yields
+  /// kProfile items for k = 1..req.k (ascending, from the single DP —
+  /// never per-k re-solves), then the final target's witness set in
+  /// batches of EngineConfig::stream_batch_tuples, then a terminal kEnd
+  /// item. Concatenated, the stream reproduces Execute(req)'s AdpSolution
+  /// exactly (witness batches arrive in enumeration order and normalize to
+  /// AdpSolution::tuples). Streams are cancellable (ResultStream::Cancel/Close),
+  /// deadline-aware (req.deadline), closed by Shutdown() (terminal
+  /// kShutdown), and never dedup/coalesce with other requests — every
+  /// stream is its own solve. Item ordering, backpressure, and teardown
+  /// semantics: docs/STREAMING.md. When called from inside a pool worker
+  /// the stream is produced inline (fully buffered) before returning.
+  ResultStream StreamAdp(AdpRequest req);
+
+  /// Prepared-handle hot path variant: no key derivation, no cache probes.
+  ResultStream StreamAdp(const PreparedQuery& prepared, std::int64_t k,
+                         const AdpOptions& options = {});
 
   // --- Lifecycle -----------------------------------------------------------
 
@@ -326,6 +367,33 @@ class AdpEngine {
   AdpResponse SolveNow(const AdpRequest& req, const RequestKeys& keys,
                        const CancelToken* cancel);
 
+  /// Resolves the static work and database binding of `req` — prepared
+  /// pin, or plan-cache + binding-cache probes — shared by SolveNow and
+  /// RunStream so the two request pipelines cannot drift. `plan_key` is
+  /// the precomputed plan-cache key (unused for prepared handles).
+  /// `plan_cache_hit` (whether the static work was served without
+  /// building), `plan_ms` (plan-fetch time), and `fingerprint` (optional)
+  /// are all assigned before the binding step, so a binding failure leaves
+  /// them filled on the response. Throws EngineError/ParseError on
+  /// failure.
+  void ResolveStatic(const AdpRequest& req, const std::string& plan_key,
+                     std::shared_ptr<const CachedPlan>* plan,
+                     std::shared_ptr<const Database>* bound,
+                     bool* plan_cache_hit, double* plan_ms,
+                     std::uint64_t* fingerprint);
+
+  /// Stream producer body: resolves plan + binding, runs the single
+  /// ComputeAdpNode DP, and emits profile/witness items into `state`,
+  /// always ending with a terminal kEnd item. Runs on a pool worker (or
+  /// inline for nested calls).
+  void RunStream(const AdpRequest& req,
+                 const std::shared_ptr<internal::StreamState>& state);
+
+  /// Fires the cancel token of every still-open stream with the shutdown
+  /// flag set, so producers end promptly with terminal kShutdown. Called by
+  /// Shutdown() and the destructor (before the pool joins).
+  void CancelOpenStreams();
+
   /// Execute minus the terminal cancelled/expired counter bump (so the
   /// inline SubmitAsync path can count through Deliver instead).
   AdpResponse ExecuteImpl(const AdpRequest& req);
@@ -355,13 +423,15 @@ class AdpEngine {
   PlanCache plan_cache_;
   Parallelism sharding_;  // run_all bound to pool_; unset if disabled
   std::shared_ptr<internal::TicketCounters> ticket_counters_;
+  std::shared_ptr<internal::StreamCounters> stream_counters_;
 
   mutable std::mutex mu_;  // guards databases_, bindings_, inflight_,
-                           // recent_, counters, shutdown_
+                           // recent_, streams_, counters, shutdown_
   std::vector<std::shared_ptr<const NamedDatabase>> databases_;
   std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
   std::unordered_map<std::string, std::shared_ptr<InflightSolve>> inflight_;
   std::deque<RecentResult> recent_;  // newest at back; bounded ring
+  std::vector<std::weak_ptr<internal::StreamState>> streams_;  // open streams
   bool shutdown_ = false;
   std::uint64_t requests_ = 0;
   std::uint64_t failures_ = 0;

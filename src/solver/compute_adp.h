@@ -156,6 +156,15 @@ inline void ThrowIfCancelled(const AdpOptions& options) {
   if (options.cancel != nullptr) options.cancel->ThrowIfCancelled();
 }
 
+/// By-value copy of the solve's cancel token for reporter lambdas to
+/// capture: reporters can run long after the profile solve returned (the
+/// engine's streaming path drives them incrementally), outliving the
+/// AdpOptions that configured them — tokens are cheap shared handles, so a
+/// copy stays valid and lets a cancelled stream stop mid-enumeration.
+inline CancelToken ReporterToken(const AdpOptions& options) {
+  return options.cancel != nullptr ? *options.cancel : CancelToken();
+}
+
 /// Solves ADP(Q, D, k). `q` may carry selections; `db` must be the root
 /// database (instances indexed as in `q`).
 AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,

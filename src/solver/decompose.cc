@@ -60,23 +60,28 @@ struct DecomposeState {
 };
 
 // Reconstructs tuples for target `j` of the fold prefix ending at `level`
-// (inclusive). Level 0 means children[0] alone.
+// (inclusive). Level 0 means children[0] alone. `cancel` is polled before
+// each per-component report so a cancelled stream stops mid-enumeration
+// (reporters run after the profile solve, possibly much later).
 void ReportFold(const DecomposeState& s, std::size_t level, std::int64_t j,
-                std::vector<TupleRef>& out) {
+                const CancelToken& cancel, std::vector<TupleRef>& out) {
   std::int64_t target = j;
   for (std::size_t i = level; i >= 1; --i) {
     const auto [k1, k2] = s.choices[i][target];
     if (k2 > 0) {
+      cancel.ThrowIfCancelled();
       std::vector<TupleRef> part = s.children[i].report(k2);
       out.insert(out.end(), part.begin(), part.end());
     }
     target = k1;
   }
   if (target > 0) {
+    cancel.ThrowIfCancelled();
     std::vector<TupleRef> part = s.children[0].report(target);
     out.insert(out.end(), part.begin(), part.end());
   }
 }
+
 
 // Full-enumeration (Eq. 2) support: finds the cheapest (k1..ks) vector with
 // >= j outputs removed; returns its cost and (optionally) the vector.
@@ -198,12 +203,13 @@ AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
     node.profile = CostProfile(std::move(cost));
     if (!options.counting_only) {
       auto s = state;
-      node.report = [s](std::int64_t j) {
+      node.report = [s, cancel = ReporterToken(options)](std::int64_t j) {
         std::vector<std::int64_t> vec(s->children.size(), 0);
         EnumerateVectors(*s, j, &vec);
         std::vector<TupleRef> out;
         for (std::size_t i = 0; i < vec.size(); ++i) {
           if (vec[i] == 0) continue;
+          cancel.ThrowIfCancelled();
           std::vector<TupleRef> part = s->children[i].report(vec[i]);
           out.insert(out.end(), part.begin(), part.end());
         }
@@ -230,9 +236,9 @@ AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
 
   if (!options.counting_only) {
     auto s = state;
-    node.report = [s](std::int64_t j) {
+    node.report = [s, cancel = ReporterToken(options)](std::int64_t j) {
       std::vector<TupleRef> out;
-      ReportFold(*s, s->children.size() - 1, j, out);
+      ReportFold(*s, s->children.size() - 1, j, cancel, out);
       return out;
     };
   }
@@ -257,6 +263,7 @@ DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
     if (!options.counting_only) {
       for (std::size_t i = 0; i < vec.size(); ++i) {
         if (vec[i] == 0) continue;
+        ThrowIfCancelled(options);
         std::vector<TupleRef> part = state->children[i].report(vec[i]);
         result.tuples.insert(result.tuples.end(), part.begin(), part.end());
       }
@@ -316,12 +323,14 @@ DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
   }
 
   if (!options.counting_only && result.cost < kInfCost) {
+    const CancelToken cancel = ReporterToken(options);
     if (best_k2 > 0) {
+      cancel.ThrowIfCancelled();
       std::vector<TupleRef> part = last.report(best_k2);
       result.tuples.insert(result.tuples.end(), part.begin(), part.end());
     }
     if (best_k1 > 0) {
-      ReportFold(*state, n - 2, best_k1, result.tuples);
+      ReportFold(*state, n - 2, best_k1, cancel, result.tuples);
     }
   }
   return result;

@@ -87,7 +87,10 @@ AdpNode CombineChildren(std::shared_ptr<UniverseState> state, std::int64_t cap,
 
   if (!options.counting_only) {
     const std::shared_ptr<UniverseState> s = state;
-    node.report = [s](std::int64_t j) {
+    // Polled per child report so a cancelled stream stops mid-enumeration
+    // instead of finishing the whole witness walk (see ReporterToken).
+    const CancelToken cancel = ReporterToken(options);
+    node.report = [s, cancel](std::int64_t j) {
       std::vector<TupleRef> out;
       if (s->convex) {
         // Budget per child from the sorted step prefix covering j.
@@ -100,6 +103,7 @@ AdpNode CombineChildren(std::shared_ptr<UniverseState> state, std::int64_t cap,
         }
         for (std::size_t i = 0; i < s->children.size(); ++i) {
           if (budget[i] == 0) continue;
+          cancel.ThrowIfCancelled();
           const std::int64_t ji =
               s->children[i].profile.MaxRemovedWithin(budget[i]);
           std::vector<TupleRef> part = s->children[i].report(ji);
@@ -112,12 +116,14 @@ AdpNode CombineChildren(std::shared_ptr<UniverseState> state, std::int64_t cap,
                                      ? 0
                                      : s->choices[i][target];
           if (m > 0) {
+            cancel.ThrowIfCancelled();
             std::vector<TupleRef> part = s->children[i].report(m);
             out.insert(out.end(), part.begin(), part.end());
           }
           target -= m;
         }
         if (target > 0) {
+          cancel.ThrowIfCancelled();
           std::vector<TupleRef> part = s->children[0].report(target);
           out.insert(out.end(), part.begin(), part.end());
         }

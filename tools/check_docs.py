@@ -10,6 +10,17 @@
    in src/engine/engine.h — and, the other way, every field those structs
    declare must be named in the handbook. Either direction failing means
    docs/ENGINE.md silently rotted relative to the engine surface.
+
+3. Streaming protocol drift: the same two-way check between
+   docs/STREAMING.md and the streaming surface in
+   src/engine/result_stream.h — `StreamItem`'s data members and
+   `ResultStream`'s public methods.
+
+4. Orphan check: every docs/*.md must be reachable from README.md by
+   following relative markdown links (transitively). An unreachable doc is
+   dead weight nobody can discover; link it or delete it. Scoped to docs/
+   on purpose — repo-management files (ROADMAP.md, CHANGES.md, ...) are
+   not navigation targets.
 """
 
 import re
@@ -24,21 +35,53 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN_RE = re.compile(r"`[^`]*`")
 
 
+def md_link_targets(md):
+    """Relative link targets of one markdown file (code spans/fences
+    stripped), as (raw_target, resolved_path) pairs."""
+    text = CODE_SPAN_RE.sub("", md.read_text(encoding="utf-8"))
+    # Fenced code blocks hold shell/C++ samples, not navigable links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    out = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        out.append((target, (md.parent / path).resolve()))
+    return out
+
+
 def check_links(md_files):
     errors = []
     for md in md_files:
-        text = CODE_SPAN_RE.sub("", md.read_text(encoding="utf-8"))
-        # Fenced code blocks hold shell/C++ samples, not navigable links.
-        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-        for target in LINK_RE.findall(text):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (md.parent / path).resolve()
+        for target, resolved in md_link_targets(md):
             if not resolved.exists():
                 errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def check_orphans(md_files):
+    """BFS over relative md links from README.md; every docs/*.md must be
+    visited."""
+    readme = REPO / "README.md"
+    visited = set()
+    frontier = [readme.resolve()]
+    while frontier:
+        md = frontier.pop()
+        if md in visited or not md.exists() or md.suffix != ".md":
+            continue
+        visited.add(md)
+        for _, resolved in md_link_targets(md):
+            if resolved.suffix == ".md" and resolved not in visited:
+                frontier.append(resolved)
+    errors = []
+    for md in md_files:
+        if md.resolve() not in visited:
+            errors.append(
+                f"{md.relative_to(REPO)}: orphan — not reachable from "
+                "README.md via markdown links"
+            )
     return errors
 
 
@@ -75,36 +118,105 @@ def struct_members(header_text, struct_name):
     return members
 
 
-def check_engine_handbook():
+def class_public_methods(header_text, class_name):
+    """Names of the public member functions of `class <name> { ... };`
+    (constructors, the destructor, and operators excluded)."""
+    start = header_text.index(f"class {class_name} {{")
+    depth = 0
+    body = []
+    for i in range(start, len(header_text)):
+        c = header_text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                break
+        if depth >= 1:
+            body.append(c)
+    block = "".join(body)
+    # Public section(s): classes here lead with `public:` and end with one
+    # `private:` section; keep everything in between.
+    block = block.split("private:", 1)[0]
+    block = block.split("public:", 1)[-1]
+    block = re.sub(r"//[^\n]*", "", block)
+    methods = set()
+    for m in re.finditer(r"(~?\w+)\s*\(", block):
+        name = m.group(1)
+        if name == class_name or name.startswith("~"):
+            continue
+        if name in {"if", "while", "for", "switch", "return", "sizeof"}:
+            continue
+        methods.add(name)
+    return methods
+
+
+def two_way_drift(doc_rel, doc_text, header_rel, surface):
+    """`surface` maps a type name to the member names its header declares;
+    both directions of `Type::member` mentions must agree with the doc."""
     errors = []
-    handbook = (REPO / "docs" / "ENGINE.md").read_text(encoding="utf-8")
-    header = (REPO / "src" / "engine" / "engine.h").read_text(encoding="utf-8")
-    for struct in ("EngineConfig", "EngineCounters"):
-        declared = struct_members(header, struct)
-        documented = set(re.findall(rf"{struct}::(\w+)", handbook))
+    for type_name, declared in surface.items():
+        documented = set(re.findall(rf"{type_name}::(\w+)", doc_text))
         for name in sorted(documented - declared):
             errors.append(
-                f"docs/ENGINE.md names {struct}::{name}, which "
-                "src/engine/engine.h no longer declares"
+                f"{doc_rel} names {type_name}::{name}, which "
+                f"{header_rel} no longer declares"
             )
         for name in sorted(declared - documented):
             errors.append(
-                f"src/engine/engine.h declares {struct}::{name}, which "
-                "docs/ENGINE.md does not document"
+                f"{header_rel} declares {type_name}::{name}, which "
+                f"{doc_rel} does not document"
             )
     return errors
 
 
+def check_engine_handbook():
+    handbook = (REPO / "docs" / "ENGINE.md").read_text(encoding="utf-8")
+    header = (REPO / "src" / "engine" / "engine.h").read_text(encoding="utf-8")
+    return two_way_drift(
+        "docs/ENGINE.md",
+        handbook,
+        "src/engine/engine.h",
+        {
+            "EngineConfig": struct_members(header, "EngineConfig"),
+            "EngineCounters": struct_members(header, "EngineCounters"),
+        },
+    )
+
+
+def check_streaming_protocol():
+    spec = (REPO / "docs" / "STREAMING.md").read_text(encoding="utf-8")
+    header = (REPO / "src" / "engine" / "result_stream.h").read_text(
+        encoding="utf-8"
+    )
+    return two_way_drift(
+        "docs/STREAMING.md",
+        spec,
+        "src/engine/result_stream.h",
+        {
+            "StreamItem": struct_members(header, "StreamItem"),
+            "ResultStream": class_public_methods(header, "ResultStream"),
+        },
+    )
+
+
 def main():
     md_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
-    errors = check_links(md_files) + check_engine_handbook()
+    docs_only = [p for p in md_files if p.parent == REPO / "docs"]
+    errors = (
+        check_links(md_files)
+        + check_orphans(docs_only)
+        + check_engine_handbook()
+        + check_streaming_protocol()
+    )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if errors:
         return 1
     names = ", ".join(str(p.relative_to(REPO)) for p in md_files)
-    print(f"docs OK: links resolve in {names}; "
-          "docs/ENGINE.md agrees with src/engine/engine.h")
+    print(f"docs OK: links resolve in {names}; every docs/*.md is reachable "
+          "from README.md; docs/ENGINE.md agrees with src/engine/engine.h; "
+          "docs/STREAMING.md agrees with src/engine/result_stream.h")
     return 0
 
 
