@@ -14,6 +14,9 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "query/transform.h"
@@ -65,6 +68,30 @@ inline void Report(benchmark::State& state, std::int64_t outputs,
   state.counters["tuples_removed"] = static_cast<double>(sol.cost);
   state.counters["exact"] = sol.exact ? 1.0 : 0.0;
 }
+
+/// Minimal flat-JSON writer for machine-readable bench artifacts (the
+/// BENCH_*.json perf trajectories CI uploads, docs/OBSERVABILITY.md).
+/// Keys are emitted sorted so diffs of successive trajectories are stable.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& key, double value) { fields_[key] = value; }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{";
+    const char* sep = "";
+    for (const auto& [key, value] : fields_) {
+      out << sep << "\"" << key << "\":" << value;
+      sep = ",";
+    }
+    out << "}\n";
+    return out.good();
+  }
+
+ private:
+  std::map<std::string, double> fields_;
+};
 
 }  // namespace adp::bench
 

@@ -27,11 +27,22 @@
 //       result lines report status CANCELLED.
 //
 //   STATS
-//       Drains pending requests, then prints engine counters.
+//       Drains pending requests, then prints engine counters plus request-
+//       latency quantiles (p50/p95/p99, from the metrics registry).
+//
+//   METRICS
+//       Drains pending requests, then prints the engine's metrics registry
+//       in Prometheus text exposition format (docs/OBSERVABILITY.md).
+//
+//   TRACE <on|off>
+//       Toggles span tracing (AdpRequest::collect_trace) for subsequent
+//       REQ/STREAM lines. Result lines gain "queue_ms" and "trace_spans";
+//       with --trace-dir, slow requests dump their full trace JSON.
 //
 // Usage:  adp_server [--workers=N] [--min-shard-groups=G]
 //                    [--min-shard-components=C] [--coalesce-window-ms=W]
 //                    [--timeout-ms=T] [--stream-batch-tuples=B]
+//                    [--trace-dir=DIR] [--slow-ms=S]
 //                    [requests.txt]
 //
 //   --min-shard-groups=G     Universe nodes with >= G partition groups
@@ -51,6 +62,13 @@
 //                            also bounds STREAM solves.
 //   --stream-batch-tuples=B  max witness tuples per STREAM batch line
 //                            (0 = one batch; default 256).
+//   --trace-dir=DIR          slow-query log: collect a trace for every
+//                            REQ/STREAM (implies TRACE on) and write
+//                            DIR/trace-<id>.json (Chrome trace-event JSON,
+//                            Perfetto-loadable) for each request slower
+//                            than --slow-ms end to end.
+//   --slow-ms=S              threshold for --trace-dir dumps (default 0:
+//                            every traced request is dumped).
 //
 // Exit code: 0 when every request succeeded (or was explicitly CANCELled);
 // otherwise StatusExitCode of the first failing response — one distinct
@@ -64,6 +82,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -74,6 +93,10 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -177,6 +200,32 @@ void PrintTupleRefs(std::ostringstream& out,
   out << ']';
 }
 
+/// Span tracing / slow-query-log settings (TRACE command, --trace-dir,
+/// --slow-ms).
+struct TraceConfig {
+  bool on = false;        // TRACE on|off toggle
+  std::string dir;        // --trace-dir; empty = no dumps
+  std::int64_t slow_ms = 0;  // --slow-ms dump threshold
+
+  bool collect() const { return on || !dir.empty(); }
+};
+
+/// Slow-query log: writes one request's trace JSON as DIR/trace-<id>.json
+/// when its end-to-end time crosses the --slow-ms threshold.
+void MaybeDumpTrace(const TraceConfig& tc, int id,
+                    const std::shared_ptr<const adp::obs::Trace>& trace,
+                    double end_to_end_ms) {
+  if (tc.dir.empty() || trace == nullptr ||
+      end_to_end_ms < static_cast<double>(tc.slow_ms)) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(tc.dir, ec);
+  std::ofstream out(std::filesystem::path(tc.dir) /
+                    ("trace-" + std::to_string(id) + ".json"));
+  if (out) trace->WriteJson(out);
+}
+
 void PrintResponse(const Pending& p, const AdpResponse& r,
                    const adp::ConjunctiveQuery* query) {
   std::ostringstream out;
@@ -199,7 +248,11 @@ void PrintResponse(const Pending& p, const AdpResponse& r,
       << ",\"deduped\":" << (r.deduped ? "true" : "false")
       << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
       << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
-      << ",\"total_ms\":" << r.total_ms << "}";
+      << ",\"total_ms\":" << r.total_ms << ",\"queue_ms\":" << r.queue_ms;
+  if (r.trace != nullptr) {
+    out << ",\"trace_spans\":" << r.trace->spans.size();
+  }
+  out << "}";
   std::cout << out.str() << "\n";
 }
 
@@ -232,8 +285,7 @@ ParsedRequest ParseRequestLine(
   out.req.db = it->second;
   out.req.k = std::stoll(toks[2]);
   if (timeout_ms > 0) {
-    out.req.deadline = std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(timeout_ms);
+    out.req.deadline = adp::Now() + std::chrono::milliseconds(timeout_ms);
   }
   for (std::size_t i = 3; i < toks.size(); ++i) {
     if (i > 3) out.query_text += ' ';
@@ -246,7 +298,8 @@ ParsedRequest ParseRequestLine(
 // Drains one StreamAdp call synchronously, printing one line per item as it
 // arrives: time-to-first-line is one DP solve, not the full enumeration.
 void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
-                      adp::AdpRequest req, Status& first_error) {
+                      adp::AdpRequest req, const TraceConfig& tc,
+                      Status& first_error) {
   // Fetch the parsed query (a plan-cache probe) to render relation names.
   std::shared_ptr<const adp::CachedPlan> plan = engine.PlanFor(req);
   const adp::ConjunctiveQuery* query = plan ? &plan->query : nullptr;
@@ -282,7 +335,12 @@ void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
         }
         out << ",\"items\":" << items << ",\"plan_ms\":" << item->plan_ms
             << ",\"solve_ms\":" << item->solve_ms
-            << ",\"total_ms\":" << item->total_ms << '}';
+            << ",\"total_ms\":" << item->total_ms;
+        if (item->trace != nullptr) {
+          out << ",\"trace_spans\":" << item->trace->spans.size();
+          MaybeDumpTrace(tc, id, item->trace, item->total_ms);
+        }
+        out << '}';
         break;
     }
     std::cout << out.str() << "\n";
@@ -290,7 +348,7 @@ void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
 }
 
 void Drain(AdpEngine& engine, std::vector<Pending>& pending,
-           Status& first_error) {
+           const TraceConfig& tc, Status& first_error) {
   for (Pending& p : pending) {
     const AdpResponse r = p.future.get();
     NoteStatus(r.status, first_error);
@@ -302,6 +360,7 @@ void Drain(AdpEngine& engine, std::vector<Pending>& pending,
       plan = engine.PlanFor(probe);
     }
     PrintResponse(p, r, plan ? &plan->query : nullptr);
+    MaybeDumpTrace(tc, p.id, r.trace, r.queue_ms + r.total_ms);
   }
   pending.clear();
 }
@@ -315,6 +374,7 @@ int main(int argc, char** argv) {
   std::int64_t coalesce_window_ms = 0;
   std::int64_t timeout_ms = 0;
   std::int64_t stream_batch_tuples = 256;
+  TraceConfig trace_cfg;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -336,6 +396,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--stream-batch-tuples=", 0) == 0) {
       stream_batch_tuples = ParseFlagValue(arg, 22, /*min_value=*/0,
                                            /*max_value=*/1 << 24);
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      trace_cfg.dir = arg.substr(12);
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      trace_cfg.slow_ms = ParseFlagValue(arg, 10, /*min_value=*/0,
+                                         /*max_value=*/86'400'000);
     } else {
       path = arg;
     }
@@ -383,6 +448,7 @@ int main(int argc, char** argv) {
       } else if (toks[0] == "REQ") {
         ParsedRequest parsed =
             ParseRequestLine(toks, "REQ <db> <k> <query>", dbs, timeout_ms);
+        parsed.req.collect_trace = trace_cfg.collect();
         Pending p{next_id++, parsed.db_name, parsed.query_text, parsed.req.k,
                   {}, {}};
         p.future = engine.Submit(std::move(parsed.req), &p.ticket);
@@ -390,8 +456,15 @@ int main(int argc, char** argv) {
       } else if (toks[0] == "STREAM") {
         ParsedRequest parsed = ParseRequestLine(
             toks, "STREAM <db> <k> <query>", dbs, timeout_ms);
+        parsed.req.collect_trace = trace_cfg.collect();
         RunStreamCommand(engine, next_id++, parsed.db_name,
-                         std::move(parsed.req), first_error);
+                         std::move(parsed.req), trace_cfg, first_error);
+      } else if (toks[0] == "TRACE") {
+        if (toks.size() != 2 || (toks[1] != "on" && toks[1] != "off")) {
+          throw std::runtime_error("TRACE <on|off>");
+        }
+        trace_cfg.on = toks[1] == "on";
+        std::cout << "{\"trace\":\"" << toks[1] << "\"}\n";
       } else if (toks[0] == "CANCEL") {
         int cancelled = 0;
         for (Pending& p : pending) {
@@ -399,9 +472,16 @@ int main(int argc, char** argv) {
         }
         std::cout << "{\"cancelled\":" << cancelled
                   << ",\"pending\":" << pending.size() << "}\n";
+      } else if (toks[0] == "METRICS") {
+        Drain(engine, pending, trace_cfg, first_error);
+        engine.WriteMetricsText(std::cout);
       } else if (toks[0] == "STATS") {
-        Drain(engine, pending, first_error);
+        Drain(engine, pending, trace_cfg, first_error);
         const adp::EngineCounters c = engine.counters();
+        const adp::obs::HistogramSnapshot lat =
+            engine.metrics()
+                .GetHistogram(adp::obs::kMRequestLatencyMs)
+                .Snapshot();
         std::cout << "{\"stats\":{\"requests\":" << c.requests
                   << ",\"failures\":" << c.failures
                   << ",\"plan_hits\":" << c.plan_hits
@@ -420,7 +500,11 @@ int main(int argc, char** argv) {
                   << ",\"stream_cancelled\":" << c.stream_cancelled
                   << ",\"plan_cache_size\":" << c.plan_cache_size
                   << ",\"databases\":" << c.databases
-                  << ",\"workers\":" << engine.num_workers() << "}}\n";
+                  << ",\"workers\":" << engine.num_workers()
+                  << ",\"latency_ms\":{\"count\":" << lat.count
+                  << ",\"p50\":" << lat.Quantile(0.50)
+                  << ",\"p95\":" << lat.Quantile(0.95)
+                  << ",\"p99\":" << lat.Quantile(0.99) << "}}}\n";
       } else {
         throw std::runtime_error("unknown command " + toks[0]);
       }
@@ -432,6 +516,6 @@ int main(int argc, char** argv) {
       }
     }
   }
-  Drain(engine, pending, first_error);
+  Drain(engine, pending, trace_cfg, first_error);
   return StatusExitCode(first_error.code());
 }

@@ -1,9 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "query/fingerprint.h"
 #include "query/parser.h"
 #include "query/transform.h"
@@ -175,7 +179,35 @@ AdpEngine::AdpEngine(const EngineConfig& config)
       plan_cache_(config.plan_cache_capacity),
       ticket_counters_(std::make_shared<internal::TicketCounters>()),
       stream_counters_(std::make_shared<internal::StreamCounters>()),
+      registry_(std::make_shared<obs::MetricsRegistry>()),
       pool_(config.num_workers) {
+  // Pre-register the engine's instruments once; the hot paths then update
+  // through these stable pointers, lock-free.
+  requests_ = &registry_->GetCounter(obs::kMRequests);
+  failures_ = &registry_->GetCounter(obs::kMFailures);
+  binding_hits_ = &registry_->GetCounter(obs::kMBindingHits);
+  binding_misses_ = &registry_->GetCounter(obs::kMBindingMisses);
+  dedup_hits_ = &registry_->GetCounter(obs::kMDedupHits);
+  coalesce_hits_ = &registry_->GetCounter(obs::kMCoalesceHits);
+  sharded_universe_nodes_ = &registry_->GetCounter(obs::kMShardedUniverse);
+  sharded_decompose_nodes_ = &registry_->GetCounter(obs::kMShardedDecompose);
+  traces_collected_ = &registry_->GetCounter(obs::kMTracesCollected);
+  request_latency_ms_ = &registry_->GetHistogram(obs::kMRequestLatencyMs);
+  queue_wait_ms_ = &registry_->GetHistogram(obs::kMQueueWaitMs);
+  solve_ms_ = &registry_->GetHistogram(obs::kMSolveMs);
+  stream_first_item_ms_ = &registry_->GetHistogram(obs::kMStreamFirstItemMs);
+  // Externally-sourced instruments (mirrored by MirrorExternalMetrics) are
+  // registered up front too, so exporters see them at zero rather than
+  // absent before the first mirror.
+  registry_->GetCounter(obs::kMPlanCacheHits);
+  registry_->GetCounter(obs::kMPlanCacheMisses);
+  registry_->GetCounter(obs::kMCancelled);
+  registry_->GetCounter(obs::kMDeadlineExpired);
+  registry_->GetCounter(obs::kMStreamsOpened);
+  registry_->GetCounter(obs::kMStreamItems);
+  registry_->GetCounter(obs::kMStreamCancelled);
+  registry_->GetGauge(obs::kMPlanCacheSize);
+  registry_->GetGauge(obs::kMDatabases);
   if (config_.min_shard_groups > 0 || config_.min_shard_components > 0) {
     // A zero threshold disables that axis inside the solver (see
     // Parallelism); run_all is bound once for whichever axes are live.
@@ -272,6 +304,10 @@ AdpEngine::RequestKeys AdpEngine::KeysFor(const AdpRequest& req) const {
   key += std::to_string(req.k);
   key += '|';
   key += SolveBits(req.options);
+  // Traced requests must never share a solve with untraced ones: a shared
+  // response could carry a trace its joiners did not ask for — or worse,
+  // none for the one that did.
+  if (req.collect_trace) key += "|T";
   // Restriction sets are compared by pointer — distinct pointers never
   // dedup, which is conservative but always sound.
   if (req.options.restrictions != nullptr &&
@@ -298,22 +334,20 @@ Status AdpEngine::ValidatePrepared(const AdpRequest& req) const {
 }
 
 std::optional<AdpResponse> AdpEngine::Admit(const std::string& solve_key) {
+  requests_->Increment();
   std::shared_ptr<const AdpResponse> hit;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
     if (config_.coalesce_window_ms <= 0 || recent_.empty()) {
       return std::nullopt;
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = Now();
     // Newest first; the first key match decides (an older match is staler).
     for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
       if (it->key != solve_key) continue;
-      const double age_ms =
-          std::chrono::duration<double, std::milli>(now - it->completed)
-              .count();
+      const double age_ms = MsBetween(it->completed, now);
       if (age_ms > config_.coalesce_window_ms) break;
-      ++coalesce_hits_;
+      coalesce_hits_->Increment();
       hit = it->response;
       break;
     }
@@ -326,11 +360,8 @@ std::optional<AdpResponse> AdpEngine::Admit(const std::string& solve_key) {
 }
 
 AdpResponse AdpEngine::CountRejected(Status status) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-    ++failures_;
-  }
+  requests_->Increment();
+  failures_->Increment();
   return FailureResponse(std::move(status));
 }
 
@@ -348,7 +379,7 @@ std::optional<AdpEngine::RecentResult> AdpEngine::MakeRecent(
   }
   RecentResult entry;
   entry.key = solve_key;
-  entry.completed = std::chrono::steady_clock::now();
+  entry.completed = Now();
   entry.response = std::make_shared<const AdpResponse>(resp);
   if (req.prepared.valid()) {
     entry.pins.push_back(req.prepared.plan_);
@@ -460,10 +491,10 @@ std::shared_ptr<const Database> AdpEngine::BindDatabase(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = bindings_.find(key);
     if (it != bindings_.end()) {
-      ++binding_hits_;
+      binding_hits_->Increment();
       return it->second;
     }
-    ++binding_misses_;
+    binding_misses_->Increment();
   }
 
   auto bound = std::make_shared<Database>(
@@ -503,20 +534,29 @@ void AdpEngine::ResolveStatic(const AdpRequest& req,
                               std::shared_ptr<const CachedPlan>* plan,
                               std::shared_ptr<const Database>* bound,
                               bool* plan_cache_hit, double* plan_ms,
-                              std::uint64_t* fingerprint) {
+                              std::uint64_t* fingerprint,
+                              obs::TraceSink* sink,
+                              std::uint32_t trace_parent) {
   Stopwatch plan_sw;
-  if (req.prepared.valid()) {
-    // Prepared hot path: static work pinned, zero plan-cache traffic.
-    *plan = req.prepared.plan_;
-    *bound = req.prepared.bound_;  // null when the handle is unbound
-    *plan_cache_hit = true;
-  } else {
-    *plan = GetPlan(req, plan_key, plan_cache_hit);
+  {
+    // The plan span covers parsing too — a miss-path BuildPlan parses,
+    // classifies, and linearizes inside this scope.
+    obs::Span span(sink, obs::kSpanPlan, trace_parent);
+    if (req.prepared.valid()) {
+      // Prepared hot path: static work pinned, zero plan-cache traffic.
+      *plan = req.prepared.plan_;
+      *bound = req.prepared.bound_;  // null when the handle is unbound
+      *plan_cache_hit = true;
+    } else {
+      *plan = GetPlan(req, plan_key, plan_cache_hit);
+    }
+    span.Tag("cache_hit", std::int64_t{*plan_cache_hit ? 1 : 0});
   }
   *plan_ms = plan_sw.ElapsedMs();
   if (fingerprint != nullptr) *fingerprint = (*plan)->fingerprint;
 
   if (*bound == nullptr) {
+    obs::Span span(sink, obs::kSpanBind, trace_parent);
     const std::shared_ptr<const NamedDatabase> named = database(req.db);
     if (named == nullptr) {
       throw EngineError(StatusCode::kUnknownDatabase,
@@ -527,9 +567,25 @@ void AdpEngine::ResolveStatic(const AdpRequest& req,
 }
 
 AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
-                                const CancelToken* cancel) {
+                                const CancelToken* cancel,
+                                double queue_wait_ms) {
   AdpResponse resp;
+  resp.queue_ms = queue_wait_ms;
   Stopwatch total;
+  std::unique_ptr<obs::TraceSink> sink;
+  obs::Span root;
+  if (req.collect_trace) {
+    // The origin is backdated by the queue wait so the synthetic adp.queue
+    // span below starts at t=0 and the trace covers the request's full
+    // wall time, not just the post-dequeue part.
+    sink = std::make_unique<obs::TraceSink>(obs::TraceSink::kDefaultMaxSpans,
+                                            queue_wait_ms);
+    if (queue_wait_ms > 0.0) {
+      sink->AddCompleteSpan(obs::kSpanQueue, 0, 0.0, queue_wait_ms);
+    }
+    root = obs::Span(sink.get(), obs::kSpanRequest);
+    root.Tag("k", req.k);
+  }
   try {
     // A request cancelled or expired before reaching here must not touch
     // the caches at all ("never runs the solve").
@@ -538,36 +594,44 @@ AdpResponse AdpEngine::SolveNow(const AdpRequest& req, const RequestKeys& keys,
     std::shared_ptr<const CachedPlan> plan;
     std::shared_ptr<const Database> bound;
     ResolveStatic(req, keys.plan, &plan, &bound, &resp.plan_cache_hit,
-                  &resp.plan_ms, &resp.fingerprint);
+                  &resp.plan_ms, &resp.fingerprint, sink.get(), root.id());
 
     AdpOptions options = req.options;
     options.plan = &plan->dispatch;
     options.stats = &resp.stats;
     options.parallelism = sharding_.run_all ? &sharding_ : nullptr;
     options.cancel = cancel;
+    options.trace = sink.get();
     Stopwatch solve_sw;
-    resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
+    {
+      obs::Span solve_span(sink.get(), obs::kSpanSolve, root.id());
+      options.trace_parent = solve_span.id();
+      resp.solution = ComputeAdp(plan->query, *bound, req.k, options);
+    }
     resp.solve_ms = solve_sw.ElapsedMs();
+    solve_ms_->Observe(resp.solve_ms);
     if (resp.stats.sharded_universe_nodes > 0 ||
         resp.stats.sharded_decompose_nodes > 0) {
       // Rolled up only here, where the solve actually ran: deduped and
       // coalesced copies of this response must not re-count its shards.
-      std::lock_guard<std::mutex> lock(mu_);
-      sharded_universe_nodes_ +=
-          static_cast<std::uint64_t>(resp.stats.sharded_universe_nodes);
-      sharded_decompose_nodes_ +=
-          static_cast<std::uint64_t>(resp.stats.sharded_decompose_nodes);
+      sharded_universe_nodes_->Increment(
+          static_cast<std::uint64_t>(resp.stats.sharded_universe_nodes));
+      sharded_decompose_nodes_->Increment(
+          static_cast<std::uint64_t>(resp.stats.sharded_decompose_nodes));
     }
   } catch (...) {
     bool genuine_failure = false;
     resp.status = MapSolveException(/*shutdown_requested=*/false,
                                     &genuine_failure);
-    if (genuine_failure) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++failures_;
-    }
+    if (genuine_failure) failures_->Increment();
   }
   resp.total_ms = total.ElapsedMs();
+  request_latency_ms_->Observe(queue_wait_ms + resp.total_ms);
+  if (sink != nullptr) {
+    root.End();
+    resp.trace = std::make_shared<const obs::Trace>(sink->Take());
+    traces_collected_->Increment();
+  }
   return resp;
 }
 
@@ -584,7 +648,7 @@ std::shared_ptr<AdpEngine::InflightSolve> AdpEngine::LeadOrJoin(
       // group mutex, so a successful join can never land on a solve that
       // was cancelled between probe and registration.
       if (it->second->group->AddParticipant(deadline)) {
-        ++dedup_hits_;
+        dedup_hits_->Increment();
         ticket->group = it->second->group;
         it->second->followers.push_back(ticket);
         return nullptr;  // joined as a follower
@@ -645,8 +709,7 @@ AdpResponse AdpEngine::ExecuteImpl(const AdpRequest& req) {
   if (std::optional<AdpResponse> coalesced = Admit(keys.solve)) {
     // An already-expired deadline beats a coalesced result, matching the
     // async path (whose ticket substitutes kDeadlineExceeded at delivery).
-    if (req.deadline.has_value() &&
-        std::chrono::steady_clock::now() >= *req.deadline) {
+    if (req.deadline.has_value() && Now() >= *req.deadline) {
       return DroppedResponse(CancelReason::kDeadlineExceeded);
     }
     return *std::move(coalesced);
@@ -673,8 +736,7 @@ AdpResponse AdpEngine::ExecuteImpl(const AdpRequest& req) {
     // leaked leader) and keep Execute's never-throws contract.
     resp = FailureResponse(
         Status(StatusCode::kInternal, "solve terminated abnormally"));
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failures_;
+    failures_->Increment();
   }
   if (lead != nullptr) {
     PublishInflight(keys.solve, lead, resp, MakeRecent(req, keys.solve, resp));
@@ -766,8 +828,11 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
   // leader would hang all future identical requests — so both the solve
   // and the enqueue are exception-proofed.
   try {
-    pool_.Submit([this, req = std::move(req), keys, lead] {
+    const MonotonicClock::time_point enqueued = Now();
+    pool_.Submit([this, req = std::move(req), keys, lead, enqueued] {
       AdpResponse resp;
+      const double queue_wait_ms = MsBetween(enqueued, Now());
+      queue_wait_ms_->Observe(queue_wait_ms);
       const CancelReason queued = lead->group->solve_token().Check();
       if (queued != CancelReason::kNone) {
         // Cancelled or expired while queued: the solve never runs — no
@@ -775,12 +840,12 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
         resp = DroppedResponse(queued);
       } else {
         try {
-          resp = SolveNow(req, keys, &lead->group->solve_token());
+          resp = SolveNow(req, keys, &lead->group->solve_token(),
+                          queue_wait_ms);
         } catch (...) {
           resp = FailureResponse(
               Status(StatusCode::kInternal, "solve terminated abnormally"));
-          std::lock_guard<std::mutex> lock(mu_);
-          ++failures_;
+          failures_->Increment();
         }
       }
       PublishInflight(keys.solve, lead, resp,
@@ -791,10 +856,7 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
     // once); rethrowing too would double-report the submission.
     AdpResponse failure = FailureResponse(
         Status(StatusCode::kInternal, "failed to enqueue request"));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++failures_;
-    }
+    failures_->Increment();
     PublishInflight(keys.solve, lead, failure, std::nullopt);
   }
   return ticket;
@@ -837,6 +899,7 @@ void FinishStream(const std::shared_ptr<internal::StreamState>& state,
 
 ResultStream AdpEngine::StreamAdp(AdpRequest req) {
   auto state = std::make_shared<internal::StreamState>(kStreamBufferItems);
+  state->opened = Now();
   if (req.deadline.has_value()) {
     state->cancel_token().SetDeadline(*req.deadline);
   }
@@ -902,6 +965,29 @@ void AdpEngine::RunStream(const AdpRequest& req,
   StreamItem end;
   end.kind = StreamItem::Kind::kEnd;
   Stopwatch total;
+  // Queue wait = StreamAdp admission to here (0-ish for inline production).
+  const double queue_wait_ms = MsBetween(state->opened, Now());
+  queue_wait_ms_->Observe(queue_wait_ms);
+  std::unique_ptr<obs::TraceSink> sink;
+  obs::Span root;
+  if (req.collect_trace) {
+    sink = std::make_unique<obs::TraceSink>(obs::TraceSink::kDefaultMaxSpans,
+                                            queue_wait_ms);
+    if (queue_wait_ms > 0.0) {
+      sink->AddCompleteSpan(obs::kSpanQueue, 0, 0.0, queue_wait_ms);
+    }
+    root = obs::Span(sink.get(), obs::kSpanStream);
+    root.Tag("k", req.k);
+  }
+  // Time-to-first-item, measured from admission at the first Emit (profile
+  // or witness batch — whichever the consumer could see first).
+  bool first_item = true;
+  const auto note_first_item = [&] {
+    if (first_item) {
+      first_item = false;
+      stream_first_item_ms_->Observe(MsBetween(state->opened, Now()));
+    }
+  };
   try {
     // Cancelled or expired while queued: never touches the caches.
     state->cancel_token().ThrowIfCancelled();
@@ -909,13 +995,16 @@ void AdpEngine::RunStream(const AdpRequest& req,
     std::shared_ptr<const CachedPlan> plan;
     std::shared_ptr<const Database> bound;
     ResolveStatic(req, req.prepared.valid() ? std::string() : PlanKey(req),
-                  &plan, &bound, &end.plan_cache_hit, &end.plan_ms, nullptr);
+                  &plan, &bound, &end.plan_cache_hit, &end.plan_ms, nullptr,
+                  sink.get(), root.id());
 
     AdpOptions options = req.options;
     options.plan = &plan->dispatch;
     options.stats = &end.stats;
     options.parallelism = sharding_.run_all ? &sharding_ : nullptr;
     options.cancel = &state->cancel_token();
+    options.trace = sink.get();
+    options.trace_parent = root.id();
 
     // Mirror ComputeAdp's preamble (Lemma 12 selection pushdown + the
     // feasibility gates) so streamed results concatenate to exactly what
@@ -951,6 +1040,7 @@ void AdpEngine::RunStream(const AdpRequest& req,
         item.k = j;
         item.cost = node.profile.At(j);
         item.feasible = item.cost < kInfCost;
+        note_first_item();
         state->Emit(std::move(item));
       }
       end.cost = node.profile.At(req.k);
@@ -973,6 +1063,7 @@ void AdpEngine::RunStream(const AdpRequest& req,
           const std::size_t hi = std::min(off + batch, witnesses.size());
           item.witnesses.assign(witnesses.begin() + static_cast<std::ptrdiff_t>(off),
                                 witnesses.begin() + static_cast<std::ptrdiff_t>(hi));
+          note_first_item();
           state->Emit(std::move(item));
         }
         if (options.verify) {
@@ -983,15 +1074,15 @@ void AdpEngine::RunStream(const AdpRequest& req,
       }
     }
     end.solve_ms = solve_sw.ElapsedMs();
+    solve_ms_->Observe(end.solve_ms);
     if (end.stats.sharded_universe_nodes > 0 ||
         end.stats.sharded_decompose_nodes > 0) {
       // Same rollup SolveNow does: streamed solves shard through the pool
       // too, and STATS must attribute that engagement.
-      std::lock_guard<std::mutex> lock(mu_);
-      sharded_universe_nodes_ +=
-          static_cast<std::uint64_t>(end.stats.sharded_universe_nodes);
-      sharded_decompose_nodes_ +=
-          static_cast<std::uint64_t>(end.stats.sharded_decompose_nodes);
+      sharded_universe_nodes_->Increment(
+          static_cast<std::uint64_t>(end.stats.sharded_universe_nodes));
+      sharded_decompose_nodes_->Increment(
+          static_cast<std::uint64_t>(end.stats.sharded_decompose_nodes));
     }
   } catch (...) {
     // Streams do not count into EngineCounters::failures (see counters
@@ -1001,12 +1092,19 @@ void AdpEngine::RunStream(const AdpRequest& req,
         MapSolveException(state->shutdown_requested(), &genuine_failure);
   }
   end.total_ms = total.ElapsedMs();
+  if (sink != nullptr) {
+    root.End();
+    end.trace = std::make_shared<const obs::Trace>(sink->Take());
+    traces_collected_->Increment();
+  }
   state->Finish(std::move(end));
 }
 
 // --- Introspection -----------------------------------------------------------
 
 EngineCounters AdpEngine::counters() const {
+  // Mirror first so registry readers (METRICS, bench) and this view agree.
+  MirrorExternalMetrics();
   EngineCounters c;
   c.plan_hits = plan_cache_.hits();
   c.plan_misses = plan_cache_.misses();
@@ -1019,17 +1117,54 @@ EngineCounters AdpEngine::counters() const {
   c.stream_items = stream_counters_->items.load(std::memory_order_relaxed);
   c.stream_cancelled =
       stream_counters_->cancelled.load(std::memory_order_relaxed);
+  c.requests = requests_->Value();
+  c.failures = failures_->Value();
+  c.binding_hits = binding_hits_->Value();
+  c.binding_misses = binding_misses_->Value();
+  c.dedup_hits = dedup_hits_->Value();
+  c.coalesce_hits = coalesce_hits_->Value();
+  c.sharded_universe_nodes = sharded_universe_nodes_->Value();
+  c.sharded_decompose_nodes = sharded_decompose_nodes_->Value();
   std::lock_guard<std::mutex> lock(mu_);
-  c.requests = requests_;
-  c.failures = failures_;
-  c.binding_hits = binding_hits_;
-  c.binding_misses = binding_misses_;
-  c.dedup_hits = dedup_hits_;
-  c.coalesce_hits = coalesce_hits_;
-  c.sharded_universe_nodes = sharded_universe_nodes_;
-  c.sharded_decompose_nodes = sharded_decompose_nodes_;
   c.databases = databases_.size();
   return c;
+}
+
+obs::MetricsRegistry& AdpEngine::metrics() const { return *registry_; }
+
+void AdpEngine::MirrorExternalMetrics() const {
+  // RecordTotal is a monotonic max-set, so mirroring is idempotent and safe
+  // to run concurrently with itself — the registry copy only ever catches
+  // up to the external source of truth.
+  registry_->GetCounter(obs::kMPlanCacheHits).RecordTotal(plan_cache_.hits());
+  registry_->GetCounter(obs::kMPlanCacheMisses)
+      .RecordTotal(plan_cache_.misses());
+  registry_->GetCounter(obs::kMCancelled)
+      .RecordTotal(ticket_counters_->cancelled.load(std::memory_order_relaxed));
+  registry_->GetCounter(obs::kMDeadlineExpired)
+      .RecordTotal(
+          ticket_counters_->deadline_expired.load(std::memory_order_relaxed));
+  registry_->GetCounter(obs::kMStreamsOpened)
+      .RecordTotal(stream_counters_->opened.load(std::memory_order_relaxed));
+  registry_->GetCounter(obs::kMStreamItems)
+      .RecordTotal(stream_counters_->items.load(std::memory_order_relaxed));
+  registry_->GetCounter(obs::kMStreamCancelled)
+      .RecordTotal(
+          stream_counters_->cancelled.load(std::memory_order_relaxed));
+  registry_->GetGauge(obs::kMPlanCacheSize)
+      .Set(static_cast<std::int64_t>(plan_cache_.size()));
+  std::size_t databases = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    databases = databases_.size();
+  }
+  registry_->GetGauge(obs::kMDatabases)
+      .Set(static_cast<std::int64_t>(databases));
+}
+
+void AdpEngine::WriteMetricsText(std::ostream& out) const {
+  MirrorExternalMetrics();
+  registry_->WritePrometheus(out);
 }
 
 void AdpEngine::ClearCaches() {

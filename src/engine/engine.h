@@ -63,6 +63,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -78,8 +79,17 @@
 #include "engine/thread_pool.h"
 #include "engine/ticket.h"
 #include "relational/database.h"
+#include "util/stopwatch.h"
 
 namespace adp {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceSink;
+}  // namespace obs
 
 /// A database whose relations are addressed by name. `relation_names` is
 /// parallel to `db`'s instances; at request time each body atom of the
@@ -133,7 +143,10 @@ struct EngineConfig {
   std::size_t stream_batch_tuples = 256;
 };
 
-/// Monotonic counters, snapshot via AdpEngine::counters().
+/// Monotonic counters, snapshot via AdpEngine::counters(). Assembled as a
+/// view over the engine's MetricsRegistry (obs/metrics.h) plus the caches'
+/// own counters — see metrics() for the registry itself, which additionally
+/// carries the latency histograms.
 struct EngineCounters {
   /// Requests admitted — counted whatever the outcome, except kShutdown
   /// rejections (the engine is no longer serving).
@@ -286,6 +299,19 @@ class AdpEngine {
   EngineCounters counters() const;
   int num_workers() const { return pool_.num_threads(); }
 
+  /// The engine's metrics registry: the counters behind counters(), plus
+  /// the latency histograms (adp_request_latency_ms, adp_queue_wait_ms,
+  /// adp_solve_ms, adp_stream_first_item_ms — src/obs/names.h). Counters
+  /// whose source of truth lives outside the registry (plan cache, ticket
+  /// and stream terminals) are only guaranteed current after a counters()
+  /// or WriteMetricsText() call mirrored them in.
+  obs::MetricsRegistry& metrics() const;
+
+  /// Prometheus text exposition (0.0.4) of the full registry, externally-
+  /// sourced counters and gauges mirrored in first. Backs the adp_server
+  /// METRICS command.
+  void WriteMetricsText(std::ostream& out) const;
+
   /// Drops the plan cache, the binding cache, and the recent-results ring.
   /// In-flight requests and PreparedQuery handles keep the shared
   /// plans/bindings they already hold; later requests rebuild.
@@ -322,7 +348,7 @@ class AdpEngine {
   /// this entry (ABA) and be served the wrong result.
   struct RecentResult {
     std::string key;
-    std::chrono::steady_clock::time_point completed;
+    MonotonicClock::time_point completed;
     std::shared_ptr<const AdpResponse> response;
     std::vector<std::shared_ptr<const void>> pins;
   };
@@ -364,8 +390,12 @@ class AdpEngine {
   /// The full request pipeline (plan, bind, solve), without dedup or
   /// request counting. `keys` are the precomputed cache keys of `req`;
   /// `cancel`, when non-null, is polled by the solver recursion.
+  /// `queue_wait_ms` — how long the request sat on the pool before this
+  /// call — backdates the trace origin (the synthetic adp.queue span) and
+  /// feeds the end-to-end latency histogram.
   AdpResponse SolveNow(const AdpRequest& req, const RequestKeys& keys,
-                       const CancelToken* cancel);
+                       const CancelToken* cancel,
+                       double queue_wait_ms = 0.0);
 
   /// Resolves the static work and database binding of `req` — prepared
   /// pin, or plan-cache + binding-cache probes — shared by SolveNow and
@@ -375,12 +405,15 @@ class AdpEngine {
   /// building), `plan_ms` (plan-fetch time), and `fingerprint` (optional)
   /// are all assigned before the binding step, so a binding failure leaves
   /// them filled on the response. Throws EngineError/ParseError on
-  /// failure.
+  /// failure. `sink`/`trace_parent` (nullable) wrap the two steps in
+  /// adp.plan / adp.bind spans.
   void ResolveStatic(const AdpRequest& req, const std::string& plan_key,
                      std::shared_ptr<const CachedPlan>* plan,
                      std::shared_ptr<const Database>* bound,
                      bool* plan_cache_hit, double* plan_ms,
-                     std::uint64_t* fingerprint);
+                     std::uint64_t* fingerprint,
+                     obs::TraceSink* sink = nullptr,
+                     std::uint32_t trace_parent = 0);
 
   /// Stream producer body: resolves plan + binding, runs the single
   /// ComputeAdpNode DP, and emits profile/witness items into `state`,
@@ -419,28 +452,44 @@ class AdpEngine {
 
   bool IsShutdown() const;
 
+  /// RecordTotal-mirrors the counters whose source of truth lives outside
+  /// the registry (plan cache, ticket/stream terminals) and refreshes the
+  /// gauges, so a registry read observes them current.
+  void MirrorExternalMetrics() const;
+
   const EngineConfig config_;
   PlanCache plan_cache_;
   Parallelism sharding_;  // run_all bound to pool_; unset if disabled
   std::shared_ptr<internal::TicketCounters> ticket_counters_;
   std::shared_ptr<internal::StreamCounters> stream_counters_;
 
+  /// The metrics sink (obs/metrics.h). Engine-internal counters below point
+  /// straight into it — their updates are lock-free relaxed atomics, so
+  /// none of them need mu_ anymore. shared_ptr: snapshots taken by callers
+  /// (bench harness, adp_server) may outlive a restarted engine.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Counter* binding_hits_ = nullptr;
+  obs::Counter* binding_misses_ = nullptr;
+  obs::Counter* dedup_hits_ = nullptr;
+  obs::Counter* coalesce_hits_ = nullptr;
+  obs::Counter* sharded_universe_nodes_ = nullptr;
+  obs::Counter* sharded_decompose_nodes_ = nullptr;
+  obs::Counter* traces_collected_ = nullptr;
+  obs::Histogram* request_latency_ms_ = nullptr;
+  obs::Histogram* queue_wait_ms_ = nullptr;
+  obs::Histogram* solve_ms_ = nullptr;
+  obs::Histogram* stream_first_item_ms_ = nullptr;
+
   mutable std::mutex mu_;  // guards databases_, bindings_, inflight_,
-                           // recent_, streams_, counters, shutdown_
+                           // recent_, streams_, shutdown_
   std::vector<std::shared_ptr<const NamedDatabase>> databases_;
   std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
   std::unordered_map<std::string, std::shared_ptr<InflightSolve>> inflight_;
   std::deque<RecentResult> recent_;  // newest at back; bounded ring
   std::vector<std::weak_ptr<internal::StreamState>> streams_;  // open streams
   bool shutdown_ = false;
-  std::uint64_t requests_ = 0;
-  std::uint64_t failures_ = 0;
-  std::uint64_t binding_hits_ = 0;
-  std::uint64_t binding_misses_ = 0;
-  std::uint64_t dedup_hits_ = 0;
-  std::uint64_t coalesce_hits_ = 0;
-  std::uint64_t sharded_universe_nodes_ = 0;
-  std::uint64_t sharded_decompose_nodes_ = 0;
 
   ThreadPool pool_;  // last member: workers must die before state above
 };

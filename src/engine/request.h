@@ -21,6 +21,10 @@ class Database;
 struct CachedPlan;
 struct NamedDatabase;
 
+namespace obs {
+struct Trace;  // obs/trace.h; forward-declared to keep this header light
+}  // namespace obs
+
 /// Handle of a database registered with an AdpEngine.
 using DbId = int;
 inline constexpr DbId kInvalidDbId = -1;
@@ -103,8 +107,16 @@ struct AdpRequest {
   /// with Status kDeadlineExceeded.
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
+  /// Collect a per-request span trace (obs/trace.h): the engine wires a
+  /// TraceSink through the request pipeline and the solver recursion, and
+  /// the response carries the recorded Trace. Traced requests never
+  /// dedup/coalesce with untraced ones (a shared response could not say
+  /// whose trace it carries). Off by default — the untraced path costs one
+  /// pointer compare per recursion node.
+  bool collect_trace = false;
+
   /// Solver knobs. `options.plan`, `options.stats`, `options.parallelism`,
-  /// and `options.cancel` are engine-managed and ignored;
+  /// `options.cancel`, and `options.trace` are engine-managed and ignored;
   /// `options.restrictions`, if set, must outlive the request.
   AdpOptions options;
 };
@@ -147,10 +159,18 @@ struct AdpResponse {
 
   /// Wall-clock timings. `plan_ms` covers plan-cache lookup including any
   /// miss-path construction (parse + classification + linearization);
-  /// `solve_ms` is the data-dependent solve; `total_ms` the whole request.
+  /// `solve_ms` is the data-dependent solve; `total_ms` the whole request;
+  /// `queue_ms` is time spent queued on the worker pool before the pipeline
+  /// started (0 for synchronous Execute).
   double plan_ms = 0.0;
   double solve_ms = 0.0;
   double total_ms = 0.0;
+  double queue_ms = 0.0;
+
+  /// The recorded span trace, set iff AdpRequest::collect_trace was true
+  /// and the pipeline ran (deduped/coalesced responses carry the leader
+  /// solve's trace). Export with Trace::WriteJson.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 }  // namespace adp

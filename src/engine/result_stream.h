@@ -55,8 +55,13 @@
 #include "solver/compute_adp.h"
 #include "solver/solution.h"
 #include "util/cancel.h"
+#include "util/stopwatch.h"
 
 namespace adp {
+
+namespace obs {
+struct Trace;  // obs/trace.h; forward-declared to keep this header light
+}  // namespace obs
 
 /// One item of a result stream. Which fields are meaningful depends on
 /// `kind`; the rest keep their defaults.
@@ -112,6 +117,11 @@ struct StreamItem {
   double plan_ms = 0.0;
   double solve_ms = 0.0;
   double total_ms = 0.0;
+
+  /// kEnd: the recorded span trace, set iff AdpRequest::collect_trace was
+  /// true (obs/trace.h; export with Trace::WriteJson). Null on every other
+  /// item kind.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 namespace internal {
@@ -172,6 +182,11 @@ class StreamState {
   }
 
   std::shared_ptr<StreamCounters> counters;
+
+  /// When StreamAdp admitted the stream (set by the engine before the
+  /// producer is enqueued); RunStream measures queue wait and
+  /// time-to-first-item from it.
+  MonotonicClock::time_point opened{};
 
  private:
   const CancelToken cancel_ = CancelToken::Make();

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace adp::obs {
+
+// --- HistogramSnapshot -------------------------------------------------------
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target observation, 1-based; p = 0 maps to the smallest.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite bound; report one more doubling
+      // past the last finite bound so the value stays orderable/plottable.
+      return i < bounds.size() ? bounds[i] : bounds.back() * 2.0;
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back() * 2.0;
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+double Histogram::UpperBound(int i) {
+  return kFirstUpperMs * std::ldexp(1.0, i);  // kFirstUpperMs * 2^i
+}
+
+int Histogram::BucketFor(double value_ms) {
+  if (!(value_ms > kFirstUpperMs)) return 0;  // also catches <= 0 and NaN
+  int idx = static_cast<int>(std::ceil(std::log2(value_ms / kFirstUpperMs)));
+  // log2/ceil rounding can be off by one at exact powers of two; nudge to
+  // restore the invariant UpperBound(idx-1) < value <= UpperBound(idx).
+  while (idx > 0 && value_ms <= UpperBound(idx - 1)) --idx;
+  while (idx < kNumBuckets && value_ms > UpperBound(idx)) ++idx;
+  return idx;
+}
+
+void Histogram::Observe(double value_ms) {
+  buckets_[BucketFor(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clean = std::isnan(value_ms) ? 0.0 : value_ms;
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + clean),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets + 1);
+  snap.bounds.resize(kNumBuckets);
+  std::uint64_t total = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    snap.buckets[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.bounds[static_cast<std::size_t>(i)] = UpperBound(i);
+  }
+  // Derive count from the buckets actually read: Observe's two updates are
+  // not atomic together, and `count <= sum(buckets)` keeps Quantile's rank
+  // walk in range.
+  snap.count = total;
+  snap.sum = Sum();
+  return snap;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry::Instrument& MetricsRegistry::GetOrCreate(
+    const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = instruments_.emplace(name, std::move(inst)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return *GetOrCreate(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return *GetOrCreate(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return *GetOrCreate(name, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::kCounter:
+        snap.counters[name] = inst.counter->Value();
+        break;
+      case Kind::kGauge:
+        snap.gauges[name] = inst.gauge->Value();
+        break;
+      case Kind::kHistogram:
+        snap.histograms[name] = inst.histogram->Snapshot();
+        break;
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+/// Prometheus sample values: integers print exactly, doubles shortest-form.
+void WriteValue(std::ostream& out, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    out << static_cast<std::int64_t>(v);
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  const MetricsSnapshot snap = Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.buckets[i];
+      out << name << "_bucket{le=\"";
+      WriteValue(out, hist.bounds[i]);
+      out << "\"} " << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << hist.count << '\n';
+    out << name << "_sum ";
+    WriteValue(out, hist.sum);
+    out << '\n';
+    out << name << "_count " << hist.count << '\n';
+  }
+}
+
+}  // namespace adp::obs

@@ -1,0 +1,77 @@
+// Central catalog of metric and span names emitted by the engine.
+//
+// Every metric registered with the engine's MetricsRegistry and every span
+// name opened on a TraceSink must be a constant from this header: the CI
+// docs job (tools/check_docs.py) runs a two-way drift check between the
+// string literals declared here and the name catalog in
+// docs/OBSERVABILITY.md, so an undocumented metric — or a documented one
+// that no longer exists — fails the build.
+//
+// Naming conventions:
+//   * metrics use Prometheus style: `adp_` prefix, snake_case, `_total`
+//     suffix on monotonic counters, `_ms` suffix on latency histograms;
+//   * spans use dotted lowercase: `adp.` prefix, with `adp.node.*` for
+//     solver recursion nodes and `adp.shard.*` for sharded sub-solve fan-out.
+
+#ifndef ADP_OBS_NAMES_H_
+#define ADP_OBS_NAMES_H_
+
+namespace adp::obs {
+
+// --- Metrics: counters -------------------------------------------------------
+
+inline constexpr char kMRequests[] = "adp_requests_total";
+inline constexpr char kMFailures[] = "adp_failures_total";
+inline constexpr char kMPlanCacheHits[] = "adp_plan_cache_hits_total";
+inline constexpr char kMPlanCacheMisses[] = "adp_plan_cache_misses_total";
+inline constexpr char kMBindingHits[] = "adp_binding_cache_hits_total";
+inline constexpr char kMBindingMisses[] = "adp_binding_cache_misses_total";
+inline constexpr char kMDedupHits[] = "adp_dedup_hits_total";
+inline constexpr char kMCoalesceHits[] = "adp_coalesce_hits_total";
+inline constexpr char kMCancelled[] = "adp_cancelled_total";
+inline constexpr char kMDeadlineExpired[] = "adp_deadline_expired_total";
+inline constexpr char kMShardedUniverse[] = "adp_sharded_universe_nodes_total";
+inline constexpr char kMShardedDecompose[] =
+    "adp_sharded_decompose_nodes_total";
+inline constexpr char kMStreamsOpened[] = "adp_streams_opened_total";
+inline constexpr char kMStreamItems[] = "adp_stream_items_total";
+inline constexpr char kMStreamCancelled[] = "adp_stream_cancelled_total";
+inline constexpr char kMTracesCollected[] = "adp_traces_collected_total";
+
+// --- Metrics: gauges ---------------------------------------------------------
+
+inline constexpr char kMPlanCacheSize[] = "adp_plan_cache_size";
+inline constexpr char kMDatabases[] = "adp_databases";
+
+// --- Metrics: histograms (milliseconds) --------------------------------------
+
+inline constexpr char kMRequestLatencyMs[] = "adp_request_latency_ms";
+inline constexpr char kMQueueWaitMs[] = "adp_queue_wait_ms";
+inline constexpr char kMSolveMs[] = "adp_solve_ms";
+inline constexpr char kMStreamFirstItemMs[] = "adp_stream_first_item_ms";
+
+// --- Spans: request pipeline -------------------------------------------------
+
+inline constexpr char kSpanQueue[] = "adp.queue";
+inline constexpr char kSpanRequest[] = "adp.request";
+inline constexpr char kSpanPlan[] = "adp.plan";
+inline constexpr char kSpanBind[] = "adp.bind";
+inline constexpr char kSpanSolve[] = "adp.solve";
+inline constexpr char kSpanNormalize[] = "adp.normalize";
+inline constexpr char kSpanVerify[] = "adp.verify";
+inline constexpr char kSpanWitnesses[] = "adp.witnesses";
+inline constexpr char kSpanStream[] = "adp.stream";
+
+// --- Spans: solver recursion -------------------------------------------------
+
+inline constexpr char kSpanNodeBoolean[] = "adp.node.boolean";
+inline constexpr char kSpanNodeSingleton[] = "adp.node.singleton";
+inline constexpr char kSpanNodeUniverse[] = "adp.node.universe";
+inline constexpr char kSpanNodeDecompose[] = "adp.node.decompose";
+inline constexpr char kSpanNodeHeuristic[] = "adp.node.heuristic";
+inline constexpr char kSpanShardUniverse[] = "adp.shard.universe";
+inline constexpr char kSpanShardDecompose[] = "adp.shard.decompose";
+
+}  // namespace adp::obs
+
+#endif  // ADP_OBS_NAMES_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "query/graph.h"
 #include "query/transform.h"
 #include "relational/join.h"
@@ -94,6 +96,37 @@ AdpNode BooleanNode(const ConjunctiveQuery& q, const Database& db,
   return GreedyNode(q, db, cap, options);
 }
 
+const char* SpanNameFor(AdpCase c) {
+  switch (c) {
+    case AdpCase::kBoolean: return obs::kSpanNodeBoolean;
+    case AdpCase::kSingleton: return obs::kSpanNodeSingleton;
+    case AdpCase::kUniverse: return obs::kSpanNodeUniverse;
+    case AdpCase::kDecompose: return obs::kSpanNodeDecompose;
+    case AdpCase::kHeuristic: return obs::kSpanNodeHeuristic;
+  }
+  return obs::kSpanNodeHeuristic;  // unreachable
+}
+
+// The Algorithm-2 dispatch switch, shared by the traced and untraced paths
+// of ComputeAdpNode.
+AdpNode DispatchCase(AdpCase c, const ConjunctiveQuery& q, const Database& db,
+                     std::int64_t cap, const AdpOptions& options,
+                     const PlanEntry* entry) {
+  switch (c) {
+    case AdpCase::kBoolean:
+      return BooleanNode(q, db, cap, options, entry);
+    case AdpCase::kSingleton:
+      return SingletonNode(q, db, cap, options);
+    case AdpCase::kUniverse:
+      return UniverseNode(q, db, cap, options);
+    case AdpCase::kDecompose:
+      return DecomposeNode(q, db, cap, options);
+    case AdpCase::kHeuristic:
+      return HeuristicNode(q, db, cap, options);
+  }
+  return TrivialNode(options);  // unreachable
+}
+
 }  // namespace
 
 void MergeAdpStats(AdpStats& into, const AdpStats& from) {
@@ -107,6 +140,27 @@ void MergeAdpStats(AdpStats& into, const AdpStats& from) {
   into.universe_groups += from.universe_groups;
   into.sharded_universe_nodes += from.sharded_universe_nodes;
   into.sharded_decompose_nodes += from.sharded_decompose_nodes;
+}
+
+bool operator==(const AdpStats& a, const AdpStats& b) {
+  return a.boolean_nodes == b.boolean_nodes &&
+         a.boolean_fallbacks == b.boolean_fallbacks &&
+         a.singleton_nodes == b.singleton_nodes &&
+         a.universe_nodes == b.universe_nodes &&
+         a.decompose_nodes == b.decompose_nodes &&
+         a.greedy_leaves == b.greedy_leaves &&
+         a.drastic_leaves == b.drastic_leaves &&
+         a.universe_groups == b.universe_groups &&
+         a.sharded_universe_nodes == b.sharded_universe_nodes &&
+         a.sharded_decompose_nodes == b.sharded_decompose_nodes;
+}
+
+bool StatsAgreeModuloSharding(const AdpStats& a, const AdpStats& b) {
+  AdpStats am = a;
+  AdpStats bm = b;
+  am.sharded_universe_nodes = bm.sharded_universe_nodes = 0;
+  am.sharded_decompose_nodes = bm.sharded_decompose_nodes = 0;
+  return am == bm;
 }
 
 AdpCase ClassifyAdpCase(const ConjunctiveQuery& q, const AdpOptions& options) {
@@ -128,19 +182,17 @@ AdpNode ComputeAdpNode(const ConjunctiveQuery& q, const Database& db,
   ThrowIfCancelled(options);
   if (cap <= 0) return TrivialNode(options);
   const PlanEntry* entry = nullptr;
-  switch (Classify(q, options, &entry)) {
-    case AdpCase::kBoolean:
-      return BooleanNode(q, db, cap, options, entry);
-    case AdpCase::kSingleton:
-      return SingletonNode(q, db, cap, options);
-    case AdpCase::kUniverse:
-      return UniverseNode(q, db, cap, options);
-    case AdpCase::kDecompose:
-      return DecomposeNode(q, db, cap, options);
-    case AdpCase::kHeuristic:
-      return HeuristicNode(q, db, cap, options);
+  const AdpCase c = Classify(q, options, &entry);
+  if (options.trace == nullptr) {
+    // Tracing disabled: this null check — at the same boundary that polled
+    // the cancel token above — is the layer's entire per-node overhead.
+    return DispatchCase(c, q, db, cap, options, entry);
   }
-  return TrivialNode(options);  // unreachable
+  obs::Span span(options.trace, SpanNameFor(c), options.trace_parent);
+  span.Tag("cap", cap);
+  AdpOptions traced = options;
+  traced.trace_parent = span.id();
+  return DispatchCase(c, q, db, cap, traced, entry);
 }
 
 AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
@@ -171,9 +223,16 @@ AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
 
   if (Classify(*query, options) == AdpCase::kDecompose) {
     // Root fast path: avoids profiles of length k (k can be a fraction of a
-    // cross-product-sized |Q(D)|).
+    // cross-product-sized |Q(D)|). Bypasses ComputeAdpNode, so it opens its
+    // own node span.
+    obs::Span span(options.trace, obs::kSpanNodeDecompose,
+                   options.trace_parent);
+    span.Tag("cap", k);
+    span.Tag("root_single_k", std::int64_t{1});
+    AdpOptions inner = options;
+    inner.trace_parent = span.id() != 0 ? span.id() : options.trace_parent;
     DecomposeSingleResult res =
-        SolveDecomposeSingleK(*query, *data, k, options);
+        SolveDecomposeSingleK(*query, *data, k, inner);
     solution.cost = res.cost;
     solution.exact = res.exact;
     solution.tuples = std::move(res.tuples);
@@ -182,6 +241,8 @@ AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
     solution.cost = node.profile.At(k);
     solution.exact = node.exact;
     if (!options.counting_only && node.report && solution.cost < kInfCost) {
+      obs::Span span(options.trace, obs::kSpanWitnesses,
+                     options.trace_parent);
       solution.tuples = node.report(k);
     }
   }
@@ -193,8 +254,13 @@ AdpSolution ComputeAdp(const ConjunctiveQuery& q, const Database& db,
   }
 
   if (!options.counting_only) {
-    NormalizeTupleRefs(solution.tuples);
+    {
+      obs::Span span(options.trace, obs::kSpanNormalize,
+                     options.trace_parent);
+      NormalizeTupleRefs(solution.tuples);
+    }
     if (options.verify) {
+      obs::Span span(options.trace, obs::kSpanVerify, options.trace_parent);
       solution.removed_outputs = CountRemovedOutputs(q, db, solution.tuples);
     }
   }

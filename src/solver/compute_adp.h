@@ -30,6 +30,10 @@ namespace adp {
 
 class DispatchPlan;
 
+namespace obs {
+class TraceSink;  // obs/trace.h; forward-declared to keep the solver light
+}  // namespace obs
+
 /// The per-node decision of Algorithm 2. Data-independent: it is a function
 /// of the (selection-free) query structure and the option knobs alone, which
 /// is what makes dispatch plans cacheable (solver/plan.h).
@@ -57,8 +61,22 @@ struct AdpStats {
 };
 
 /// Field-wise accumulation, used to fold per-shard statistics back into the
-/// parent solve's AdpStats.
+/// parent solve's AdpStats. Every field is an additive tally, so the merge
+/// is commutative and associative: the folded total is independent of the
+/// order the shards finished in (asserted by stats_test's order-independence
+/// test — keep new fields additive, or give them an order-independent merge).
 void MergeAdpStats(AdpStats& into, const AdpStats& from);
+
+/// Field-wise equality.
+bool operator==(const AdpStats& a, const AdpStats& b);
+inline bool operator!=(const AdpStats& a, const AdpStats& b) {
+  return !(a == b);
+}
+
+/// True iff `a` and `b` agree on every field except the sharding-engagement
+/// markers (sharded_universe_nodes / sharded_decompose_nodes) — the one
+/// intended difference between a serial and a sharded run of the same solve.
+bool StatsAgreeModuloSharding(const AdpStats& a, const AdpStats& b);
 
 /// Intra-request parallelism hook. When AdpOptions::parallelism is set,
 /// recursion nodes whose subproblems are independent — the Universe case's
@@ -147,6 +165,17 @@ struct AdpOptions {
   /// CancelledError (util/cancel.h). Not owned; must outlive the solve.
   /// Engine-managed on requests that go through AdpEngine.
   const CancelToken* cancel = nullptr;
+
+  /// Span sink for per-node tracing (obs/trace.h). Null — the default —
+  /// disables tracing at the cost of one pointer compare per recursion
+  /// node, checked at the same boundaries that poll `cancel`. Not owned;
+  /// must outlive the solve. Engine-managed on requests that go through
+  /// AdpEngine (AdpRequest::collect_trace).
+  obs::TraceSink* trace = nullptr;
+
+  /// Span id the next recursion node should parent under (0 = trace root).
+  /// Maintained by the recursion itself; callers only seed the root value.
+  std::uint32_t trace_parent = 0;
 };
 
 /// Polls options.cancel and throws CancelledError iff it has fired. Called

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "query/transform.h"
 #include "relational/join.h"
 
@@ -147,6 +149,14 @@ std::shared_ptr<DecomposeState> BuildChildren(const Components& parts,
         try {
           AdpOptions shard = options;
           if (options.stats) shard.stats = &shard_stats[i];
+          // One span per shard, parented under this Decompose node's span;
+          // the explicit parent link keeps the trace a tree even though
+          // shards run on arbitrary pool threads.
+          obs::Span span(options.trace, obs::kSpanShardDecompose,
+                         options.trace_parent);
+          span.Tag("shard", static_cast<std::int64_t>(i));
+          span.Tag("component", static_cast<std::int64_t>(idx));
+          shard.trace_parent = span.id();
           // Sharded sub-solves poll the token too: a cancel that lands
           // mid-fan-out stops the remaining components at their boundary.
           ThrowIfCancelled(shard);
@@ -185,6 +195,12 @@ AdpNode DecomposeNode(const ConjunctiveQuery& q, const Database& db,
                       std::int64_t cap, const AdpOptions& options) {
   if (options.stats) ++options.stats->decompose_nodes;
   const Components parts = SplitComponents(q, db);
+  if (options.trace != nullptr) {
+    // options.trace_parent is this node's own span (opened by
+    // ComputeAdpNode before dispatching here).
+    options.trace->Annotate(options.trace_parent, "components",
+                            std::to_string(parts.subs.size()));
+  }
   const std::int64_t out_kmax = std::min(cap, parts.total);
   CheckProfileLimit(out_kmax);
   auto state = BuildChildren(parts, out_kmax, options);
@@ -251,6 +267,10 @@ DecomposeSingleResult SolveDecomposeSingleK(const ConjunctiveQuery& q,
                                             const AdpOptions& options) {
   if (options.stats) ++options.stats->decompose_nodes;
   const Components parts = SplitComponents(q, db);
+  if (options.trace != nullptr) {
+    options.trace->Annotate(options.trace_parent, "components",
+                            std::to_string(parts.subs.size()));
+  }
   DecomposeSingleResult result;
 
   if (options.decompose_strategy ==

@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "relational/join.h"
 #include "util/hash.h"
 
@@ -59,6 +60,13 @@ AdpNode SingletonNode(const ConjunctiveQuery& q, const Database& db,
   AdpNode node;
   node.exact = true;
   if (options.stats) ++options.stats->singleton_nodes;
+  if (options.trace != nullptr) {
+    // Algorithm 3 has two regimes: case 1 (attr(Ri) ⊆ head, profit per
+    // tuple) and case 2 (head ⊆ attr(Ri), cheapest groups). Record which
+    // one fired on this node's own span.
+    options.trace->Annotate(options.trace_parent, "case",
+                            ai.SubsetOf(q.head()) ? "1" : "2");
+  }
 
   if (ai.SubsetOf(q.head())) {
     // Case 1: profit of an Ri tuple = number of outputs inheriting it.

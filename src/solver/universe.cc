@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "query/transform.h"
 
 namespace adp {
@@ -152,6 +154,12 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
     options.stats->universe_groups +=
         static_cast<std::int64_t>(groups.size());
   }
+  if (options.trace != nullptr) {
+    // options.trace_parent is this node's own span (ComputeAdpNode opened
+    // it before dispatching here); the tag lands on that span.
+    options.trace->Annotate(options.trace_parent, "groups",
+                            std::to_string(groups.size()));
+  }
 
   auto state = std::make_shared<UniverseState>();
   const Parallelism* par = options.parallelism;
@@ -161,7 +169,9 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
     // subproblems, so their solves can run concurrently. Children land at
     // fixed indices and are combined in partition order below, keeping the
     // result bitwise-identical to the sequential fold. Each shard writes a
-    // private AdpStats (the shared pointer would race) merged afterwards.
+    // private AdpStats (the shared pointer would race) merged afterwards —
+    // a commutative fold, so the index-order merge below equals whatever
+    // completion order the pool produced.
     if (options.stats) ++options.stats->sharded_universe_nodes;
     state->children.resize(groups.size());
     std::vector<AdpStats> shard_stats(options.stats ? groups.size() : 0);
@@ -173,6 +183,14 @@ AdpNode UniverseNode(const ConjunctiveQuery& q, const Database& db,
         try {
           AdpOptions shard = options;
           if (options.stats) shard.stats = &shard_stats[i];
+          // One span per shard, parented under this Universe node's span;
+          // shards run on arbitrary pool threads, so the explicit parent
+          // link (not any thread-local ambient span) is what keeps the
+          // trace a tree.
+          obs::Span span(options.trace, obs::kSpanShardUniverse,
+                         options.trace_parent);
+          span.Tag("shard", static_cast<std::int64_t>(i));
+          shard.trace_parent = span.id();
           // Sharded sub-solves poll the token too: a cancel that lands
           // mid-fan-out stops the remaining shards at their boundary.
           ThrowIfCancelled(shard);

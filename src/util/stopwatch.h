@@ -1,4 +1,9 @@
-// Minimal monotonic stopwatch used by harness code (examples, ad-hoc timing).
+// Minimal monotonic stopwatch and the engine's single clock source.
+//
+// Every duration the engine records — response timings, queue wait,
+// histogram observations, span start/end — is derived from Now(), so all
+// observability data lives on one steady timeline and durations from
+// different subsystems can be compared and summed.
 
 #ifndef ADP_UTIL_STOPWATCH_H_
 #define ADP_UTIL_STOPWATCH_H_
@@ -7,23 +12,31 @@
 
 namespace adp {
 
+/// The engine's clock: monotonic, immune to wall-clock adjustments.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// The single steady-clock read every engine timing goes through.
+inline MonotonicClock::time_point Now() { return MonotonicClock::now(); }
+
+/// Milliseconds from `from` to `to` (negative if `to` precedes `from`).
+inline double MsBetween(MonotonicClock::time_point from,
+                        MonotonicClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
 /// Wall-clock stopwatch; starts on construction.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Now()) {}
 
   /// Restarts the clock.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = Now(); }
 
   /// Elapsed time in milliseconds since construction/Reset.
-  double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
-        .count();
-  }
+  double ElapsedMs() const { return MsBetween(start_, Now()); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonotonicClock::time_point start_;
 };
 
 }  // namespace adp

@@ -560,6 +560,10 @@ TEST(AdpEngineTest, IntraRequestShardingMatchesSequential) {
     EXPECT_EQ(a.solution.tuples, b.solution.tuples) << "iter " << iter;
     EXPECT_EQ(a.solution.removed_outputs, b.solution.removed_outputs)
         << "iter " << iter;
+    // The recursion trace must also match: sharding may only differ in the
+    // sharded_* engagement markers, never in which cases ran how often.
+    EXPECT_TRUE(StatsAgreeModuloSharding(a.stats, b.stats))
+        << "iter " << iter;
     sharded_nodes += a.stats.sharded_universe_nodes;
     EXPECT_EQ(b.stats.sharded_universe_nodes, 0) << "iter " << iter;
   }
@@ -611,6 +615,10 @@ TEST(AdpEngineTest, DecomposeShardingMatchesSequential) {
         << "iter " << iter;
     EXPECT_EQ(a.solution.tuples, b.solution.tuples) << "iter " << iter;
     EXPECT_EQ(a.solution.removed_outputs, b.solution.removed_outputs)
+        << "iter " << iter;
+    // Case-mix equality modulo the engagement markers (see the Universe
+    // twin above).
+    EXPECT_TRUE(StatsAgreeModuloSharding(a.stats, b.stats))
         << "iter " << iter;
     sharded_nodes +=
         static_cast<std::uint64_t>(a.stats.sharded_decompose_nodes);

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "query/parser.h"
 #include "solver/compute_adp.h"
 #include "test_util.h"
@@ -96,6 +99,68 @@ TEST(StatsTest, NonLinearizableBooleanFallsBack) {
   EXPECT_EQ(stats.boolean_fallbacks, 1);
   EXPECT_FALSE(sol.exact);
   EXPECT_EQ(sol.cost, 1);  // any single edge breaks the only triangle
+}
+
+// Sharded stats aggregation must be order-independent: MergeAdpStats is a
+// commutative sum fold, so the schedule the shards complete in — here
+// forced to the exact reverse of the dispatch order — must not change the
+// merged stats. Guards against aggregation drift (e.g. a merge that
+// overwrote instead of summed would pass the forward order by accident).
+TEST(StatsTest, ShardedMergeIsScheduleOrderIndependent) {
+  const ConjunctiveQuery q =
+      ParseQuery("Q(A,B,C,E,F,G) :- R1(A,B), R2(A,C), R3(E,F), R4(E,G)");
+  const Database db = MakeDb(
+      q, {{"R1", {{1, 5}, {2, 6}, {3, 7}}},
+          {"R2", {{1, 8}, {2, 9}, {3, 9}}},
+          {"R3", {{4, 5}, {5, 6}, {6, 7}}},
+          {"R4", {{4, 8}, {5, 9}, {6, 9}}}});
+
+  // Baseline: fully sequential (no Parallelism at all).
+  AdpStats sequential;
+  AdpOptions options;
+  options.stats = &sequential;
+  const AdpSolution base = ComputeAdp(q, db, 3, options);
+
+  // Inline "pools" that drain each shard batch forward and backward.
+  // Both satisfy the run_all contract (every task exactly once, nestable).
+  Parallelism forward;
+  forward.min_groups = 2;
+  forward.min_components = 2;
+  forward.run_all = [](std::vector<std::function<void()>> tasks) {
+    for (auto& task : tasks) task();
+  };
+  Parallelism reversed = forward;
+  reversed.run_all = [](std::vector<std::function<void()>> tasks) {
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) (*it)();
+  };
+
+  AdpStats fwd_stats;
+  options.stats = &fwd_stats;
+  options.parallelism = &forward;
+  const AdpSolution fwd = ComputeAdp(q, db, 3, options);
+
+  AdpStats rev_stats;
+  options.stats = &rev_stats;
+  options.parallelism = &reversed;
+  const AdpSolution rev = ComputeAdp(q, db, 3, options);
+
+  // Results are bitwise-identical across all three schedules.
+  for (const AdpSolution* sol : {&fwd, &rev}) {
+    EXPECT_EQ(sol->cost, base.cost);
+    EXPECT_EQ(sol->exact, base.exact);
+    EXPECT_EQ(sol->feasible, base.feasible);
+    EXPECT_EQ(sol->output_count, base.output_count);
+    EXPECT_EQ(sol->tuples, base.tuples);
+  }
+  // The two sharded schedules merge to *identical* stats (engagement
+  // markers included), and both match the sequential case mix modulo the
+  // sharded_* markers.
+  EXPECT_GT(fwd_stats.sharded_universe_nodes +
+                fwd_stats.sharded_decompose_nodes,
+            0);
+  EXPECT_TRUE(fwd_stats == rev_stats);
+  EXPECT_TRUE(StatsAgreeModuloSharding(fwd_stats, sequential));
+  EXPECT_TRUE(StatsAgreeModuloSharding(rev_stats, sequential));
 }
 
 }  // namespace

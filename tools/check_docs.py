@@ -21,6 +21,12 @@
    dead weight nobody can discover; link it or delete it. Scoped to docs/
    on purpose — repo-management files (ROADMAP.md, CHANGES.md, ...) are
    not navigation targets.
+
+5. Observability catalog drift: the metric/span name literals declared in
+   src/obs/names.h and the backticked `adp_*`/`adp.*` tokens in
+   docs/OBSERVABILITY.md must agree in both directions. Fenced code blocks
+   are exempt (exporter output samples legitimately show derived names
+   like the per-bucket Prometheus series).
 """
 
 import re
@@ -200,6 +206,41 @@ def check_streaming_protocol():
     )
 
 
+OBS_NAME_RE = re.compile(r"adp(?:_[a-z0-9_]+|\.[a-z._]+[a-z])")
+# Name-shaped tokens that are not catalog entries: binaries and tools.
+OBS_NAME_EXEMPT = {"adp_server", "adp_cli"}
+
+
+def check_observability_catalog():
+    """Two-way drift between src/obs/names.h string literals and the
+    backticked name tokens of docs/OBSERVABILITY.md."""
+    header = (REPO / "src" / "obs" / "names.h").read_text(encoding="utf-8")
+    declared = set()
+    for literal in re.findall(r'"([^"\n]+)"', header):
+        if OBS_NAME_RE.fullmatch(literal):
+            declared.add(literal)
+    doc = (REPO / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    # Fenced blocks show exporter output (derived series names); only
+    # inline `code` spans document catalog entries.
+    doc = re.sub(r"```.*?```", "", doc, flags=re.DOTALL)
+    documented = set()
+    for span in re.findall(r"`([^`\n]+)`", doc):
+        if OBS_NAME_RE.fullmatch(span) and span not in OBS_NAME_EXEMPT:
+            documented.add(span)
+    errors = []
+    for name in sorted(documented - declared):
+        errors.append(
+            f"docs/OBSERVABILITY.md names `{name}`, which src/obs/names.h "
+            "no longer declares"
+        )
+    for name in sorted(declared - documented):
+        errors.append(
+            f"src/obs/names.h declares \"{name}\", which "
+            "docs/OBSERVABILITY.md does not document"
+        )
+    return errors
+
+
 def main():
     md_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
     docs_only = [p for p in md_files if p.parent == REPO / "docs"]
@@ -208,6 +249,7 @@ def main():
         + check_orphans(docs_only)
         + check_engine_handbook()
         + check_streaming_protocol()
+        + check_observability_catalog()
     )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
@@ -216,7 +258,8 @@ def main():
     names = ", ".join(str(p.relative_to(REPO)) for p in md_files)
     print(f"docs OK: links resolve in {names}; every docs/*.md is reachable "
           "from README.md; docs/ENGINE.md agrees with src/engine/engine.h; "
-          "docs/STREAMING.md agrees with src/engine/result_stream.h")
+          "docs/STREAMING.md agrees with src/engine/result_stream.h; "
+          "docs/OBSERVABILITY.md agrees with src/obs/names.h")
     return 0
 
 
