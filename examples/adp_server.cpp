@@ -36,7 +36,7 @@
 //
 //   TRACE <on|off>
 //       Toggles span tracing (AdpRequest::collect_trace) for subsequent
-//       REQ/STREAM lines. Result lines gain "queue_ms" and "trace_spans";
+//       REQ/STREAM lines. Result lines gain "trace_spans";
 //       with --trace-dir, slow requests dump their full trace JSON.
 //
 // Usage:  adp_server [--workers=N] [--min-shard-groups=G]
@@ -335,10 +335,11 @@ void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
         }
         out << ",\"items\":" << items << ",\"plan_ms\":" << item->plan_ms
             << ",\"solve_ms\":" << item->solve_ms
-            << ",\"total_ms\":" << item->total_ms;
+            << ",\"total_ms\":" << item->total_ms
+            << ",\"queue_ms\":" << item->queue_ms;
         if (item->trace != nullptr) {
           out << ",\"trace_spans\":" << item->trace->spans.size();
-          MaybeDumpTrace(tc, id, item->trace, item->total_ms);
+          MaybeDumpTrace(tc, id, item->trace, item->queue_ms + item->total_ms);
         }
         out << '}';
         break;

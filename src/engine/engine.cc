@@ -968,6 +968,7 @@ void AdpEngine::RunStream(const AdpRequest& req,
   // Queue wait = StreamAdp admission to here (0-ish for inline production).
   const double queue_wait_ms = MsBetween(state->opened, Now());
   queue_wait_ms_->Observe(queue_wait_ms);
+  end.queue_ms = queue_wait_ms;
   std::unique_ptr<obs::TraceSink> sink;
   obs::Span root;
   if (req.collect_trace) {
@@ -1131,6 +1132,10 @@ EngineCounters AdpEngine::counters() const {
 }
 
 obs::MetricsRegistry& AdpEngine::metrics() const { return *registry_; }
+
+std::shared_ptr<obs::MetricsRegistry> AdpEngine::metrics_shared() const {
+  return registry_;
+}
 
 void AdpEngine::MirrorExternalMetrics() const {
   // RecordTotal is a monotonic max-set, so mirroring is idempotent and safe

@@ -304,8 +304,12 @@ class AdpEngine {
   /// adp_solve_ms, adp_stream_first_item_ms — src/obs/names.h). Counters
   /// whose source of truth lives outside the registry (plan cache, ticket
   /// and stream terminals) are only guaranteed current after a counters()
-  /// or WriteMetricsText() call mirrored them in.
+  /// or WriteMetricsText() call mirrored them in. The reference is valid
+  /// only for the engine's lifetime; callers that must read the registry
+  /// after the engine is gone (bench harness, a restarted adp_server)
+  /// take shared ownership via metrics_shared() instead.
   obs::MetricsRegistry& metrics() const;
+  std::shared_ptr<obs::MetricsRegistry> metrics_shared() const;
 
   /// Prometheus text exposition (0.0.4) of the full registry, externally-
   /// sourced counters and gauges mirrored in first. Backs the adp_server
@@ -465,8 +469,9 @@ class AdpEngine {
 
   /// The metrics sink (obs/metrics.h). Engine-internal counters below point
   /// straight into it — their updates are lock-free relaxed atomics, so
-  /// none of them need mu_ anymore. shared_ptr: snapshots taken by callers
-  /// (bench harness, adp_server) may outlive a restarted engine.
+  /// none of them need mu_ anymore. shared_ptr: metrics_shared() lets
+  /// callers (bench harness, adp_server) keep the registry alive past a
+  /// restarted engine.
   std::shared_ptr<obs::MetricsRegistry> registry_;
   obs::Counter* requests_ = nullptr;
   obs::Counter* failures_ = nullptr;

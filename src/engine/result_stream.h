@@ -113,10 +113,14 @@ struct StreamItem {
   bool plan_cache_hit = false;
 
   /// kEnd: wall-clock timings, as in AdpResponse. `solve_ms` covers the DP
-  /// plus all item production (witness enumeration included).
+  /// plus all item production (witness enumeration included); `queue_ms`
+  /// is time spent queued on the worker pool before production started, so
+  /// `queue_ms + total_ms` is the end-to-end time a consumer experienced
+  /// (the figure the adp_server slow-query log thresholds on).
   double plan_ms = 0.0;
   double solve_ms = 0.0;
   double total_ms = 0.0;
+  double queue_ms = 0.0;
 
   /// kEnd: the recorded span trace, set iff AdpRequest::collect_trace was
   /// true (obs/trace.h; export with Trace::WriteJson). Null on every other

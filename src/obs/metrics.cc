@@ -37,6 +37,11 @@ double Histogram::UpperBound(int i) {
 
 int Histogram::BucketFor(double value_ms) {
   if (!(value_ms > kFirstUpperMs)) return 0;  // also catches <= 0 and NaN
+  // Past the last finite bound (+inf included): the overflow bucket. Must
+  // be decided before the cast below — float-to-int of ceil(log2(inf)) is
+  // UB, and a finite value a few doublings past the last bound would
+  // otherwise index beyond the overflow slot.
+  if (!(value_ms <= UpperBound(kNumBuckets - 1))) return kNumBuckets;
   int idx = static_cast<int>(std::ceil(std::log2(value_ms / kFirstUpperMs)));
   // log2/ceil rounding can be off by one at exact powers of two; nudge to
   // restore the invariant UpperBound(idx-1) < value <= UpperBound(idx).

@@ -56,9 +56,13 @@ TEST(ObsHistogramTest, BucketBoundaries) {
   for (int i = 0; i < Histogram::kNumBuckets; ++i) {
     EXPECT_EQ(Histogram::BucketFor(Histogram::UpperBound(i)), i) << i;
   }
-  // Beyond the last finite bound: the overflow bucket.
+  // Beyond the last finite bound: the overflow bucket — even many
+  // doublings past it (a naive ceil(log2) index would run off the array).
   const double last = Histogram::UpperBound(Histogram::kNumBuckets - 1);
   EXPECT_EQ(Histogram::BucketFor(last * 2.0), Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::BucketFor(last * 4.0), Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::BucketFor(std::numeric_limits<double>::max()),
+            Histogram::kNumBuckets);
   EXPECT_EQ(Histogram::BucketFor(std::numeric_limits<double>::infinity()),
             Histogram::kNumBuckets);
 }
