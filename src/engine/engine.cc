@@ -431,6 +431,50 @@ StatusOr<PreparedQuery> AdpEngine::PrepareRequest(const AdpRequest& req) {
   return prepared;
 }
 
+StatusOr<std::vector<PreparedQuery>> AdpEngine::PrepareBatch(
+    std::span<const std::string> query_texts, const AdpOptions& options) {
+  if (IsShutdown()) {
+    return Status(StatusCode::kShutdown, "engine is shut down");
+  }
+  std::vector<PreparedQuery> out;
+  out.reserve(query_texts.size());
+  // One plan-cache pass per *unique* plan key: duplicates within the batch
+  // reuse the already-resolved plan instead of re-probing (and possibly
+  // re-parsing under) the shared cache.
+  std::unordered_map<std::string, std::shared_ptr<const CachedPlan>> resolved;
+  for (const std::string& text : query_texts) {
+    AdpRequest req;
+    req.query_text = text;
+    req.options = options;
+    const std::string plan_key = PlanKey(req);
+    std::shared_ptr<const CachedPlan> plan;
+    auto it = resolved.find(plan_key);
+    if (it != resolved.end()) {
+      plan = it->second;
+    } else {
+      try {
+        plan = GetPlan(req, plan_key, nullptr);
+      } catch (const ParseError& e) {
+        return Status(StatusCode::kParseError,
+                      std::string(e.what()) + " (batch query " +
+                          std::to_string(out.size()) + ")");
+      } catch (const std::exception& e) {
+        return Status(StatusCode::kInternal, e.what());
+      }
+      resolved.emplace(plan_key, plan);
+    }
+    PreparedQuery prepared;
+    prepared.engine_ = this;
+    prepared.plan_ = plan;
+    prepared.fingerprint_ = plan->fingerprint;
+    prepared.plan_key_ = plan_key;
+    prepared.option_bits_ = OptionBits(options);
+    prepared.base_key_ = "P|" + PointerKey(plan.get());
+    out.push_back(std::move(prepared));
+  }
+  return out;
+}
+
 Status AdpEngine::BindPrepared(PreparedQuery& prepared, DbId db) {
   std::shared_ptr<const NamedDatabase> named = database(db);
   if (named == nullptr) {
@@ -465,6 +509,20 @@ std::shared_ptr<const CachedPlan> AdpEngine::GetPlan(
 std::shared_ptr<const Database> AdpEngine::BindDatabase(
     const std::shared_ptr<const NamedDatabase>& named, const CachedPlan& plan) {
   const ConjunctiveQuery& q = plan.query;
+  // Row-capacity guard: solutions address tuples as (relation, TupleId) and
+  // TupleId is 32-bit, so an instance past RelationInstance::MaxRows() could
+  // not be reported against. Surfaces as kInvalidArgument rather than a
+  // truncated row id downstream.
+  for (std::size_t j = 0; j < named->db.num_relations(); ++j) {
+    if (named->db.rel(j).size() > RelationInstance::MaxRows()) {
+      throw EngineError(
+          StatusCode::kInvalidArgument,
+          "relation " + std::to_string(j) + " has " +
+              std::to_string(named->db.rel(j).size()) +
+              " tuples, past the TupleId capacity (" +
+              std::to_string(RelationInstance::MaxRows()) + ")");
+    }
+  }
   if (named->relation_names.empty()) {
     // Positional database: shared as-is, no copy.
     if (named->db.num_relations() !=

@@ -85,18 +85,54 @@ std::vector<Tuple> LoadTuplesCsv(const std::string& path, std::size_t arity) {
 
 Database LoadDatabaseCsv(const ConjunctiveQuery& q, const std::string& dir) {
   Database db(q.num_relations());
+  std::string line;
   for (int i = 0; i < q.num_relations(); ++i) {
     const RelationSchema& schema = q.relation(i);
+    const std::size_t arity = schema.attrs.size();
     const std::string path = dir + "/" + schema.name + ".csv";
     std::ifstream in(path);
     if (!in) {
       throw CsvError("missing instance file " + path + " for relation " +
                      schema.name);
     }
-    for (Tuple& t : ReadTuplesCsv(in, schema.attrs.size(), path)) {
-      db.rel(i).Add(std::move(t));
+    // Stream rows straight into the columnar instance through one reused
+    // scratch buffer: no per-row Tuple allocation, and each value is
+    // interned once per column dictionary.
+    RelationInstance& rel = db.rel(i);
+    Tuple scratch(arity);
+    std::size_t lineno = 0;
+    bool first_data_line = true;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      const std::vector<std::string> fields = SplitCsvLine(line);
+      if (fields.empty() || (fields.size() == 1 && fields[0].empty())) {
+        if (arity == 0) rel.AppendRow(scratch.data(), 0);  // vacuum tuple
+        continue;
+      }
+      if (first_data_line && !LooksNumeric(fields[0])) {
+        first_data_line = false;
+        continue;  // header
+      }
+      first_data_line = false;
+      if (fields.size() != arity) {
+        std::ostringstream os;
+        os << path << ": line " << lineno << " has " << fields.size()
+           << " fields, expected " << arity;
+        throw CsvError(os.str());
+      }
+      for (std::size_t c = 0; c < arity; ++c) {
+        if (!LooksNumeric(fields[c])) {
+          std::ostringstream os;
+          os << path << ": line " << lineno << ": non-integer field '"
+             << fields[c] << "'";
+          throw CsvError(os.str());
+        }
+        scratch[c] = std::strtoll(fields[c].c_str(), nullptr, 10);
+      }
+      rel.AppendRow(scratch.data(), arity);
     }
-    db.rel(i).Dedup();
+    rel.Dedup();
   }
   return db;
 }

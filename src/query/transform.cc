@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 
 #include "query/graph.h"
+#include "relational/group_index.h"
 #include "util/hash.h"
 
 namespace adp {
@@ -85,10 +85,6 @@ QueryDb ApplySelections(const ConjunctiveQuery& q, const Database& db) {
     RelationInstance derived;
     derived.set_root_relation(inst.root_relation());
 
-    std::vector<std::pair<int, Value>> preds;  // (column, required value)
-    for (const Selection& s : q.selections()[i]) {
-      preds.emplace_back(schema.ColumnOf(s.attr), s.value);
-    }
     std::vector<int> kept_cols;
     for (std::size_t c = 0; c < schema.attrs.size(); ++c) {
       if (!selected.Contains(schema.attrs[c])) {
@@ -96,22 +92,41 @@ QueryDb ApplySelections(const ConjunctiveQuery& q, const Database& db) {
       }
     }
 
-    for (std::size_t t = 0; t < inst.size(); ++t) {
-      const Tuple& row = inst.tuple(t);
-      bool pass = true;
-      for (const auto& [col, val] : preds) {
-        if (row[col] != val) {
-          pass = false;
-          break;
-        }
+    // Translate each predicate's required value into the column's
+    // dictionary code once; a value absent from the dictionary matches no
+    // row and empties the instance without scanning.
+    std::vector<std::pair<int, Code>> preds;  // (column, required code)
+    bool satisfiable = true;
+    for (const Selection& s : q.selections()[i]) {
+      const int col = schema.ColumnOf(s.attr);
+      const std::int64_t code =
+          inst.empty() ? -1 : inst.dict(col).Lookup(s.value);
+      if (code < 0) {
+        satisfiable = false;
+        break;
       }
-      if (!pass) continue;
-      Tuple kept;
-      kept.reserve(kept_cols.size());
-      for (int c : kept_cols) kept.push_back(row[c]);
-      derived.AddWithOrigin(std::move(kept), inst.OriginOf(t));
+      preds.emplace_back(col, static_cast<Code>(code));
     }
-    derived.Dedup();
+
+    if (satisfiable && !inst.empty()) {
+      // Columnar scan: integer code compares only, then one gather of the
+      // passing rows over the kept columns (dictionaries are shared, codes
+      // copied, origins carried).
+      std::vector<TupleId> pass;
+      pass.reserve(inst.size());
+      for (std::size_t t = 0; t < inst.size(); ++t) {
+        bool ok = true;
+        for (const auto& [col, code] : preds) {
+          if (inst.CodeAt(t, col) != code) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) pass.push_back(static_cast<TupleId>(t));
+      }
+      derived.AppendGathered(inst, pass, kept_cols);
+      derived.Dedup();
+    }
     out.db.Append(std::move(derived));
   }
   return out;
@@ -134,29 +149,31 @@ std::vector<UniverseGroup> PartitionByAttrs(const ConjunctiveQuery& q,
     }
   }
 
-  // Group tuples of every relation by key; a std::map keeps group order
-  // deterministic.
-  std::map<Tuple, std::vector<std::vector<TupleId>>> groups;
+  // Group each relation's rows by key codes — one hash-group pass per
+  // relation, no key tuples materialized — then merge the per-relation
+  // groups across relations by decoded key value. The merge map costs one
+  // entry per DISTINCT key (not per row), and std::map keeps the group
+  // order deterministic (ascending key, as before).
+  std::vector<HashGroupIndex> index;
+  index.reserve(p);
   for (int i = 0; i < p; ++i) {
-    const RelationInstance& inst = db.rel(i);
-    Tuple key(key_cols[i].size());
-    for (std::size_t t = 0; t < inst.size(); ++t) {
-      const Tuple& row = inst.tuple(t);
-      for (std::size_t j = 0; j < key_cols[i].size(); ++j) {
-        key[j] = row[key_cols[i][j]];
-      }
-      auto [it, inserted] = groups.try_emplace(key);
-      if (inserted) it->second.resize(p);
-      it->second[i].push_back(static_cast<TupleId>(t));
+    index.emplace_back(db.rel(i), key_cols[i]);
+  }
+  std::map<Tuple, std::vector<std::int64_t>> merged;  // key -> group per rel
+  for (int i = 0; i < p; ++i) {
+    for (std::size_t g = 0; g < index[i].num_groups(); ++g) {
+      auto [it, inserted] = merged.try_emplace(index[i].KeyValues(g));
+      if (inserted) it->second.assign(p, -1);
+      it->second[i] = static_cast<std::int64_t>(g);
     }
   }
 
   std::vector<UniverseGroup> out;
-  for (auto& [key, members] : groups) {
+  for (const auto& [key, gids] : merged) {
     // Keys missing from some relation yield zero outputs; skip them.
     bool complete = true;
     for (int i = 0; i < p; ++i) {
-      if (members[i].empty()) {
+      if (gids[i] < 0) {
         complete = false;
         break;
       }
@@ -169,14 +186,9 @@ std::vector<UniverseGroup> PartitionByAttrs(const ConjunctiveQuery& q,
       const RelationInstance& inst = db.rel(i);
       RelationInstance derived;
       derived.set_root_relation(inst.root_relation());
-      derived.Reserve(members[i].size());
-      for (TupleId t : members[i]) {
-        const Tuple& row = inst.tuple(t);
-        Tuple kept;
-        kept.reserve(kept_cols[i].size());
-        for (int c : kept_cols[i]) kept.push_back(row[c]);
-        derived.AddWithOrigin(std::move(kept), inst.OriginOf(t));
-      }
+      // Gather the group's rows over the surviving columns: shared
+      // dictionaries, code copies, origins carried.
+      derived.AppendGathered(inst, index[i].rows(gids[i]), kept_cols[i]);
       group.db.Append(std::move(derived));
     }
     out.push_back(std::move(group));

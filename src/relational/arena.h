@@ -1,0 +1,114 @@
+// Bump allocation for columnar tuple storage.
+//
+// A RelationInstance owns one Arena and carves every code/origin column out
+// of it, so a whole instance frees in O(#chunks) and column growth never
+// round-trips the general-purpose allocator per row. ArenaVec is the
+// column primitive: a raw (data, size, capacity) triple over trivially
+// copyable elements whose growth path allocates from the owning arena and
+// memcpys — arena memory is never reclaimed individually, so outgrown
+// blocks are simply abandoned until the arena dies.
+
+#ifndef ADP_RELATIONAL_ARENA_H_
+#define ADP_RELATIONAL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace adp {
+
+/// Chunked bump allocator. Allocations live until the arena is destroyed.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned for any column element type.
+  void* Allocate(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (bytes > remaining_) Refill(bytes);
+    char* out = head_;
+    head_ += bytes;
+    remaining_ -= bytes;
+    return out;
+  }
+
+  /// Bytes handed out plus slack in the open chunk (capacity footprint).
+  std::size_t BytesReserved() const { return reserved_; }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  void Refill(std::size_t bytes) {
+    const std::size_t chunk = bytes > kChunkBytes ? bytes : kChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(chunk));
+    head_ = chunks_.back().get();
+    remaining_ = chunk;
+    reserved_ += chunk;
+  }
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* head_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+/// Growable array whose storage comes from an Arena passed at each mutation
+/// (the vec itself stays a POD-ish triple, cheap to move around inside the
+/// owning instance). Elements must be trivially copyable: growth and bulk
+/// append are memcpy.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec relies on memcpy growth");
+
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  T* data() { return data_; }
+  T operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void Reserve(Arena& arena, std::size_t n) {
+    if (n > cap_) Grow(arena, n);
+  }
+
+  void PushBack(Arena& arena, T v) {
+    if (size_ == cap_) Grow(arena, size_ + 1);
+    data_[size_++] = v;
+  }
+
+  /// Appends `n` elements from `src` (memcpy fast path for gathers).
+  void AppendN(Arena& arena, const T* src, std::size_t n) {
+    if (size_ + n > cap_) Grow(arena, size_ + n);
+    if (n > 0) std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+
+  void Clear() { size_ = 0; }
+
+ private:
+  void Grow(Arena& arena, std::size_t need) {
+    std::size_t cap = cap_ == 0 ? 16 : cap_ * 2;
+    if (cap < need) cap = need;
+    T* fresh = static_cast<T*>(arena.Allocate(cap * sizeof(T)));
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_ARENA_H_

@@ -5,17 +5,22 @@ namespace adp {
 Database WithTuplesRemoved(const Database& db,
                            const std::vector<std::vector<char>>& removed) {
   Database out;
+  std::vector<TupleId> keep;
   for (std::size_t r = 0; r < db.num_relations(); ++r) {
     const RelationInstance& in = db.rel(r);
     RelationInstance copy;
     copy.set_root_relation(in.root_relation());
-    copy.Reserve(in.size());
+    keep.clear();
+    keep.reserve(in.size());
     for (std::size_t i = 0; i < in.size(); ++i) {
       if (r < removed.size() && i < removed[r].size() && removed[r][i]) {
         continue;
       }
-      copy.AddWithOrigin(in.tuple(i), in.OriginOf(i));
+      keep.push_back(static_cast<TupleId>(i));
     }
+    // Gather: shares `in`'s dictionaries and copies only the surviving
+    // code rows; origins are preserved.
+    copy.AppendGathered(in, keep);
     out.Append(std::move(copy));
   }
   return out;

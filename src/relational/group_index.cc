@@ -1,0 +1,81 @@
+#include "relational/group_index.h"
+
+#include <limits>
+
+#include "util/hash.h"
+
+namespace adp {
+namespace {
+
+constexpr std::uint32_t kEmptySlot = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+HashGroupIndex::HashGroupIndex(const RelationInstance& inst,
+                               std::vector<int> key_cols)
+    : inst_(&inst), key_cols_(std::move(key_cols)) {
+  std::size_t cap = 16;
+  while (cap < inst.size() * 2) cap <<= 1;
+  mask_ = cap - 1;
+  table_.assign(cap, kEmptySlot);
+
+  const std::size_t kw = key_cols_.size();
+  for (std::size_t r = 0; r < inst.size(); ++r) {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (std::size_t j = 0; j < kw; ++j) {
+      h = HashMix(h, inst.CodeAt(r, key_cols_[j]));
+    }
+    std::size_t slot = h & mask_;
+    for (;;) {
+      const std::uint32_t g = table_[slot];
+      if (g == kEmptySlot) {
+        table_[slot] = static_cast<std::uint32_t>(groups_.size());
+        rep_.push_back(static_cast<TupleId>(r));
+        groups_.emplace_back().push_back(static_cast<TupleId>(r));
+        break;
+      }
+      bool eq = true;
+      for (std::size_t j = 0; j < kw; ++j) {
+        if (inst.CodeAt(rep_[g], key_cols_[j]) !=
+            inst.CodeAt(r, key_cols_[j])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        groups_[g].push_back(static_cast<TupleId>(r));
+        break;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+}
+
+Tuple HashGroupIndex::KeyValues(std::size_t g) const {
+  Tuple out;
+  out.reserve(key_cols_.size());
+  for (int c : key_cols_) out.push_back(inst_->ValueAt(rep_[g], c));
+  return out;
+}
+
+std::int64_t HashGroupIndex::FindByCodes(const Code* codes) const {
+  const std::size_t kw = key_cols_.size();
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::size_t j = 0; j < kw; ++j) h = HashMix(h, codes[j]);
+  std::size_t slot = h & mask_;
+  for (;;) {
+    const std::uint32_t g = table_[slot];
+    if (g == kEmptySlot) return -1;
+    bool eq = true;
+    for (std::size_t j = 0; j < kw; ++j) {
+      if (inst_->CodeAt(rep_[g], key_cols_[j]) != codes[j]) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return static_cast<std::int64_t>(g);
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace adp

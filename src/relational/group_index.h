@@ -1,0 +1,62 @@
+// Hash-group index over dictionary-code columns.
+//
+// Groups the rows of ONE RelationInstance by their code combination on a
+// set of key columns. Because codes biject values within a column, grouping
+// by codes is grouping by values — but only within the instance (or a
+// dictionary-sharing derivative) the index was built over. Probing from
+// another instance must translate values through this instance's
+// dictionaries first (ColumnDict::Lookup); raw codes are NOT comparable
+// across relations.
+//
+// The index is open-addressing over 32-bit group ids and resolves
+// collisions by comparing key codes against each group's representative
+// row, so no key tuples are ever materialized. Groups are numbered in
+// first-seen row order; each group's row list is in ascending row order.
+// This is the substrate of Universe partitioning (Algorithm 4) and of the
+// join build side.
+
+#ifndef ADP_RELATIONAL_GROUP_INDEX_H_
+#define ADP_RELATIONAL_GROUP_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace adp {
+
+class HashGroupIndex {
+ public:
+  /// Builds the index over `inst` grouped by `key_cols` (column positions).
+  /// With no key columns every row lands in one group. `inst` must outlive
+  /// the index and must not be appended to while the index is in use.
+  HashGroupIndex(const RelationInstance& inst, std::vector<int> key_cols);
+
+  std::size_t num_groups() const { return groups_.size(); }
+
+  /// Rows of group `g`, in ascending row order.
+  const std::vector<TupleId>& rows(std::size_t g) const { return groups_[g]; }
+
+  /// A row carrying the group's key (the first one seen).
+  TupleId representative(std::size_t g) const { return rep_[g]; }
+
+  /// The group key decoded to values, in `key_cols` order.
+  Tuple KeyValues(std::size_t g) const;
+
+  /// Group holding key code combination `codes` (one code per key column,
+  /// in `key_cols` order, expressed in THIS instance's dictionaries), or -1.
+  std::int64_t FindByCodes(const Code* codes) const;
+
+ private:
+  const RelationInstance* inst_;
+  std::vector<int> key_cols_;
+  std::vector<std::vector<TupleId>> groups_;
+  std::vector<TupleId> rep_;
+  std::vector<std::uint32_t> table_;  // slot -> group id (kEmptySlot = free)
+  std::size_t mask_ = 0;
+};
+
+}  // namespace adp
+
+#endif  // ADP_RELATIONAL_GROUP_INDEX_H_

@@ -1,9 +1,9 @@
 #include "relational/join.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "relational/group_index.h"
 #include "util/hash.h"
 #include "util/saturating.h"
 
@@ -77,12 +77,16 @@ JoinResult FullJoin(const std::vector<RelationSchema>& body,
 
   const std::vector<int> order = JoinOrder(body, db);
 
-  // Seed with the first relation.
+  // Seed with the first relation (materialized row-major: intermediate join
+  // results are wide and short-lived, so they stay rows).
   {
     const int r0 = order[0];
     result.attrs = body[r0].attrs;
     const RelationInstance& inst = db.rel(r0);
-    result.rows.assign(inst.tuples().begin(), inst.tuples().end());
+    result.rows.reserve(inst.size());
+    for (std::size_t t = 0; t < inst.size(); ++t) {
+      result.rows.push_back(inst.tuple(t));
+    }
     if (with_support) {
       result.support.assign(result.rows.size() * p, 0);
       for (std::size_t i = 0; i < result.rows.size(); ++i) {
@@ -116,34 +120,36 @@ JoinResult FullJoin(const std::vector<RelationSchema>& body,
       }
     }
 
-    // Build: hash the (typically smaller) new relation on the key.
-    std::unordered_map<Tuple, std::vector<TupleId>, VecHash> build;
-    build.reserve(inst.size() * 2);
-    Tuple key(key_cols_right.size());
-    for (std::size_t t = 0; t < inst.size(); ++t) {
-      const Tuple& row = inst.tuple(t);
-      for (std::size_t j = 0; j < key_cols_right.size(); ++j) {
-        key[j] = row[key_cols_right[j]];
-      }
-      build[key].push_back(static_cast<TupleId>(t));
-    }
+    // Build: group the new relation's rows by their key-code combination —
+    // no key tuples are materialized, collisions resolve by 32-bit code
+    // compares against each group's representative row.
+    const HashGroupIndex build(inst, key_cols_right);
 
-    // Probe: stream current rows against the hash table.
+    // Probe: translate each current row's key values into `inst`'s
+    // dictionary codes (a value absent from a dictionary cannot match any
+    // row, so the probe short-circuits), then look the code combination up.
     std::vector<Tuple> next_rows;
     std::vector<TupleId> next_support;
     next_rows.reserve(result.rows.size());
-    Tuple probe(key_cols_left.size());
+    std::vector<Code> probe(key_cols_left.size());
     for (std::size_t r = 0; r < result.rows.size(); ++r) {
       const Tuple& row = result.rows[r];
+      bool translatable = true;
       for (std::size_t j = 0; j < key_cols_left.size(); ++j) {
-        probe[j] = row[key_cols_left[j]];
+        const std::int64_t code =
+            inst.dict(key_cols_right[j]).Lookup(row[key_cols_left[j]]);
+        if (code < 0) {
+          translatable = false;
+          break;
+        }
+        probe[j] = static_cast<Code>(code);
       }
-      auto it = build.find(probe);
-      if (it == build.end()) continue;
-      for (TupleId t : it->second) {
+      if (!translatable) continue;
+      const std::int64_t g = build.FindByCodes(probe.data());
+      if (g < 0) continue;
+      for (TupleId t : build.rows(static_cast<std::size_t>(g))) {
         Tuple out = row;
-        const Tuple& right = inst.tuple(t);
-        for (int c : new_cols) out.push_back(right[c]);
+        for (int c : new_cols) out.push_back(inst.ValueAt(t, c));
         next_rows.push_back(std::move(out));
         if (with_support) {
           const std::size_t base = next_support.size();

@@ -1,12 +1,35 @@
-// Relation schemas and relation instances.
+// Relation schemas and columnar relation instances.
+//
+// Storage layout (docs/RELATIONAL.md): a RelationInstance is column-major.
+// Each column holds dictionary codes (`Code`, uint32) in an arena-backed
+// vector; the per-column dictionary maps codes to the original values.
+// Equality, grouping, and deduplication therefore compare 32-bit codes
+// instead of materialized rows, and the dictionary size of a column is its
+// exact distinct count — per-column stats the planner can read for free.
+// (Plan choice by those stats stays on ROADMAP: plans are cached per query
+// fingerprint, not per binding, so a cached plan cannot depend on them.)
+//
+// Dictionaries are append-only and shared: deriving an instance by gather
+// (selection, partition, tuple removal) copies code columns and bumps the
+// dictionary refcount instead of re-interning values. Existing codes never
+// change meaning, so sharing is safe across the sharded solver's threads as
+// long as nobody appends to the source instance mid-solve (bound snapshots
+// are immutable by contract). Mutating appends copy-on-write a dictionary
+// that is still shared. Codes are only comparable within one column of one
+// instance-chain — never compare raw codes across relations.
 
 #ifndef ADP_RELATIONAL_RELATION_H_
 #define ADP_RELATIONAL_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "relational/arena.h"
 #include "relational/tuple.h"
 #include "util/attr_set.h"
 
@@ -37,20 +60,88 @@ struct RelationSchema {
   }
 };
 
-/// An instance of one relation. Tuples are stored densely; transforms that
-/// derive sub-instances (selection pushdown, universal-attribute removal,
-/// Universe partitioning) carry `origin` ids so that any solution computed on
-/// the transformed instance can be reported against the root database.
+/// Dictionary code of a value within one column. 32 bits: a column cannot
+/// hold more distinct values than rows, and rows are capped by TupleId.
+using Code = std::uint32_t;
+
+/// Append-only value dictionary of one column: `values[code]` is the
+/// original value, `index` the reverse map. Codes are assigned in first-seen
+/// order and never change meaning, which is what makes sharing a dictionary
+/// across derived instances sound.
+struct ColumnDict {
+  std::vector<Value> values;
+  std::unordered_map<Value, Code> index;
+
+  std::size_t size() const { return values.size(); }
+
+  /// Code of `v`, interning it if new.
+  Code Intern(Value v) {
+    auto [it, inserted] = index.try_emplace(v, static_cast<Code>(values.size()));
+    if (inserted) values.push_back(v);
+    return it->second;
+  }
+
+  /// Code of `v`, or -1 if `v` was never interned (a probe against a value
+  /// absent from the dictionary can skip the data scan entirely).
+  std::int64_t Lookup(Value v) const {
+    auto it = index.find(v);
+    return it == index.end() ? -1 : static_cast<std::int64_t>(it->second);
+  }
+};
+
+/// Thrown when an append would push an instance past MaxRows() — TupleId is
+/// 32-bit and silently truncated row ids would corrupt origin tracking. The
+/// engine surfaces this as Status kInvalidArgument from BindDatabase.
+class TupleLimitError : public std::length_error {
+ public:
+  using std::length_error::length_error;
+};
+
+class TupleView;
+
+/// An instance of one relation, stored column-major with per-column
+/// dictionary encoding. Transforms that derive sub-instances (selection
+/// pushdown, universal-attribute removal, Universe partitioning) carry
+/// `origin` ids so that any solution computed on the transformed instance
+/// can be reported against the root database.
 class RelationInstance {
  public:
-  RelationInstance() = default;
+  RelationInstance();
+  ~RelationInstance();
+  RelationInstance(const RelationInstance& other);
+  RelationInstance& operator=(const RelationInstance& other);
+  RelationInstance(RelationInstance&&) noexcept;
+  RelationInstance& operator=(RelationInstance&&) noexcept;
 
   /// Number of tuples.
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  const Tuple& tuple(std::size_t i) const { return tuples_[i]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Number of columns (0 until the first append fixes it).
+  std::size_t arity() const { return cols_.size(); }
+
+  /// Materializes row `i` as a row-major Tuple. Compatibility shim for cold
+  /// paths and tests; hot loops should use ValueAt/CodeAt or view.
+  Tuple tuple(std::size_t i) const;
+
+  /// Zero-copy accessor for row `i`.
+  TupleView view(std::size_t i) const;
+
+  /// Value at (row, col), decoded through the column dictionary.
+  Value ValueAt(std::size_t row, std::size_t col) const;
+
+  /// Dictionary code at (row, col). Only comparable against codes of the
+  /// same column of this instance (or one sharing its dictionary).
+  Code CodeAt(std::size_t row, std::size_t col) const;
+
+  /// The dictionary of column `col` (probe with ColumnDict::Lookup).
+  const ColumnDict& dict(std::size_t col) const;
+
+  /// Exact number of distinct values in column `col` — the dictionary size,
+  /// maintained for free by interning. NOTE: cached plans are keyed per
+  /// query fingerprint, not per binding, so plan choice cannot consume this
+  /// yet (see ROADMAP: cost-based linearization).
+  std::size_t DistinctInColumn(std::size_t col) const;
 
   /// Root-database row id of local tuple `i` (identity in a root instance).
   TupleId OriginOf(std::size_t i) const {
@@ -62,23 +153,123 @@ class RelationInstance {
   void set_root_relation(int r) { root_relation_ = r; }
 
   /// Appends a tuple whose origin is itself (root instances).
-  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+  void Add(Tuple t);
 
   /// Appends a tuple derived from root row `origin` (transformed instances).
   void AddWithOrigin(Tuple t, TupleId origin);
 
+  /// Appends one row from a caller-owned buffer of `n` values with identity
+  /// origin — the bulk-load path (CSV, workload builders): no per-row Tuple
+  /// allocation, one dictionary probe per value.
+  void AppendRow(const Value* vals, std::size_t n);
+
+  /// Appends `rows` of `src`, keeping only `kept_cols` (source column
+  /// positions, in output order). Shares the source dictionaries and gathers
+  /// the raw codes — no re-interning, no value materialization; origins
+  /// follow the source rows. The overload without `kept_cols` keeps every
+  /// column. `src` must not be appended to concurrently.
+  void AppendGathered(const RelationInstance& src,
+                      const std::vector<TupleId>& rows,
+                      const std::vector<int>& kept_cols);
+  void AppendGathered(const RelationInstance& src,
+                      const std::vector<TupleId>& rows);
+
   /// Removes duplicate tuples, keeping the first occurrence (and its
   /// origin). Instances handed to the solvers must be duplicate-free.
+  /// Compares code rows — codes biject values within a column, so code-row
+  /// equality is value-row equality.
   void Dedup();
 
-  /// Reserves storage for `n` tuples.
-  void Reserve(std::size_t n) { tuples_.reserve(n); }
+  /// Reserves storage for `n` tuples (effective once arity is known).
+  void Reserve(std::size_t n);
+
+  /// Current append capacity: appends that would exceed it throw
+  /// TupleLimitError. Defaults to the TupleId ceiling (2^32 - 1).
+  static std::uint64_t MaxRows();
+
+  /// Test hook: lowers/restores the MaxRows ceiling; returns the previous
+  /// value so tests can RAII-restore it.
+  static std::uint64_t OverrideMaxRowsForTest(std::uint64_t n);
 
  private:
-  std::vector<Tuple> tuples_;
-  std::vector<TupleId> origin_;  // empty => identity mapping
+  struct Column {
+    ArenaVec<Code> codes;
+    std::shared_ptr<ColumnDict> dict;
+  };
+
+  // The owning arena, created lazily on first append.
+  Arena& ArenaRef();
+  // Fixes the column count on first append; throws on arity mismatch.
+  void EnsureArity(std::size_t n);
+  // Throws TupleLimitError if `extra` more rows would pass MaxRows().
+  void CheckCapacity(std::size_t extra) const;
+  // Dictionary of column `c`, cloned first if still shared (copy-on-write);
+  // only mutating appends call this.
+  ColumnDict& MutableDict(std::size_t c);
+  void AppendRowImpl(const Value* vals, std::size_t n, TupleId origin,
+                     bool explicit_origin);
+
+  std::unique_ptr<Arena> arena_;
+  std::vector<Column> cols_;
+  ArenaVec<TupleId> origin_;  // empty => identity mapping
+  std::size_t num_rows_ = 0;
+  std::size_t reserve_hint_ = 0;
   int root_relation_ = -1;
 };
+
+/// A non-owning (instance, row) handle: tuple semantics without
+/// materialization. Valid while the instance is alive and un-appended.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const RelationInstance* inst, TupleId row);
+
+  std::size_t size() const;
+  Value operator[](std::size_t col) const;
+
+  /// Materializes the row.
+  Tuple ToTuple() const;
+
+  /// The row id within the owning instance.
+  TupleId row() const { return row_; }
+
+ private:
+  const RelationInstance* inst_ = nullptr;
+  TupleId row_ = 0;
+};
+
+inline TupleView::TupleView(const RelationInstance* inst, TupleId row)
+    : inst_(inst), row_(row) {}
+
+inline Value RelationInstance::ValueAt(std::size_t row,
+                                       std::size_t col) const {
+  const Column& c = cols_[col];
+  return c.dict->values[c.codes[row]];
+}
+
+inline Code RelationInstance::CodeAt(std::size_t row, std::size_t col) const {
+  return cols_[col].codes[row];
+}
+
+inline const ColumnDict& RelationInstance::dict(std::size_t col) const {
+  return *cols_[col].dict;
+}
+
+inline std::size_t RelationInstance::DistinctInColumn(std::size_t col) const {
+  return cols_[col].dict->values.size();
+}
+
+inline TupleView RelationInstance::view(std::size_t i) const {
+  return TupleView(this, static_cast<TupleId>(i));
+}
+
+inline std::size_t TupleView::size() const { return inst_->arity(); }
+
+inline Value TupleView::operator[](std::size_t col) const {
+  return inst_->ValueAt(row_, col);
+}
+
+inline Tuple TupleView::ToTuple() const { return inst_->tuple(row_); }
 
 }  // namespace adp
 

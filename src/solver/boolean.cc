@@ -83,14 +83,14 @@ std::optional<BooleanResult> SolveBooleanExact(
     const RelationInstance& linst = db.rel(left);
     for (std::size_t t = 0; t < linst.size(); ++t) {
       for (std::size_t j = 0; j < lcols.size(); ++j) {
-        key[j] = linst.tuple(t)[lcols[j]];
+        key[j] = linst.ValueAt(t, lcols[j]);
       }
       flow.AddEdge(out_node[pos][t], hub_for(key), kInfCapacity);
     }
     const RelationInstance& rinst = db.rel(right);
     for (std::size_t t = 0; t < rinst.size(); ++t) {
       for (std::size_t j = 0; j < rcols.size(); ++j) {
-        key[j] = rinst.tuple(t)[rcols[j]];
+        key[j] = rinst.ValueAt(t, rcols[j]);
       }
       flow.AddEdge(hub_for(key), in_node[pos + 1][t], kInfCapacity);
     }

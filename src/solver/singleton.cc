@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "obs/trace.h"
+#include "relational/group_index.h"
 #include "relational/join.h"
 #include "util/hash.h"
 
@@ -103,7 +104,7 @@ AdpNode SingletonNode(const ConjunctiveQuery& q, const Database& db,
     picks.reserve(inst.size());
     for (std::size_t t = 0; t < inst.size(); ++t) {
       for (std::size_t j = 0; j < tcols.size(); ++j) {
-        key[j] = inst.tuple(t)[tcols[j]];
+        key[j] = inst.ValueAt(t, tcols[j]);
       }
       auto it = profit_of.find(key);
       if (it != profit_of.end() && it->second > 0) {
@@ -146,20 +147,24 @@ AdpNode SingletonNode(const ConjunctiveQuery& q, const Database& db,
   const std::vector<std::vector<char>> live = NonDanglingFlags(q.body(), db);
   std::vector<int> hcols;
   for (AttrId a : q.head()) hcols.push_back(schema.ColumnOf(a));
-  std::unordered_map<Tuple, std::vector<TupleId>, VecHash> groups;
-  Tuple key(hcols.size());
-  for (std::size_t t = 0; t < inst.size(); ++t) {
-    if (!live[ri][t]) continue;
-    for (std::size_t j = 0; j < hcols.size(); ++j) {
-      key[j] = inst.tuple(t)[hcols[j]];
-    }
-    groups[key].push_back(static_cast<TupleId>(t));
-  }
+  // Group by head-projection codes (no key materialization), then drop the
+  // dangling members of each group; a group left empty never joins, i.e. it
+  // is not an output.
+  const HashGroupIndex grouped(inst, hcols);
   std::vector<std::vector<TupleId>> sorted_groups;
-  sorted_groups.reserve(groups.size());
-  for (auto& [k, members] : groups) sorted_groups.push_back(std::move(members));
-  std::sort(sorted_groups.begin(), sorted_groups.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  sorted_groups.reserve(grouped.num_groups());
+  for (std::size_t g = 0; g < grouped.num_groups(); ++g) {
+    std::vector<TupleId> members;
+    for (TupleId t : grouped.rows(g)) {
+      if (live[ri][t]) members.push_back(t);
+    }
+    if (!members.empty()) sorted_groups.push_back(std::move(members));
+  }
+  // stable_sort keeps first-seen group order among equal sizes, so witness
+  // choice is deterministic.
+  std::stable_sort(
+      sorted_groups.begin(), sorted_groups.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
 
   // Removing the j cheapest groups costs sum of their sizes and removes
   // exactly j outputs.

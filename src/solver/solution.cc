@@ -1,6 +1,7 @@
 #include "solver/solution.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "query/transform.h"
 #include "relational/join.h"
@@ -48,8 +49,25 @@ std::int64_t CountRemovedOutputs(const ConjunctiveQuery& q, const Database& db,
 }
 
 void NormalizeTupleRefs(std::vector<TupleRef>& tuples) {
-  std::sort(tuples.begin(), tuples.end());
-  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  // Pack (relation, row) into one uint64 whose numeric order matches
+  // TupleRef's lexicographic operator< — a flat radix-friendly integer sort
+  // instead of struct comparisons. Relations are small non-negative body
+  // indices, so the shift is lossless.
+  std::vector<std::uint64_t> packed;
+  packed.reserve(tuples.size());
+  for (const TupleRef& t : tuples) {
+    packed.push_back((static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(t.relation))
+                      << 32) |
+                     t.row);
+  }
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  tuples.clear();
+  for (std::uint64_t p : packed) {
+    tuples.push_back(TupleRef{static_cast<int>(p >> 32),
+                              static_cast<TupleId>(p & 0xffffffffULL)});
+  }
 }
 
 }  // namespace adp

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "query/parser.h"
+#include "relational/group_index.h"
 #include "relational/join.h"
 #include "test_util.h"
 
@@ -133,6 +134,93 @@ TEST(JoinTest, SelfJoinKeyReuseAcrossColumns) {
   const Database db = MakeDb(q, {{"R1", {{1, 2}, {2, 1}}},
                                  {"R2", {{1, 9}, {2, 8}}}});
   EXPECT_EQ(CountOutputs(q.body(), q.head(), db), 2u);
+}
+
+// --- HashGroupIndex (the columnar grouping/probe structure under the
+// hash join and PartitionByAttrs) ---
+
+TEST(HashGroupIndexTest, EmptyRelationHasNoGroupsAndAllProbesMiss) {
+  RelationInstance inst;
+  const HashGroupIndex index(inst, {});
+  EXPECT_EQ(index.num_groups(), 0u);
+  const Code probe[] = {0};
+  EXPECT_EQ(index.FindByCodes(probe), -1);
+}
+
+TEST(HashGroupIndexTest, EmptyKeyColumnsPutAllRowsInOneGroup) {
+  RelationInstance inst;
+  inst.Add({1, 10});
+  inst.Add({2, 20});
+  inst.Add({3, 30});
+  const HashGroupIndex index(inst, {});
+  ASSERT_EQ(index.num_groups(), 1u);
+  EXPECT_EQ(index.rows(0), (std::vector<TupleId>{0, 1, 2}));
+  EXPECT_TRUE(index.KeyValues(0).empty());
+  EXPECT_EQ(index.FindByCodes(nullptr), 0);
+}
+
+TEST(HashGroupIndexTest, ConstantKeyColumnAlsoYieldsOneGroup) {
+  RelationInstance inst;
+  inst.Add({7, 1});
+  inst.Add({7, 2});
+  inst.Add({7, 3});
+  const HashGroupIndex index(inst, {0});
+  ASSERT_EQ(index.num_groups(), 1u);
+  EXPECT_EQ(index.rows(0).size(), 3u);
+  EXPECT_EQ(index.KeyValues(0), Tuple({7}));
+}
+
+TEST(HashGroupIndexTest, GroupsAreFirstSeenOrderWithAscendingRows) {
+  RelationInstance inst;
+  inst.Add({5, 1});
+  inst.Add({9, 2});
+  inst.Add({5, 3});
+  inst.Add({9, 4});
+  inst.Add({5, 5});
+  const HashGroupIndex index(inst, {0});
+  ASSERT_EQ(index.num_groups(), 2u);
+  EXPECT_EQ(index.KeyValues(0), Tuple({5}));
+  EXPECT_EQ(index.rows(0), (std::vector<TupleId>{0, 2, 4}));
+  EXPECT_EQ(index.KeyValues(1), Tuple({9}));
+  EXPECT_EQ(index.rows(1), (std::vector<TupleId>{1, 3}));
+  EXPECT_EQ(index.representative(0), 0u);
+  EXPECT_EQ(index.representative(1), 1u);
+}
+
+// Dictionary codes are assigned per column in first-intern order, so the
+// same value generally has *different* codes in different relations — and
+// the same code maps to different values. A probe must translate values
+// through the build side's dictionary before calling FindByCodes; this
+// test pins the collision scenario that would silently corrupt a join if
+// codes were ever compared across relations directly.
+TEST(HashGroupIndexTest, CrossRelationProbeRequiresDictionaryTranslation) {
+  RelationInstance build;
+  build.Add({100});  // code 0 -> 100
+  build.Add({200});  // code 1 -> 200
+  RelationInstance probe_side;
+  probe_side.Add({200});  // code 0 -> 200: collides with build's code for 100
+  probe_side.Add({300});  // code 1 -> 300: absent from the build side
+
+  const HashGroupIndex index(build, {0});
+  ASSERT_EQ(index.num_groups(), 2u);
+
+  // Correct protocol: decode the probe row, re-encode via build's dict.
+  const std::int64_t translated = build.dict(0).Lookup(probe_side.ValueAt(0, 0));
+  ASSERT_GE(translated, 0);
+  const Code probe_codes[] = {static_cast<Code>(translated)};
+  const std::int64_t g = index.FindByCodes(probe_codes);
+  ASSERT_GE(g, 0);
+  EXPECT_EQ(index.KeyValues(g), Tuple({200}));
+
+  // The raw (untranslated) code would have found the *wrong* group.
+  const Code raw[] = {probe_side.CodeAt(0, 0)};
+  const std::int64_t wrong = index.FindByCodes(raw);
+  ASSERT_GE(wrong, 0);
+  EXPECT_NE(index.KeyValues(wrong), Tuple({200}));
+
+  // Values missing from the build dictionary are reported as absent
+  // before any probe happens.
+  EXPECT_EQ(build.dict(0).Lookup(probe_side.ValueAt(1, 0)), -1);
 }
 
 // Property: the hash-join engine agrees with the nested-loop oracle on

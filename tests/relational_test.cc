@@ -1,6 +1,10 @@
-// Unit tests for relational/: schemas, instances, origin tracking, database.
+// Unit tests for relational/: schemas, instances, origin tracking, the
+// columnar storage surface (dictionaries, views, gathers, capacity), and
+// database helpers.
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "relational/database.h"
 #include "relational/relation.h"
@@ -70,6 +74,92 @@ TEST(RelationInstanceTest, DedupNoopWhenDistinct) {
   r.Dedup();
   EXPECT_EQ(r.size(), 2u);
   EXPECT_EQ(r.OriginOf(1), 1u);  // identity preserved
+}
+
+TEST(RelationInstanceTest, ColumnarAccessorsAgree) {
+  RelationInstance r;
+  r.Add({1, 10});
+  r.Add({2, 10});
+  r.Add({1, 20});
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.ValueAt(1, 0), 2);
+  EXPECT_EQ(r.ValueAt(2, 1), 20);
+  // tuple() materialization and the zero-copy view agree.
+  EXPECT_EQ(r.tuple(2), Tuple({1, 20}));
+  const TupleView v = r.view(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.ToTuple(), Tuple({1, 20}));
+  EXPECT_EQ(v.row(), 2u);
+  // Equal values share a code within a column; distinct values differ.
+  EXPECT_EQ(r.CodeAt(0, 0), r.CodeAt(2, 0));
+  EXPECT_NE(r.CodeAt(0, 0), r.CodeAt(1, 0));
+}
+
+TEST(RelationInstanceTest, DictionaryStatsAreExactDistinctCounts) {
+  RelationInstance r;
+  r.Add({1, 10});
+  r.Add({2, 10});
+  r.Add({1, 20});
+  EXPECT_EQ(r.DistinctInColumn(0), 2u);  // {1, 2}
+  EXPECT_EQ(r.DistinctInColumn(1), 2u);  // {10, 20}
+  EXPECT_EQ(r.dict(0).size(), 2u);
+  EXPECT_EQ(r.dict(0).Lookup(2), r.CodeAt(1, 0));
+  EXPECT_EQ(r.dict(0).Lookup(999), -1);
+}
+
+TEST(RelationInstanceTest, AppendGatheredSharesDictsAndCarriesOrigins) {
+  RelationInstance src;
+  src.Add({1, 10, 100});
+  src.Add({2, 20, 200});
+  src.Add({3, 30, 300});
+
+  RelationInstance derived;
+  derived.set_root_relation(5);
+  derived.AppendGathered(src, {2, 0}, {0, 2});  // rows 2,0; cols 0,2
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived.tuple(0), Tuple({3, 300}));
+  EXPECT_EQ(derived.tuple(1), Tuple({1, 100}));
+  EXPECT_EQ(derived.OriginOf(0), 2u);
+  EXPECT_EQ(derived.OriginOf(1), 0u);
+  // The gather shared src's dictionaries: codes stay comparable.
+  EXPECT_EQ(derived.CodeAt(0, 0), src.CodeAt(2, 0));
+  // Appending to the derived instance copy-on-writes the shared dictionary:
+  // the source's stats are unaffected.
+  derived.Add({4, 400});
+  EXPECT_EQ(src.DistinctInColumn(0), 3u);
+  EXPECT_EQ(derived.DistinctInColumn(0), 4u);
+}
+
+TEST(RelationInstanceTest, CopyIsDeepForCodesAndCowForDicts) {
+  RelationInstance a;
+  a.Add({1});
+  a.Add({2});
+  RelationInstance b = a;
+  b.Add({3});
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.DistinctInColumn(0), 2u);  // untouched by b's append
+  EXPECT_EQ(b.DistinctInColumn(0), 3u);
+  EXPECT_EQ(b.tuple(2), Tuple({3}));
+}
+
+TEST(RelationInstanceTest, AddPastMaxRowsThrows) {
+  const std::uint64_t previous = RelationInstance::OverrideMaxRowsForTest(2);
+  RelationInstance r;
+  r.Add({1});
+  r.Add({2});
+  EXPECT_THROW(r.Add({3}), TupleLimitError);
+  EXPECT_THROW(r.AddWithOrigin({3}, 0), TupleLimitError);
+  const Value row[] = {3};
+  EXPECT_THROW(r.AppendRow(row, 1), TupleLimitError);
+  RelationInstance gathered;
+  EXPECT_THROW(gathered.AppendGathered(r, {0, 1, 0}), TupleLimitError);
+  EXPECT_EQ(r.size(), 2u);  // failed appends left the instance untouched
+  RelationInstance::OverrideMaxRowsForTest(previous);
+  r.Add({3});  // ceiling restored
+  EXPECT_EQ(r.size(), 3u);
 }
 
 TEST(DatabaseTest, RootRelationsNumbered) {

@@ -27,6 +27,11 @@
    docs/OBSERVABILITY.md must agree in both directions. Fenced code blocks
    are exempt (exporter output samples legitimately show derived names
    like the per-bucket Prometheus series).
+
+6. Relational core drift: the same two-way check between
+   docs/RELATIONAL.md and the columnar storage surface in
+   src/relational/relation.h — the public methods of `RelationInstance`
+   and `TupleView`.
 """
 
 import re
@@ -206,6 +211,24 @@ def check_streaming_protocol():
     )
 
 
+def check_relational_core():
+    doc = (REPO / "docs" / "RELATIONAL.md").read_text(encoding="utf-8")
+    header = (REPO / "src" / "relational" / "relation.h").read_text(
+        encoding="utf-8"
+    )
+    return two_way_drift(
+        "docs/RELATIONAL.md",
+        doc,
+        "src/relational/relation.h",
+        {
+            "RelationInstance": class_public_methods(
+                header, "RelationInstance"
+            ),
+            "TupleView": class_public_methods(header, "TupleView"),
+        },
+    )
+
+
 OBS_NAME_RE = re.compile(r"adp(?:_[a-z0-9_]+|\.[a-z._]+[a-z])")
 # Name-shaped tokens that are not catalog entries: binaries and tools.
 OBS_NAME_EXEMPT = {"adp_server", "adp_cli"}
@@ -250,6 +273,7 @@ def main():
         + check_engine_handbook()
         + check_streaming_protocol()
         + check_observability_catalog()
+        + check_relational_core()
     )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
@@ -259,7 +283,8 @@ def main():
     print(f"docs OK: links resolve in {names}; every docs/*.md is reachable "
           "from README.md; docs/ENGINE.md agrees with src/engine/engine.h; "
           "docs/STREAMING.md agrees with src/engine/result_stream.h; "
-          "docs/OBSERVABILITY.md agrees with src/obs/names.h")
+          "docs/OBSERVABILITY.md agrees with src/obs/names.h; "
+          "docs/RELATIONAL.md agrees with src/relational/relation.h")
     return 0
 
 
