@@ -1,0 +1,120 @@
+// adp_netserver: the ADP engine behind a TCP socket (src/net/server.h).
+//
+// Starts an AdpEngine, puts AdpNetServer in front of it, prints one line
+//
+//   listening on <host>:<port>
+//
+// to stdout (port is the actually-bound one, so --port=0 callers — tests,
+// tools/net_smoke.sh — can parse it), and serves until stdin reaches EOF
+// or the process is terminated. Wire protocol: docs/PROTOCOL.md; drive it
+// with examples/adp_netclient.cpp.
+//
+// Usage:  adp_netserver [--host=A] [--port=P] [--workers=N]
+//                       [--min-shard-groups=G] [--min-shard-components=C]
+//                       [--coalesce-window-ms=W] [--timeout-ms=T]
+//                       [--stream-batch-tuples=B] [--max-queue-depth=Q]
+//                       [--max-connections=M]
+//
+//   --host=A                 listen address (default 127.0.0.1)
+//   --port=P                 listen port; 0 (default) binds an ephemeral
+//                            port, reported on the "listening on" line
+//   --timeout-ms=T           default per-request deadline (0 = none); a
+//                            +d request option overrides it
+//   --max-queue-depth=Q      load shedding: async requests arriving while
+//                            more than Q tasks wait on the pool are
+//                            rejected with OVERLOADED (0 = unbounded)
+//   --max-connections=M      connections beyond M are refused (default 256)
+//
+// Engine knobs (--workers, --min-shard-*, --coalesce-window-ms,
+// --stream-batch-tuples) mean the same as for adp_server.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "engine/engine.h"
+#include "net/server.h"
+
+namespace {
+
+std::int64_t ParseFlagValue(const std::string& arg, std::size_t prefix_len,
+                            std::int64_t min_value, std::int64_t max_value) {
+  const std::string value = arg.substr(prefix_len);
+  std::size_t pos = 0;
+  std::int64_t out = min_value - 1;
+  try {
+    out = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty() || out < min_value ||
+      out > max_value) {
+    std::cerr << "bad flag value: " << arg << "\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  adp::EngineConfig config;
+  adp::net::NetServerConfig net;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--host=", 0) == 0) {
+      net.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      net.port =
+          static_cast<int>(ParseFlagValue(arg, 7, /*min_value=*/0,
+                                          /*max_value=*/65535));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      config.num_workers = static_cast<int>(
+          ParseFlagValue(arg, 10, /*min_value=*/1, /*max_value=*/4096));
+    } else if (arg.rfind("--min-shard-groups=", 0) == 0) {
+      config.min_shard_groups = static_cast<std::size_t>(
+          ParseFlagValue(arg, 19, /*min_value=*/0, /*max_value=*/1 << 20));
+    } else if (arg.rfind("--min-shard-components=", 0) == 0) {
+      config.min_shard_components = static_cast<std::size_t>(
+          ParseFlagValue(arg, 23, /*min_value=*/0, /*max_value=*/1 << 20));
+    } else if (arg.rfind("--coalesce-window-ms=", 0) == 0) {
+      config.coalesce_window_ms = static_cast<double>(
+          ParseFlagValue(arg, 21, /*min_value=*/0, /*max_value=*/86'400'000));
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      net.default_timeout_ms =
+          ParseFlagValue(arg, 13, /*min_value=*/0, /*max_value=*/86'400'000);
+    } else if (arg.rfind("--stream-batch-tuples=", 0) == 0) {
+      config.stream_batch_tuples = static_cast<std::size_t>(
+          ParseFlagValue(arg, 22, /*min_value=*/0, /*max_value=*/1 << 24));
+    } else if (arg.rfind("--max-queue-depth=", 0) == 0) {
+      config.max_queue_depth = static_cast<std::size_t>(
+          ParseFlagValue(arg, 18, /*min_value=*/0, /*max_value=*/1 << 24));
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      net.max_connections = static_cast<int>(
+          ParseFlagValue(arg, 18, /*min_value=*/1, /*max_value=*/1 << 20));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 1;
+    }
+  }
+
+  adp::AdpEngine engine(config);
+  adp::net::AdpNetServer server(engine, net);
+  const adp::Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "start failed: " << status.message() << "\n";
+    return adp::StatusExitCode(status.code());
+  }
+  std::cout << "listening on " << net.host << ":" << server.port() << "\n"
+            << std::flush;
+
+  // Serve until stdin closes — the natural lifetime under a harness that
+  // holds our stdin open (tools/net_smoke.sh, tests), and Ctrl-D
+  // interactively. SIGTERM/SIGINT end the process the default way.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.Stop();
+  engine.Shutdown();
+  return 0;
+}

@@ -2,7 +2,9 @@
 //
 // Reads requests from a file (or stdin), executes them on AdpEngine's
 // worker pool, and prints one JSON-ish result line per request, in request
-// order.
+// order. The command grammar and the result-line rendering live in
+// src/net/textproto.h, shared with the TCP front end (src/net/server.cc,
+// examples/adp_netserver.cpp) so the two cannot drift.
 //
 // Protocol (one command per line; '#' starts a comment):
 //
@@ -11,14 +13,17 @@
 //       denotes the empty tuple (vacuum instance); "<Rel>=" alone is an
 //       empty instance. Relations bind to query atoms by name.
 //
-//   REQ <db> <k> <query>
+//   REQ <db> <k> [+opt ...] <query>
 //       Submits ADP(query, db, k), e.g.:  REQ d1 2 Q(A) :- R1(A,B), R2(B)
+//       Options: +p<N> priority, +d<MS> per-request deadline (overrides
+//       --timeout-ms), +iw intermediate witnesses (STREAM only) — see
+//       src/net/textproto.h.
 //
-//   STREAM <db> <k> <query>
+//   STREAM <db> <k> [+opt ...] <query>
 //       Streaming ranked-witness enumeration (AdpEngine::StreamAdp): runs
 //       ONE solve and prints incremental lines as items arrive — one line
 //       per profile increment {"stream":id,"k":j,"cost":c}, one per witness
-//       batch {"stream":id,"witnesses":[...]}, then a terminal
+//       batch {"stream":id,"k":j,"witnesses":[...]}, then a terminal
 //       {"stream":id,"end":true,...} line. Emitted in-place, ahead of any
 //       still-pending REQ results (protocol: docs/STREAMING.md).
 //
@@ -42,6 +47,7 @@
 // Usage:  adp_server [--workers=N] [--min-shard-groups=G]
 //                    [--min-shard-components=C] [--coalesce-window-ms=W]
 //                    [--timeout-ms=T] [--stream-batch-tuples=B]
+//                    [--max-queue-depth=Q]
 //                    [--trace-dir=DIR] [--slow-ms=S]
 //                    [requests.txt]
 //
@@ -62,6 +68,9 @@
 //                            also bounds STREAM solves.
 //   --stream-batch-tuples=B  max witness tuples per STREAM batch line
 //                            (0 = one batch; default 256).
+//   --max-queue-depth=Q      load shedding: async requests arriving while
+//                            more than Q tasks wait on the pool are
+//                            rejected with OVERLOADED (0 = unbounded).
 //   --trace-dir=DIR          slow-query log: collect a trace for every
 //                            REQ/STREAM (implies TRACE on) and write
 //                            DIR/trace-<id>.json (Chrome trace-event JSON,
@@ -80,30 +89,25 @@
 //   STREAM d1 3 Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)
 //   STATS
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "engine/engine.h"
-#include "obs/metrics.h"
-#include "obs/names.h"
+#include "net/textproto.h"
 #include "obs/trace.h"
-#include "util/stopwatch.h"
 
 namespace {
 
 using adp::AdpEngine;
 using adp::AdpRequest;
 using adp::AdpResponse;
-using adp::AdpSolution;
 using adp::AdpTicket;
 using adp::Status;
 using adp::StatusCode;
@@ -116,16 +120,6 @@ struct Pending {
   std::future<AdpResponse> future;
   AdpTicket ticket;
 };
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
 
 // Strict integer flag value in [min_value, max_value]: rejects trailing
 // junk, out-of-range, and non-numeric input with a usage error instead of
@@ -146,58 +140,6 @@ std::int64_t ParseFlagValue(const std::string& arg, std::size_t prefix_len,
     std::exit(1);
   }
   return out;
-}
-
-std::vector<std::string> SplitWs(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream in(line);
-  std::string tok;
-  while (in >> tok) out.push_back(tok);
-  return out;
-}
-
-// Parses "R1=11,21/12,22" into (name, instance).
-std::pair<std::string, adp::RelationInstance> ParseRelationSpec(
-    const std::string& spec) {
-  const std::size_t eq = spec.find('=');
-  if (eq == std::string::npos) {
-    throw std::runtime_error("bad relation spec (missing '='): " + spec);
-  }
-  std::pair<std::string, adp::RelationInstance> out;
-  out.first = spec.substr(0, eq);
-  std::string rows = spec.substr(eq + 1);
-  std::istringstream in(rows);
-  std::string row;
-  while (std::getline(in, row, '/')) {
-    if (row.empty()) continue;
-    adp::Tuple tuple;
-    if (row != "()") {
-      std::istringstream rin(row);
-      std::string val;
-      while (std::getline(rin, val, ',')) {
-        tuple.push_back(static_cast<adp::Value>(std::stoll(val)));
-      }
-    }
-    out.second.Add(std::move(tuple));
-  }
-  return out;
-}
-
-void PrintTupleRefs(std::ostringstream& out,
-                    const std::vector<adp::TupleRef>& tuples,
-                    const adp::ConjunctiveQuery* query) {
-  out << '[';
-  for (std::size_t i = 0; i < tuples.size(); ++i) {
-    if (i > 0) out << ',';
-    out << "[\"";
-    if (query != nullptr && tuples[i].relation < query->num_relations()) {
-      out << query->relation(tuples[i].relation).name;
-    } else {
-      out << tuples[i].relation;
-    }
-    out << "\"," << tuples[i].row << ']';
-  }
-  out << ']';
 }
 
 /// Span tracing / slow-query-log settings (TRACE command, --trace-dir,
@@ -226,36 +168,6 @@ void MaybeDumpTrace(const TraceConfig& tc, int id,
   if (out) trace->WriteJson(out);
 }
 
-void PrintResponse(const Pending& p, const AdpResponse& r,
-                   const adp::ConjunctiveQuery* query) {
-  std::ostringstream out;
-  out << "{\"req\":" << p.id << ",\"db\":\"" << p.db_name
-      << "\",\"k\":" << p.k << ",\"status\":\""
-      << adp::StatusCodeName(r.status.code()) << "\"";
-  if (!r.ok()) {
-    out << ",\"error\":\"" << JsonEscape(r.status.message()) << "\"}";
-    std::cout << out.str() << "\n";
-    return;
-  }
-  const AdpSolution& s = r.solution;
-  // Infeasible solves carry the solver's kInfCost sentinel; surface -1.
-  const std::int64_t cost = s.feasible ? s.cost : -1;
-  out << ",\"feasible\":" << (s.feasible ? "true" : "false")
-      << ",\"exact\":" << (s.exact ? "true" : "false") << ",\"cost\":" << cost
-      << ",\"output_count\":" << s.output_count << ",\"tuples\":";
-  PrintTupleRefs(out, s.tuples, query);
-  out << ",\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
-      << ",\"deduped\":" << (r.deduped ? "true" : "false")
-      << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
-      << ",\"plan_ms\":" << r.plan_ms << ",\"solve_ms\":" << r.solve_ms
-      << ",\"total_ms\":" << r.total_ms << ",\"queue_ms\":" << r.queue_ms;
-  if (r.trace != nullptr) {
-    out << ",\"trace_spans\":" << r.trace->spans.size();
-  }
-  out << "}";
-  std::cout << out.str() << "\n";
-}
-
 // First failing status decides the process exit code; explicit CANCELs are
 // operator-initiated, not failures.
 void NoteStatus(const Status& status, Status& first_error) {
@@ -263,42 +175,10 @@ void NoteStatus(const Status& status, Status& first_error) {
   if (first_error.ok()) first_error = status;
 }
 
-// The shared "<cmd> <db> <k> <query...>" tail of REQ and STREAM lines,
-// parsed once so the two commands cannot drift.
-struct ParsedRequest {
-  std::string db_name;
-  std::string query_text;
-  AdpRequest req;
-};
-
-ParsedRequest ParseRequestLine(
-    const std::vector<std::string>& toks, const char* usage,
-    const std::unordered_map<std::string, adp::DbId>& dbs,
-    std::int64_t timeout_ms) {
-  if (toks.size() < 3) throw std::runtime_error(usage);
-  auto it = dbs.find(toks[1]);
-  if (it == dbs.end()) {
-    throw std::runtime_error("unknown database " + toks[1]);
-  }
-  ParsedRequest out;
-  out.db_name = toks[1];
-  out.req.db = it->second;
-  out.req.k = std::stoll(toks[2]);
-  if (timeout_ms > 0) {
-    out.req.deadline = adp::Now() + std::chrono::milliseconds(timeout_ms);
-  }
-  for (std::size_t i = 3; i < toks.size(); ++i) {
-    if (i > 3) out.query_text += ' ';
-    out.query_text += toks[i];
-  }
-  out.req.query_text = out.query_text;
-  return out;
-}
-
 // Drains one StreamAdp call synchronously, printing one line per item as it
 // arrives: time-to-first-line is one DP solve, not the full enumeration.
-void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
-                      adp::AdpRequest req, const TraceConfig& tc,
+void RunStreamCommand(AdpEngine& engine, int id, const std::string& db,
+                      AdpRequest req, const TraceConfig& tc,
                       Status& first_error) {
   // Fetch the parsed query (a plan-cache probe) to render relation names.
   std::shared_ptr<const adp::CachedPlan> plan = engine.PlanFor(req);
@@ -308,43 +188,14 @@ void RunStreamCommand(adp::AdpEngine& engine, int id, const std::string& db,
   std::size_t items = 0;
   while (std::optional<adp::StreamItem> item = stream.Next()) {
     ++items;
-    std::ostringstream out;
-    out << "{\"stream\":" << id << ",\"db\":\"" << db << '"';
-    switch (item->kind) {
-      case adp::StreamItem::Kind::kProfile:
-        out << ",\"k\":" << item->k
-            << ",\"cost\":" << (item->feasible ? item->cost : -1)
-            << ",\"feasible\":" << (item->feasible ? "true" : "false") << '}';
-        break;
-      case adp::StreamItem::Kind::kWitnesses:
-        out << ",\"witnesses\":";
-        PrintTupleRefs(out, item->witnesses, query);
-        out << '}';
-        break;
-      case adp::StreamItem::Kind::kEnd:
-        NoteStatus(item->status, first_error);
-        out << ",\"end\":true,\"status\":\""
-            << adp::StatusCodeName(item->status.code()) << '"';
-        if (!item->status.ok()) {
-          out << ",\"error\":\"" << JsonEscape(item->status.message()) << '"';
-        } else {
-          out << ",\"feasible\":" << (item->feasible ? "true" : "false")
-              << ",\"exact\":" << (item->exact ? "true" : "false")
-              << ",\"cost\":" << (item->feasible ? item->cost : -1)
-              << ",\"output_count\":" << item->output_count;
-        }
-        out << ",\"items\":" << items << ",\"plan_ms\":" << item->plan_ms
-            << ",\"solve_ms\":" << item->solve_ms
-            << ",\"total_ms\":" << item->total_ms
-            << ",\"queue_ms\":" << item->queue_ms;
-        if (item->trace != nullptr) {
-          out << ",\"trace_spans\":" << item->trace->spans.size();
-          MaybeDumpTrace(tc, id, item->trace, item->queue_ms + item->total_ms);
-        }
-        out << '}';
-        break;
+    if (item->kind == adp::StreamItem::Kind::kEnd) {
+      NoteStatus(item->status, first_error);
+      if (item->trace != nullptr) {
+        MaybeDumpTrace(tc, id, item->trace, item->queue_ms + item->total_ms);
+      }
     }
-    std::cout << out.str() << "\n";
+    std::cout << adp::net::FormatStreamItemLine(id, db, *item, query, items)
+              << "\n";
   }
 }
 
@@ -360,7 +211,9 @@ void Drain(AdpEngine& engine, std::vector<Pending>& pending,
       probe.query_text = p.query_text;
       plan = engine.PlanFor(probe);
     }
-    PrintResponse(p, r, plan ? &plan->query : nullptr);
+    std::cout << adp::net::FormatResponseLine(p.id, p.db_name, p.k, r,
+                                              plan ? &plan->query : nullptr)
+              << "\n";
     MaybeDumpTrace(tc, p.id, r.trace, r.queue_ms + r.total_ms);
   }
   pending.clear();
@@ -375,6 +228,7 @@ int main(int argc, char** argv) {
   std::int64_t coalesce_window_ms = 0;
   std::int64_t timeout_ms = 0;
   std::int64_t stream_batch_tuples = 256;
+  std::int64_t max_queue_depth = 0;
   TraceConfig trace_cfg;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -397,6 +251,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--stream-batch-tuples=", 0) == 0) {
       stream_batch_tuples = ParseFlagValue(arg, 22, /*min_value=*/0,
                                            /*max_value=*/1 << 24);
+    } else if (arg.rfind("--max-queue-depth=", 0) == 0) {
+      max_queue_depth = ParseFlagValue(arg, 18, /*min_value=*/0,
+                                       /*max_value=*/1 << 24);
     } else if (arg.rfind("--trace-dir=", 0) == 0) {
       trace_cfg.dir = arg.substr(12);
     } else if (arg.rfind("--slow-ms=", 0) == 0) {
@@ -423,6 +280,7 @@ int main(int argc, char** argv) {
   config.min_shard_components = min_shard_components;
   config.coalesce_window_ms = static_cast<double>(coalesce_window_ms);
   config.stream_batch_tuples = static_cast<std::size_t>(stream_batch_tuples);
+  config.max_queue_depth = static_cast<std::size_t>(max_queue_depth);
   AdpEngine engine(config);
   std::unordered_map<std::string, adp::DbId> dbs;
   std::vector<Pending> pending;
@@ -433,30 +291,34 @@ int main(int argc, char** argv) {
   while (std::getline(in, line)) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const std::vector<std::string> toks = SplitWs(line);
+    const std::vector<std::string> toks = adp::net::SplitWs(line);
     if (toks.empty()) continue;
 
     try {
       if (toks[0] == "DB") {
-        if (toks.size() < 2) throw std::runtime_error("DB needs a name");
-        adp::NamedDatabase named;
-        for (std::size_t i = 2; i < toks.size(); ++i) {
-          auto [name, inst] = ParseRelationSpec(toks[i]);
-          named.relation_names.push_back(std::move(name));
-          named.db.Append(std::move(inst));
-        }
-        dbs[toks[1]] = engine.RegisterDatabase(std::move(named));
+        adp::net::ParsedDb parsed = adp::net::ParseDbLine(toks);
+        dbs[parsed.name] = engine.RegisterDatabase(std::move(parsed.db));
       } else if (toks[0] == "REQ") {
-        ParsedRequest parsed =
-            ParseRequestLine(toks, "REQ <db> <k> <query>", dbs, timeout_ms);
+        adp::net::ParsedRequest parsed = adp::net::ParseRequestLine(
+            toks, "REQ <db> <k> [+opt ...] <query>", timeout_ms);
+        auto it = dbs.find(parsed.db_name);
+        if (it == dbs.end()) {
+          throw std::runtime_error("unknown database " + parsed.db_name);
+        }
+        parsed.req.db = it->second;
         parsed.req.collect_trace = trace_cfg.collect();
         Pending p{next_id++, parsed.db_name, parsed.query_text, parsed.req.k,
                   {}, {}};
         p.future = engine.Submit(std::move(parsed.req), &p.ticket);
         pending.push_back(std::move(p));
       } else if (toks[0] == "STREAM") {
-        ParsedRequest parsed = ParseRequestLine(
-            toks, "STREAM <db> <k> <query>", dbs, timeout_ms);
+        adp::net::ParsedRequest parsed = adp::net::ParseRequestLine(
+            toks, "STREAM <db> <k> [+opt ...] <query>", timeout_ms);
+        auto it = dbs.find(parsed.db_name);
+        if (it == dbs.end()) {
+          throw std::runtime_error("unknown database " + parsed.db_name);
+        }
+        parsed.req.db = it->second;
         parsed.req.collect_trace = trace_cfg.collect();
         RunStreamCommand(engine, next_id++, parsed.db_name,
                          std::move(parsed.req), trace_cfg, first_error);
@@ -478,40 +340,13 @@ int main(int argc, char** argv) {
         engine.WriteMetricsText(std::cout);
       } else if (toks[0] == "STATS") {
         Drain(engine, pending, trace_cfg, first_error);
-        const adp::EngineCounters c = engine.counters();
-        const adp::obs::HistogramSnapshot lat =
-            engine.metrics()
-                .GetHistogram(adp::obs::kMRequestLatencyMs)
-                .Snapshot();
-        std::cout << "{\"stats\":{\"requests\":" << c.requests
-                  << ",\"failures\":" << c.failures
-                  << ",\"plan_hits\":" << c.plan_hits
-                  << ",\"plan_misses\":" << c.plan_misses
-                  << ",\"binding_hits\":" << c.binding_hits
-                  << ",\"binding_misses\":" << c.binding_misses
-                  << ",\"dedup_hits\":" << c.dedup_hits
-                  << ",\"coalesce_hits\":" << c.coalesce_hits
-                  << ",\"cancelled\":" << c.cancelled
-                  << ",\"deadline_expired\":" << c.deadline_expired
-                  << ",\"sharded_universe_nodes\":" << c.sharded_universe_nodes
-                  << ",\"sharded_decompose_nodes\":"
-                  << c.sharded_decompose_nodes
-                  << ",\"streams_opened\":" << c.streams_opened
-                  << ",\"stream_items\":" << c.stream_items
-                  << ",\"stream_cancelled\":" << c.stream_cancelled
-                  << ",\"plan_cache_size\":" << c.plan_cache_size
-                  << ",\"databases\":" << c.databases
-                  << ",\"workers\":" << engine.num_workers()
-                  << ",\"latency_ms\":{\"count\":" << lat.count
-                  << ",\"p50\":" << lat.Quantile(0.50)
-                  << ",\"p95\":" << lat.Quantile(0.95)
-                  << ",\"p99\":" << lat.Quantile(0.99) << "}}}\n";
+        std::cout << adp::net::FormatStatsJson(engine) << "\n";
       } else {
         throw std::runtime_error("unknown command " + toks[0]);
       }
     } catch (const std::exception& e) {
       std::cout << "{\"req\":null,\"status\":\"INVALID_ARGUMENT\",\"error\":\""
-                << JsonEscape(e.what()) << "\"}\n";
+                << adp::net::JsonEscape(e.what()) << "\"}\n";
       if (first_error.ok()) {
         first_error = Status(StatusCode::kInvalidArgument, e.what());
       }

@@ -50,6 +50,15 @@ AdpResponse ShutdownResponse() {
   return FailureResponse(Status(StatusCode::kShutdown, "engine is shut down"));
 }
 
+/// Response for a request shed at admission: the pool backlog exceeded
+/// EngineConfig::max_queue_depth, so enqueueing it would only add latency
+/// for everyone. Callers should back off and retry.
+AdpResponse OverloadedResponse() {
+  return FailureResponse(Status(
+      StatusCode::kOverloaded,
+      "request shed: worker queue exceeds EngineConfig::max_queue_depth"));
+}
+
 /// Response for a request dropped before its solve ever ran (cancelled or
 /// expired while queued).
 AdpResponse DroppedResponse(CancelReason reason) {
@@ -189,6 +198,7 @@ AdpEngine::AdpEngine(const EngineConfig& config)
   binding_misses_ = &registry_->GetCounter(obs::kMBindingMisses);
   dedup_hits_ = &registry_->GetCounter(obs::kMDedupHits);
   coalesce_hits_ = &registry_->GetCounter(obs::kMCoalesceHits);
+  shed_ = &registry_->GetCounter(obs::kMShed);
   sharded_universe_nodes_ = &registry_->GetCounter(obs::kMShardedUniverse);
   sharded_decompose_nodes_ = &registry_->GetCounter(obs::kMShardedDecompose);
   traces_collected_ = &registry_->GetCounter(obs::kMTracesCollected);
@@ -878,6 +888,25 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
     internal::Deliver(*impl, *std::move(coalesced));
     return ticket;
   }
+  // Admission control, before the single-flight probe: an already-dead
+  // deadline never deserves a queue slot, and once the backlog exceeds the
+  // configured bound new work is shed instead of queued (kOverloaded) —
+  // joining an in-flight solve stays allowed (it costs no slot).
+  if (req.deadline.has_value() && Now() >= *req.deadline) {
+    internal::Deliver(*impl, DroppedResponse(CancelReason::kDeadlineExceeded));
+    return ticket;
+  }
+  if (config_.max_queue_depth > 0 &&
+      pool_.queued() >= config_.max_queue_depth) {
+    const std::shared_ptr<InflightSolve> joined =
+        LeadOrJoin(keys.solve, impl, req.deadline);
+    if (joined == nullptr) return ticket;  // rode an in-flight solve for free
+    // Became the would-be leader: retire the entry immediately with the
+    // overload response (followers that raced in share the rejection).
+    shed_->Increment();
+    PublishInflight(keys.solve, joined, OverloadedResponse(), std::nullopt);
+    return ticket;
+  }
   const std::shared_ptr<InflightSolve> lead =
       LeadOrJoin(keys.solve, impl, req.deadline);
   if (lead == nullptr) return ticket;  // joined an identical in-flight solve
@@ -885,6 +914,7 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
   // From here the in-flight entry MUST be retired on every path — a leaked
   // leader would hang all future identical requests — so both the solve
   // and the enqueue are exception-proofed.
+  const TaskAttrs attrs{req.priority, req.deadline};
   try {
     const MonotonicClock::time_point enqueued = Now();
     pool_.Submit([this, req = std::move(req), keys, lead, enqueued] {
@@ -908,7 +938,7 @@ AdpTicket AdpEngine::SubmitAsync(AdpRequest req,
       }
       PublishInflight(keys.solve, lead, resp,
                       MakeRecent(req, keys.solve, resp));
-    });
+    }, attrs);
   } catch (...) {
     // The ticket delivery is the sole failure signal (`done` fires exactly
     // once); rethrowing too would double-report the submission.
@@ -999,8 +1029,22 @@ ResultStream AdpEngine::StreamAdp(AdpRequest req) {
     RunStream(req, state);
     return stream;
   }
+  // Load shedding mirrors SubmitAsync: a producer task needs a queue slot,
+  // and past the configured backlog the stream is refused with a terminal
+  // kOverloaded instead. (Inline nested production above costs no slot and
+  // is never shed.)
+  if (config_.max_queue_depth > 0 &&
+      pool_.queued() >= config_.max_queue_depth) {
+    shed_->Increment();
+    FinishStream(state, Status(StatusCode::kOverloaded,
+                               "stream shed: worker queue exceeds "
+                               "EngineConfig::max_queue_depth"));
+    return stream;
+  }
+  const TaskAttrs attrs{req.priority, req.deadline};
   try {
-    pool_.Submit([this, req = std::move(req), state] { RunStream(req, state); });
+    pool_.Submit([this, req = std::move(req), state] { RunStream(req, state); },
+                 attrs);
   } catch (...) {
     FinishStream(state,
                  Status(StatusCode::kInternal, "failed to enqueue stream"));
@@ -1092,6 +1136,34 @@ void AdpEngine::RunStream(const AdpRequest& req,
       // stream straight off its profile — no per-k re-solves.
       AdpNode node = ComputeAdpNode(*query, *data, req.k, options);
       end.exact = node.exact;
+      // Witnesses stream in enumeration order, NOT normalized: sorting
+      // would force the whole set to be materialized-and-ordered before
+      // the first batch could leave, forfeiting exactly the
+      // time-to-first-witness a stream exists for. Consumers recover
+      // AdpSolution::tuples with NormalizeTupleRefs (docs/STREAMING.md).
+      // Each batch is tagged with the target its witnesses remove
+      // (StreamItem::k): req.k on the default path, intermediate j's too
+      // when AdpRequest::stream_intermediate_witnesses is set. report() is
+      // pure over the finished DP, so re-invoking it per target is safe.
+      const auto stream_witnesses = [&](std::int64_t target) {
+        std::vector<TupleRef> witnesses = node.report(target);
+        const std::size_t batch = config_.stream_batch_tuples == 0
+                                      ? std::max<std::size_t>(
+                                            witnesses.size(), 1)
+                                      : config_.stream_batch_tuples;
+        for (std::size_t off = 0; off < witnesses.size(); off += batch) {
+          state->cancel_token().ThrowIfCancelled();
+          StreamItem item;
+          item.kind = StreamItem::Kind::kWitnesses;
+          item.k = target;
+          const std::size_t hi = std::min(off + batch, witnesses.size());
+          item.witnesses.assign(witnesses.begin() + static_cast<std::ptrdiff_t>(off),
+                                witnesses.begin() + static_cast<std::ptrdiff_t>(hi));
+          note_first_item();
+          state->Emit(std::move(item));
+        }
+        return witnesses;
+      };
       for (std::int64_t j = 1; j <= req.k; ++j) {
         state->cancel_token().ThrowIfCancelled();
         StreamItem item;
@@ -1101,30 +1173,16 @@ void AdpEngine::RunStream(const AdpRequest& req,
         item.feasible = item.cost < kInfCost;
         note_first_item();
         state->Emit(std::move(item));
+        if (req.stream_intermediate_witnesses && j < req.k &&
+            !options.counting_only && node.report &&
+            node.profile.At(j) < kInfCost) {
+          stream_witnesses(j);
+        }
       }
       end.cost = node.profile.At(req.k);
       end.feasible = end.cost < kInfCost;
       if (!options.counting_only && node.report && end.feasible) {
-        // Witnesses stream in enumeration order, NOT normalized: sorting
-        // would force the whole set to be materialized-and-ordered before
-        // the first batch could leave, forfeiting exactly the
-        // time-to-first-witness a stream exists for. Consumers recover
-        // AdpSolution::tuples with NormalizeTupleRefs (docs/STREAMING.md).
-        std::vector<TupleRef> witnesses = node.report(req.k);
-        const std::size_t batch = config_.stream_batch_tuples == 0
-                                      ? std::max<std::size_t>(
-                                            witnesses.size(), 1)
-                                      : config_.stream_batch_tuples;
-        for (std::size_t off = 0; off < witnesses.size(); off += batch) {
-          state->cancel_token().ThrowIfCancelled();
-          StreamItem item;
-          item.kind = StreamItem::Kind::kWitnesses;
-          const std::size_t hi = std::min(off + batch, witnesses.size());
-          item.witnesses.assign(witnesses.begin() + static_cast<std::ptrdiff_t>(off),
-                                witnesses.begin() + static_cast<std::ptrdiff_t>(hi));
-          note_first_item();
-          state->Emit(std::move(item));
-        }
+        const std::vector<TupleRef> witnesses = stream_witnesses(req.k);
         if (options.verify) {
           // Against the ROOT query/database, as ComputeAdp does.
           end.removed_outputs =
@@ -1182,6 +1240,7 @@ EngineCounters AdpEngine::counters() const {
   c.binding_misses = binding_misses_->Value();
   c.dedup_hits = dedup_hits_->Value();
   c.coalesce_hits = coalesce_hits_->Value();
+  c.shed = shed_->Value();
   c.sharded_universe_nodes = sharded_universe_nodes_->Value();
   c.sharded_decompose_nodes = sharded_decompose_nodes_->Value();
   std::lock_guard<std::mutex> lock(mu_);

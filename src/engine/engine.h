@@ -142,6 +142,14 @@ struct EngineConfig {
   /// and tighten backpressure. 0 delivers the whole witness set as one
   /// batch. See docs/STREAMING.md.
   std::size_t stream_batch_tuples = 256;
+
+  /// Load-shedding admission bound: an async request (Submit / SubmitAsync /
+  /// SubmitToQueue / StreamAdp) arriving while more than this many tasks
+  /// wait on the pool queue is rejected with kOverloaded instead of being
+  /// enqueued (EngineCounters::shed). Synchronous Execute is never shed —
+  /// it occupies the caller's thread, not a queue slot. 0 = unbounded
+  /// (never shed).
+  std::size_t max_queue_depth = 0;
 };
 
 /// Monotonic counters, snapshot via AdpEngine::counters(). Assembled as a
@@ -169,6 +177,10 @@ struct EngineCounters {
   std::uint64_t cancelled = 0;
   /// Requests whose response was kDeadlineExceeded.
   std::uint64_t deadline_expired = 0;
+  /// Requests and streams rejected at admission with kOverloaded because
+  /// the pool queue exceeded EngineConfig::max_queue_depth. Shed requests
+  /// count in `requests` (they were offered) but not in `failures`.
+  std::uint64_t shed = 0;
   /// Rollup of AdpStats::sharded_universe_nodes across completed solves:
   /// Universe nodes whose partition groups fanned out across the pool.
   /// Deduped/coalesced responses reuse the leader's solve and do not
@@ -488,6 +500,7 @@ class AdpEngine {
   obs::Counter* binding_misses_ = nullptr;
   obs::Counter* dedup_hits_ = nullptr;
   obs::Counter* coalesce_hits_ = nullptr;
+  obs::Counter* shed_ = nullptr;
   obs::Counter* sharded_universe_nodes_ = nullptr;
   obs::Counter* sharded_decompose_nodes_ = nullptr;
   obs::Counter* traces_collected_ = nullptr;

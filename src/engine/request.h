@@ -107,6 +107,19 @@ struct AdpRequest {
   /// with Status kDeadlineExceeded.
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
+  /// Scheduling priority on the worker-pool queue. Higher runs first;
+  /// within a priority level the earliest deadline dequeues first
+  /// (requests without a deadline sort after every deadlined one), then
+  /// FIFO. 0 is the default traffic class.
+  int priority = 0;
+
+  /// Stream witnesses at every intermediate k (1..k-1) too, not only at
+  /// the final target. Only meaningful for StreamAdp; each intermediate
+  /// batch is tagged with its own StreamItem::k. Off by default — the
+  /// extra report() calls cost work proportional to the sum of the
+  /// intermediate targets.
+  bool stream_intermediate_witnesses = false;
+
   /// Collect a per-request span trace (obs/trace.h): the engine wires a
   /// TraceSink through the request pipeline and the solver recursion, and
   /// the response carries the recorded Trace. Traced requests never

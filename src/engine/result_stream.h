@@ -74,6 +74,9 @@ struct StreamItem {
   Kind kind = Kind::kEnd;
 
   /// kProfile: the target this increment covers (1-based, ascending).
+  /// kWitnesses: the target whose witness set this batch belongs to — the
+  /// request's k on the default path, or an intermediate 1..k when
+  /// AdpRequest::stream_intermediate_witnesses is set.
   std::int64_t k = 0;
 
   /// kProfile: minimum deletions removing >= k outputs. kEnd: the final
@@ -86,8 +89,9 @@ struct StreamItem {
   bool feasible = true;
 
   /// kWitnesses: the next batch, at most EngineConfig::stream_batch_tuples
-  /// tuples, in enumeration order. The concatenation of all batches,
-  /// normalized (NormalizeTupleRefs), equals AdpSolution::tuples.
+  /// tuples, in enumeration order. The concatenation of all batches tagged
+  /// with the request's final target (`k`), normalized
+  /// (NormalizeTupleRefs), equals AdpSolution::tuples.
   std::vector<TupleRef> witnesses;
 
   /// kEnd: terminal outcome. ok() iff the stream completed; kCancelled,

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kDeadlineExceeded = 6,  // AdpRequest::deadline passed before completion
   kShutdown = 7,          // engine is shut down
   kInternal = 8,          // unexpected failure inside the engine
+  kOverloaded = 9,        // admission control shed the request (queue full)
 };
 
 /// Stable upper-case name of a code, e.g. "DEADLINE_EXCEEDED".
@@ -40,6 +41,7 @@ constexpr const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kShutdown: return "SHUTDOWN";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <climits>
 #include <memory>
 #include <utility>
 
@@ -33,22 +34,38 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::IsWorkerThread() const { return tls_worker_pool == this; }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::RunsBefore(const Entry& a, const Entry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task, TaskAttrs attrs) {
+  Entry e;
+  e.fn = std::move(task);
+  e.priority = attrs.priority;
+  e.deadline = attrs.deadline.value_or(
+      std::chrono::steady_clock::time_point::max());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    e.seq = next_seq_++;
+    queue_.push_back(std::move(e));
+    std::push_heap(queue_.begin(), queue_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return RunsBefore(b, a);
+                   });
   }
   cv_.notify_one();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, TaskAttrs attrs) {
   if (IsWorkerThread()) {
     // A worker enqueueing and then waiting on the result would deadlock
     // once every worker does it (nested ExecuteBatch); run inline instead.
     task();
     return;
   }
-  Enqueue(std::move(task));
+  Enqueue(std::move(task), attrs);
 }
 
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
@@ -90,9 +107,13 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
 
   // Deliberately Enqueue, not Submit: helpers exit immediately once all
   // indices are claimed, so they may sit in the queue without harm, and
-  // inline-running them here would serialize the batch.
+  // inline-running them here would serialize the batch. Maximum priority:
+  // shard helpers extend a solve that is already running, so they must
+  // never wait behind whole queued requests.
   const std::size_t helpers = std::min(n - 1, workers_.size());
-  for (std::size_t h = 0; h < helpers; ++h) Enqueue(drain);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Enqueue(drain, TaskAttrs{INT_MAX, std::nullopt});
+  }
 
   drain();
   std::unique_lock<std::mutex> lock(batch->mu);
@@ -104,6 +125,11 @@ std::size_t ThreadPool::pending() const {
   return queue_.size() + in_flight_;
 }
 
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   tls_worker_pool = this;
   for (;;) {
@@ -112,8 +138,12 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      std::pop_heap(queue_.begin(), queue_.end(),
+                    [](const Entry& a, const Entry& b) {
+                      return RunsBefore(b, a);
+                    });
+      task = std::move(queue_.back().fn);
+      queue_.pop_back();
       ++in_flight_;
     }
     task();

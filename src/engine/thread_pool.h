@@ -1,9 +1,12 @@
 // Fixed-size worker thread pool for the ADP engine.
 //
-// Deliberately minimal: a mutex-guarded FIFO of type-erased tasks drained by
-// N long-lived workers. ADP requests are coarse-grained (milliseconds to
-// seconds), so queue contention is negligible and work stealing is not
-// worth its complexity here.
+// The queue is a priority heap, not a FIFO: each task carries TaskAttrs
+// (scheduling priority plus an optional absolute deadline) and workers
+// dequeue the highest-priority task, breaking ties earliest-deadline-first
+// (tasks without a deadline sort after every deadlined peer), then FIFO by
+// admission order. ADP requests are coarse-grained (milliseconds to
+// seconds), so the O(log n) heap never shows up in profiles, and EDF is
+// what lets the network front door honor per-request deadlines under load.
 //
 // Two facilities keep nested use deadlock-free:
 //
@@ -19,14 +22,29 @@
 #ifndef ADP_ENGINE_THREAD_POOL_H_
 #define ADP_ENGINE_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace adp {
+
+/// Scheduling attributes of one pool task. Default-constructed attrs give
+/// the historical FIFO behavior (every task priority 0, no deadline).
+struct TaskAttrs {
+  /// Higher runs first. RunAll's internal helper closures use the maximum
+  /// priority so shard fan-out is never stuck behind queued requests.
+  int priority = 0;
+
+  /// Earliest-deadline-first tiebreak within one priority level. Tasks
+  /// without a deadline dequeue after every deadlined task of the same
+  /// priority.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
 
 class ThreadPool {
  public:
@@ -42,7 +60,7 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw (wrap fallible work yourself,
   /// e.g. in a std::packaged_task). When called from one of this pool's own
   /// workers the task runs inline instead — see the header comment.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task, TaskAttrs attrs = {});
 
   /// Runs every task to completion before returning, using idle workers for
   /// parallelism and the calling thread as one more executor. Safe to call
@@ -58,13 +76,34 @@ class ThreadPool {
   /// Tasks accepted but not yet finished (inline-run tasks never count).
   std::size_t pending() const;
 
+  /// Tasks waiting in the queue, excluding those already running. This is
+  /// the admission-control signal: queued() > bound means every worker is
+  /// busy and the backlog is growing.
+  std::size_t queued() const;
+
  private:
-  void Enqueue(std::function<void()> task);
+  struct Entry {
+    std::function<void()> fn;
+    int priority = 0;
+    // No deadline is stored as time_point::max(): EDF min-order then puts
+    // deadline-less tasks last within their priority level for free.
+    std::chrono::steady_clock::time_point deadline;
+    std::uint64_t seq = 0;  // admission order; FIFO tiebreak
+  };
+
+  void Enqueue(std::function<void()> task, TaskAttrs attrs = {});
   void WorkerLoop();
+
+  // True iff a should dequeue before b.
+  static bool RunsBefore(const Entry& a, const Entry& b);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  // Binary max-heap ordered by RunsBefore (std::push_heap/pop_heap over a
+  // vector); the comparator inverts RunsBefore so the heap root is the
+  // next task to run.
+  std::vector<Entry> queue_;
+  std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;  // popped but still running
   bool stopping_ = false;
   std::vector<std::thread> workers_;

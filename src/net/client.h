@@ -1,0 +1,87 @@
+// AdpNetClient: a small blocking client for the ADP wire protocol
+// (src/net/wire.h, docs/PROTOCOL.md).
+//
+// Deliberately synchronous and single-threaded: it exists for the
+// adp_netclient example, the loopback tests, and the network round-trip
+// bench — callers that want pipelining hold several ids in flight and use
+// WaitReply(), which reads frames off the socket and stashes the ones
+// addressed to other ids until their turn.
+
+#ifndef ADP_NET_CLIENT_H_
+#define ADP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/wire.h"
+
+namespace adp::net {
+
+class AdpNetClient {
+ public:
+  AdpNetClient() = default;
+  ~AdpNetClient();
+
+  AdpNetClient(const AdpNetClient&) = delete;
+  AdpNetClient& operator=(const AdpNetClient&) = delete;
+  AdpNetClient(AdpNetClient&& other) noexcept;
+  AdpNetClient& operator=(AdpNetClient&& other) noexcept;
+
+  /// Connects and completes the HELLO exchange. False on connect failure,
+  /// version rejection, or an unexpected first frame; error() says why.
+  bool Connect(const std::string& host, int port);
+
+  /// Closes the socket (idempotent).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Protocol version negotiated by Connect (0 before).
+  std::uint32_t version() const { return version_; }
+
+  /// Last transport/protocol error seen by this client.
+  const std::string& error() const { return error_; }
+
+  /// A fresh correlation id (1, 2, 3, ...).
+  std::int64_t NextId() { return next_id_++; }
+
+  /// Sends one frame with payload "<id> <body>" ("<id>" when body empty).
+  /// False on a write error.
+  bool Send(FrameType type, std::int64_t id, const std::string& body);
+
+  /// Raw-payload variant (HELLO, malformed-frame tests).
+  bool SendRaw(FrameType type, const std::string& payload);
+
+  /// Sends raw bytes with no framing at all — for tests that need to
+  /// inject truncated or corrupt data.
+  bool SendBytes(const std::string& bytes);
+
+  /// Blocks for the next frame from the server, drawing from the stash
+  /// first. nullopt on EOF or transport error.
+  std::optional<Frame> ReadFrame();
+
+  /// Blocks until a frame whose payload is addressed to `id` arrives;
+  /// frames for other ids are stashed for their own WaitReply/ReadFrame.
+  /// kHelloOk (no id) never matches. nullopt on EOF or transport error.
+  std::optional<Frame> WaitReply(std::int64_t id);
+
+  /// Send + WaitReply in one step with a fresh id. The reply's correlation
+  /// id prefix is stripped: `reply_body` receives the payload after
+  /// "<id> ". nullopt on any failure.
+  std::optional<Frame> Call(FrameType type, const std::string& body,
+                            std::string* reply_body = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::deque<Frame> stash_;
+  std::int64_t next_id_ = 1;
+  std::uint32_t version_ = 0;
+  std::string error_;
+};
+
+}  // namespace adp::net
+
+#endif  // ADP_NET_CLIENT_H_

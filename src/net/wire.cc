@@ -1,0 +1,96 @@
+#include "net/wire.h"
+
+namespace adp::net {
+
+bool IsKnownFrameType(std::uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kDb:
+    case FrameType::kReq:
+    case FrameType::kStream:
+    case FrameType::kPrepare:
+    case FrameType::kExec:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kMetrics:
+    case FrameType::kBye:
+    case FrameType::kHelloOk:
+    case FrameType::kDbOk:
+    case FrameType::kResult:
+    case FrameType::kStreamItem:
+    case FrameType::kStreamEnd:
+    case FrameType::kPrepared:
+    case FrameType::kCancelOk:
+    case FrameType::kStatsText:
+    case FrameType::kMetricsText:
+    case FrameType::kByeOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+bool SplitCorrelationId(const std::string& payload, std::int64_t* id,
+                        std::string* rest) {
+  std::size_t i = 0;
+  while (i < payload.size() && payload[i] >= '0' && payload[i] <= '9') ++i;
+  if (i == 0 || i > 18) return false;  // empty, or overflows int64
+  if (i < payload.size() && payload[i] != ' ') return false;
+  *id = 0;
+  for (std::size_t j = 0; j < i; ++j) *id = *id * 10 + (payload[j] - '0');
+  *rest = i < payload.size() ? payload.substr(i + 1) : std::string();
+  return true;
+}
+
+void AppendFrame(std::string& out, FrameType type, const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size()) + 1;
+  char prefix[4];
+  prefix[0] = static_cast<char>(len & 0xFF);
+  prefix[1] = static_cast<char>((len >> 8) & 0xFF);
+  prefix[2] = static_cast<char>((len >> 16) & 0xFF);
+  prefix[3] = static_cast<char>((len >> 24) & 0xFF);
+  out.append(prefix, 4);
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+}
+
+void FrameReader::Feed(const char* data, std::size_t n) {
+  if (bad_) return;
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so steady-state streaming doesn't reallocate per frame.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameReader::Next() {
+  if (bad_) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  // The prefix is little-endian on the wire; reassemble portably.
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(b[0]) |
+        (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) |
+        (static_cast<std::uint32_t>(b[3]) << 24);
+  if (len == 0 || len > kMaxFramePayload + 1) {
+    bad_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4u + len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(
+      static_cast<std::uint8_t>(buf_[pos_ + 4]));
+  frame.payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4u + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace adp::net

@@ -37,11 +37,22 @@ inline constexpr char kMStreamsOpened[] = "adp_streams_opened_total";
 inline constexpr char kMStreamItems[] = "adp_stream_items_total";
 inline constexpr char kMStreamCancelled[] = "adp_stream_cancelled_total";
 inline constexpr char kMTracesCollected[] = "adp_traces_collected_total";
+inline constexpr char kMShed[] = "adp_shed_total";
+
+// --- Metrics: network front door (src/net/server.cc) -------------------------
+
+inline constexpr char kMNetConnections[] = "adp_net_connections_total";
+inline constexpr char kMNetFramesIn[] = "adp_net_frames_in_total";
+inline constexpr char kMNetFramesOut[] = "adp_net_frames_out_total";
+inline constexpr char kMNetProtocolErrors[] = "adp_net_protocol_errors_total";
 
 // --- Metrics: gauges ---------------------------------------------------------
 
 inline constexpr char kMPlanCacheSize[] = "adp_plan_cache_size";
 inline constexpr char kMDatabases[] = "adp_databases";
+inline constexpr char kMNetOpenConnections[] = "adp_net_open_connections";
+inline constexpr char kMNetOutboundQueueBytes[] =
+    "adp_net_outbound_queue_bytes";
 
 // --- Metrics: histograms (milliseconds) --------------------------------------
 
@@ -49,6 +60,13 @@ inline constexpr char kMRequestLatencyMs[] = "adp_request_latency_ms";
 inline constexpr char kMQueueWaitMs[] = "adp_queue_wait_ms";
 inline constexpr char kMSolveMs[] = "adp_solve_ms";
 inline constexpr char kMStreamFirstItemMs[] = "adp_stream_first_item_ms";
+
+// --- Metrics: histograms (dimensionless) -------------------------------------
+
+// Observed at every network request admission: how many requests/streams
+// that connection already had in flight. The spread shows whether load is a
+// few greedy pipelining clients or many light ones.
+inline constexpr char kMNetConnInflight[] = "adp_net_conn_inflight_requests";
 
 // --- Spans: request pipeline -------------------------------------------------
 

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -1451,6 +1452,154 @@ TEST(AdpEngineTest, ShutdownRejectsNewWorkTyped) {
                      [&](AdpResponse r) { done.set_value(std::move(r)); });
   EXPECT_EQ(done.get_future().get().status.code(), StatusCode::kShutdown);
   engine.Shutdown();  // idempotent
+}
+
+TEST(AdpEngineTest, QueueDepthBoundShedsWithTypedError) {
+  // One worker, pinned; one queue slot. The second distinct async request
+  // must be rejected kOverloaded while the admitted one completes normally.
+  AdpEngine engine(
+      EngineConfig{.num_workers = 1, .max_queue_depth = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest admitted;
+  admitted.query_text = kChainText;
+  admitted.db = db;
+  admitted.k = 2;
+  std::future<AdpResponse> admitted_fut = engine.Submit(admitted);
+
+  AdpRequest shed;
+  shed.query_text = "Q(A,B) :- R1(A,B), R2(B)";  // distinct: no dedup join
+  shed.db = db;
+  shed.k = 1;
+  std::promise<AdpResponse> shed_done;
+  engine.SubmitAsync(
+      shed, [&](AdpResponse r) { shed_done.set_value(std::move(r)); });
+  const AdpResponse shed_resp = shed_done.get_future().get();
+  EXPECT_EQ(shed_resp.status.code(), StatusCode::kOverloaded);
+
+  plug.release.set_value();
+  const AdpResponse ok = admitted_fut.get();
+  EXPECT_TRUE(ok.ok()) << ok.status.ToString();
+
+  const EngineCounters c = engine.counters();
+  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.failures, 0u);  // shedding is admission control, not failure
+}
+
+TEST(AdpEngineTest, OverloadStillJoinsInflightSolve) {
+  // A duplicate of an in-flight request costs no queue slot: under
+  // overload it joins the leader's solve instead of being shed.
+  AdpEngine engine(
+      EngineConfig{.num_workers = 1, .max_queue_depth = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  std::future<AdpResponse> leader = engine.Submit(req);
+  std::future<AdpResponse> joiner = engine.Submit(req);  // queue is full
+
+  plug.release.set_value();
+  const AdpResponse lead_resp = leader.get();
+  const AdpResponse join_resp = joiner.get();
+  ASSERT_TRUE(lead_resp.ok()) << lead_resp.status.ToString();
+  ASSERT_TRUE(join_resp.ok()) << join_resp.status.ToString();
+  EXPECT_TRUE(join_resp.deduped);
+  EXPECT_EQ(engine.counters().shed, 0u);
+}
+
+TEST(AdpEngineTest, SyncExecuteIsNeverShed) {
+  AdpEngine engine(
+      EngineConfig{.num_workers = 1, .max_queue_depth = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest filler;
+  filler.query_text = "Q(A,B) :- R1(A,B), R2(B)";
+  filler.db = db;
+  filler.k = 1;
+  std::future<AdpResponse> filler_fut = engine.Submit(filler);
+
+  // Queue is at the bound; sync Execute runs on this thread regardless.
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  const AdpResponse resp = engine.Execute(req);
+  EXPECT_TRUE(resp.ok()) << resp.status.ToString();
+
+  plug.release.set_value();
+  EXPECT_TRUE(filler_fut.get().ok());
+  EXPECT_EQ(engine.counters().shed, 0u);
+}
+
+TEST(AdpEngineTest, StreamAdpShedsWithTerminalOverloaded) {
+  AdpEngine engine(
+      EngineConfig{.num_workers = 1, .max_queue_depth = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  AdpRequest filler;
+  filler.query_text = "Q(A,B) :- R1(A,B), R2(B)";
+  filler.db = db;
+  filler.k = 1;
+  std::future<AdpResponse> filler_fut = engine.Submit(filler);
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 2;
+  ResultStream stream = engine.StreamAdp(req);
+  std::optional<StreamItem> item = stream.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->kind, StreamItem::Kind::kEnd);
+  EXPECT_EQ(item->status.code(), StatusCode::kOverloaded);
+
+  plug.release.set_value();
+  EXPECT_TRUE(filler_fut.get().ok());
+  EXPECT_EQ(engine.counters().shed, 1u);
+}
+
+TEST(AdpEngineTest, RequestPriorityOrdersSaturatedQueue) {
+  // Three distinct requests queued behind a plugged single worker drain in
+  // priority order, not arrival order.
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(engine, db);
+
+  const char* texts[] = {
+      "Q(A,B) :- R1(A,B), R2(B)",
+      "Q(B,C) :- R2(B,C), R3(C,E)",
+      "Q(A) :- R1(A,B), R2(B,C)",
+  };
+  std::vector<int> completion_order;
+  std::mutex mu;
+  std::promise<void> all;
+  for (int i = 0; i < 3; ++i) {
+    AdpRequest req;
+    req.query_text = texts[i];
+    req.db = db;
+    req.k = 1;
+    req.priority = i;  // later submissions more urgent
+    engine.SubmitAsync(req, [&, i](AdpResponse r) {
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      std::lock_guard<std::mutex> lock(mu);
+      completion_order.push_back(i);
+      if (completion_order.size() == 3) all.set_value();
+    });
+  }
+  plug.release.set_value();
+  ASSERT_EQ(all.get_future().wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(completion_order, (std::vector<int>{2, 1, 0}));
 }
 
 }  // namespace

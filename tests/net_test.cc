@@ -1,0 +1,642 @@
+// AdpNetServer loopback integration: HELLO negotiation, REQ/STREAM answers
+// identical to direct AdpEngine calls, multi-client concurrency with
+// interleaved pushed frames, malformed/truncated frame survival, mid-stream
+// disconnect releasing the worker, priority/EDF ordering and load-shed
+// rejection over the socket, and the PREPARE/EXEC/CANCEL/STATS/METRICS
+// verbs. Runs against both poll backends (force_poll exercises the
+// portable one).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/textproto.h"
+#include "net/wire.h"
+
+namespace adp::net {
+namespace {
+
+using std::chrono::seconds;
+
+constexpr char kDbLine[] =
+    "DB d1 R1=11,21/12,22/13,23 R2=21,31/22,32/22,33/23,33 "
+    "R3=31,41/32,43/33,43";
+constexpr char kChainText[] = "Q(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)";
+
+NamedDatabase Fig1NamedDb() {
+  const ParsedDb parsed = ParseDbLine(SplitWs(kDbLine));
+  return parsed.db;
+}
+
+/// Engine + started server on an ephemeral loopback port.
+struct NetFixture {
+  explicit NetFixture(EngineConfig ec = EngineConfig{.num_workers = 4},
+                      NetServerConfig nc = {})
+      : engine(ec), server(engine, std::move(nc)) {
+    const Status status = server.Start();
+    EXPECT_TRUE(status.ok()) << status.message();
+  }
+
+  AdpNetClient Client() {
+    AdpNetClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server.port()))
+        << client.error();
+    return client;
+  }
+
+  AdpEngine engine;
+  AdpNetServer server;
+};
+
+/// The answer fields of one kResult body — everything between "feasible"
+/// and "cache_hit", i.e. feasible/exact/cost/output_count/tuples, which
+/// must be bit-identical to a direct engine call (timings cannot be).
+std::string ExtractAnswer(const std::string& body) {
+  const std::size_t from = body.find("\"feasible\"");
+  const std::size_t to = body.find(",\"cache_hit\"");
+  if (from == std::string::npos) return body;  // error bodies compare whole
+  return body.substr(from, to == std::string::npos ? std::string::npos
+                                                   : to - from);
+}
+
+/// What a direct AdpEngine call answers for (query, k) against Fig1,
+/// rendered through the same formatter the server uses.
+std::string DirectAnswer(AdpEngine& engine, const std::string& query_text,
+                         std::int64_t k) {
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  AdpRequest req;
+  req.query_text = query_text;
+  req.db = db;
+  req.k = k;
+  const AdpResponse resp = engine.Execute(req);
+  EXPECT_TRUE(resp.ok()) << resp.status.ToString();
+  const std::shared_ptr<const CachedPlan> plan = engine.PlanFor(req);
+  return ExtractAnswer(FormatResponseLine(
+      0, "d1", k, resp, plan ? &plan->query : nullptr));
+}
+
+/// Occupies one engine worker until released (the net-side analogue of
+/// engine_test's WorkerPlug): later async submissions pile up on the queue.
+struct WorkerPlug {
+  std::promise<void> plugged;
+  std::promise<void> release;
+
+  void Install(AdpEngine& engine, DbId db) {
+    AdpRequest plug;
+    plug.query_text = "Q() :- R1(A,B)";
+    plug.db = db;
+    plug.k = 0;
+    auto released = std::make_shared<std::future<void>>(release.get_future());
+    engine.SubmitAsync(plug, [this, released](AdpResponse) {
+      plugged.set_value();
+      released->wait();
+    });
+    plugged.get_future().wait();
+  }
+};
+
+/// A bare TCP connection for pre-negotiation tests (Connect() always
+/// completes HELLO, so it cannot exercise the handshake's failure paths).
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(int port) { Open(port); }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void Open(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  }
+
+  void SendFrame(FrameType type, const std::string& payload) {
+    std::string framed;
+    AppendFrame(framed, type, payload);
+    ASSERT_EQ(::write(fd, framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  /// Reads until the server closes, then decodes whatever arrived.
+  std::vector<Frame> DrainToEof() {
+    FrameReader reader;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      reader.Feed(buf, static_cast<std::size_t>(n));
+    }
+    std::vector<Frame> frames;
+    while (std::optional<Frame> frame = reader.Next()) {
+      frames.push_back(*std::move(frame));
+    }
+    return frames;
+  }
+};
+
+TEST(NetTest, HelloNegotiatesVersion) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  EXPECT_EQ(client.version(), kProtocolVersionMax);
+}
+
+TEST(NetTest, VersionMismatchIsRejectedAndClosed) {
+  NetFixture fx;
+  RawConn raw(fx.server.port());
+  // A future-only client: no overlap with the server's supported range.
+  raw.SendFrame(FrameType::kHello, "7 9");
+  const std::vector<Frame> frames = raw.DrainToEof();  // EOF => closed
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kError);
+  EXPECT_NE(frames[0].payload.find("version"), std::string::npos)
+      << frames[0].payload;
+}
+
+TEST(NetTest, NonHelloFirstFrameIsRejected) {
+  NetFixture fx;
+  RawConn raw(fx.server.port());
+  raw.SendFrame(FrameType::kStats, "1 STATS");
+  const std::vector<Frame> frames = raw.DrainToEof();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kError);
+  EXPECT_NE(frames[0].payload.find("HELLO"), std::string::npos)
+      << frames[0].payload;
+}
+
+TEST(NetTest, RequestAnswersMatchDirectEngineCalls) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  EXPECT_EQ(body, "{\"db\":\"d1\"}");
+
+  for (std::int64_t k : {1, 2, 3}) {
+    std::optional<Frame> reply = client.Call(
+        FrameType::kReq,
+        "REQ d1 " + std::to_string(k) + " " + kChainText, &body);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::kResult);
+    EXPECT_NE(body.find("\"status\":\"OK\""), std::string::npos) << body;
+    EXPECT_EQ(ExtractAnswer(body), DirectAnswer(fx.engine, kChainText, k))
+        << "k=" << k;
+  }
+}
+
+TEST(NetTest, MalformedPayloadsSurviveTheConnection) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+
+  // No correlation id at all.
+  ASSERT_TRUE(client.SendRaw(FrameType::kReq, "not-a-number REQ"));
+  std::optional<Frame> err = client.ReadFrame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->type, FrameType::kError);
+  EXPECT_EQ(err->payload.rfind("0 ", 0), 0u) << err->payload;  // id 0
+
+  // Unknown database.
+  std::string body;
+  std::optional<Frame> reply =
+      client.Call(FrameType::kReq, "REQ nodb 2 " + std::string(kChainText),
+                  &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(body.find("unknown database"), std::string::npos);
+
+  // Unknown option token.
+  reply = client.Call(FrameType::kReq,
+                      "REQ d1 2 +zz " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+
+  // Unknown frame type byte.
+  ASSERT_TRUE(client.SendRaw(static_cast<FrameType>(0x40), "9 whatever"));
+  err = client.ReadFrame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->type, FrameType::kError);
+
+  // The connection still works: register and solve.
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  reply = client.Call(FrameType::kReq,
+                      "REQ d1 2 " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kResult);
+  EXPECT_NE(body.find("\"status\":\"OK\""), std::string::npos);
+}
+
+TEST(NetTest, CorruptLengthPrefixClosesButServerSurvives) {
+  NetFixture fx;
+  AdpNetClient victim = fx.Client();
+  // An impossible length prefix: framing is unrecoverable on this
+  // connection.
+  std::string garbage = {'\xff', '\xff', '\xff', '\xff', 'x'};
+  ASSERT_TRUE(victim.SendBytes(garbage));
+  std::optional<Frame> err = victim.ReadFrame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->type, FrameType::kError);
+  EXPECT_FALSE(victim.ReadFrame().has_value());  // closed
+
+  // The server itself is fine: a new connection answers normally.
+  AdpNetClient fresh = fx.Client();
+  std::string body;
+  ASSERT_TRUE(fresh.Call(FrameType::kDb, kDbLine, &body).has_value());
+  std::optional<Frame> reply = fresh.Call(
+      FrameType::kReq, "REQ d1 2 " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kResult);
+}
+
+TEST(NetTest, StreamPushesProfileWitnessesEnd) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+
+  const std::int64_t id = client.NextId();
+  ASSERT_TRUE(client.Send(FrameType::kStream, id,
+                          "STREAM d1 3 " + std::string(kChainText)));
+  std::vector<Frame> items;
+  for (;;) {
+    std::optional<Frame> frame = client.WaitReply(id);
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    items.push_back(*frame);
+    if (frame->type != FrameType::kStreamItem) break;
+  }
+  ASSERT_GE(items.size(), 4u);  // 3 profile + >=0 witnesses + end
+  EXPECT_EQ(items.back().type, FrameType::kStreamEnd);
+  EXPECT_NE(items.back().payload.find("\"end\":true"), std::string::npos);
+  EXPECT_NE(items.back().payload.find("\"status\":\"OK\""),
+            std::string::npos);
+  // Profile increments arrive first, k ascending.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NE(items[j].payload.find("\"k\":" + std::to_string(j + 1)),
+              std::string::npos)
+        << items[j].payload;
+  }
+  // Same single-solve answer as the direct streaming path: the end line
+  // reports the direct Execute's cost.
+  const std::string direct = DirectAnswer(fx.engine, kChainText, 3);
+  const std::size_t cost_at = direct.find("\"cost\":");
+  ASSERT_NE(cost_at, std::string::npos);
+  const std::string cost =
+      direct.substr(cost_at, direct.find(',', cost_at) - cost_at);
+  EXPECT_NE(items.back().payload.find(cost), std::string::npos)
+      << items.back().payload << " vs " << cost;
+}
+
+TEST(NetTest, IntermediateWitnessOptionStreamsPerTargetBatches) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+
+  const std::int64_t id = client.NextId();
+  ASSERT_TRUE(client.Send(FrameType::kStream, id,
+                          "STREAM d1 3 +iw " + std::string(kChainText)));
+  int witness_targets = 0;
+  std::int64_t last_witness_k = 0;
+  for (;;) {
+    std::optional<Frame> frame = client.WaitReply(id);
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    if (frame->payload.find("\"witnesses\"") != std::string::npos) {
+      const std::size_t at = frame->payload.find("\"k\":");
+      ASSERT_NE(at, std::string::npos);
+      const std::int64_t k = std::stoll(frame->payload.substr(at + 4));
+      if (k != last_witness_k) {
+        ++witness_targets;
+        last_witness_k = k;
+      }
+    }
+    if (frame->type != FrameType::kStreamItem) break;
+  }
+  // Intermediate targets got their own tagged batches, not just the final.
+  EXPECT_GE(witness_targets, 2);
+  EXPECT_EQ(last_witness_k, 3);
+}
+
+TEST(NetTest, FourConcurrentClientsInterleaveReqAndStream) {
+  NetFixture fx;
+  constexpr int kClients = 5;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  // One expected answer per k, computed once against the same engine.
+  std::vector<std::string> expect_k(4);
+  for (std::int64_t k = 1; k <= 3; ++k) {
+    expect_k[k] = DirectAnswer(fx.engine, kChainText, k);
+  }
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      AdpNetClient client;
+      if (!client.Connect("127.0.0.1", fx.server.port())) {
+        errors[c] = "connect: " + client.error();
+        return;
+      }
+      std::string body;
+      if (!client.Call(FrameType::kDb, kDbLine, &body)) {
+        errors[c] = "db: " + client.error();
+        return;
+      }
+      // Pipeline three REQs, then a STREAM, then collect everything
+      // interleaved.
+      std::vector<std::int64_t> req_ids;
+      for (std::int64_t k = 1; k <= 3; ++k) {
+        const std::int64_t id = client.NextId();
+        if (!client.Send(FrameType::kReq, id,
+                         "REQ d1 " + std::to_string(k) + " " +
+                             std::string(kChainText))) {
+          errors[c] = "send: " + client.error();
+          return;
+        }
+        req_ids.push_back(id);
+      }
+      const std::int64_t stream_id = client.NextId();
+      if (!client.Send(FrameType::kStream, stream_id,
+                       "STREAM d1 3 " + std::string(kChainText))) {
+        errors[c] = "stream send: " + client.error();
+        return;
+      }
+      bool saw_end = false;
+      while (!saw_end) {
+        std::optional<Frame> frame = client.WaitReply(stream_id);
+        if (!frame.has_value()) {
+          errors[c] = "stream read: " + client.error();
+          return;
+        }
+        saw_end = frame->type != FrameType::kStreamItem;
+        if (saw_end && frame->type != FrameType::kStreamEnd) {
+          errors[c] = "stream ended with " + frame->payload;
+          return;
+        }
+      }
+      for (std::int64_t k = 1; k <= 3; ++k) {
+        std::optional<Frame> reply = client.WaitReply(req_ids[k - 1]);
+        if (!reply.has_value() || reply->type != FrameType::kResult) {
+          errors[c] = "result read: " + client.error();
+          return;
+        }
+        std::int64_t got = 0;
+        std::string rbody;
+        SplitCorrelationId(reply->payload, &got, &rbody);
+        if (ExtractAnswer(rbody) != expect_k[k]) {
+          errors[c] = "answer mismatch k=" + std::to_string(k) + ": " +
+                      rbody;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[c], "") << "client " << c;
+  }
+}
+
+TEST(NetTest, MidStreamDisconnectReleasesTheWorker) {
+  // Single worker; the stream's producer occupies it. Disconnecting the
+  // streaming client must release the worker so other traffic completes.
+  NetFixture fx(EngineConfig{.num_workers = 1});
+  {
+    AdpNetClient streamer = fx.Client();
+    std::string body;
+    ASSERT_TRUE(streamer.Call(FrameType::kDb, kDbLine, &body).has_value());
+    ASSERT_TRUE(streamer.Send(FrameType::kStream, streamer.NextId(),
+                              "STREAM d1 3 " + std::string(kChainText)));
+    // Drop the connection without draining the pushed frames.
+  }
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  std::optional<Frame> reply = client.Call(
+      FrameType::kReq, "REQ d1 2 " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->type, FrameType::kResult);
+  EXPECT_NE(body.find("\"status\":\"OK\""), std::string::npos) << body;
+}
+
+TEST(NetTest, PriorityAndDeadlineOrderSaturatedQueue) {
+  // Pin the single worker, pile three prioritized requests on the queue
+  // through the socket, release, and watch completion order: priority
+  // desc, then earliest deadline first.
+  NetFixture fx(EngineConfig{.num_workers = 1});
+  const DbId plug_db = fx.engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(fx.engine, plug_db);
+
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+
+  // Distinct queries (no dedup); arrival order is worst-case for the
+  // scheduler: lowest priority first, latest deadline first.
+  struct Spec {
+    const char* opts;
+    const char* query;
+  };
+  const Spec specs[] = {
+      {"+p0", "Q(A,B) :- R1(A,B)"},
+      {"+p1 +d60000", "Q(B,C) :- R2(B,C), R3(C,E)"},
+      {"+p1 +d30000", "Q(A) :- R1(A,B), R2(B,C)"},
+  };
+  std::vector<std::int64_t> ids;
+  const std::uint64_t before = fx.engine.counters().requests;
+  for (const Spec& spec : specs) {
+    const std::int64_t id = client.NextId();
+    ASSERT_TRUE(client.Send(
+        FrameType::kReq, id,
+        std::string("REQ d1 1 ") + spec.opts + " " + spec.query));
+    ids.push_back(id);
+  }
+  // All three admitted (counted) before the worker is released.
+  const auto deadline = std::chrono::steady_clock::now() + seconds(30);
+  while (fx.engine.counters().requests < before + 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "not admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  plug.release.set_value();
+
+  // Completion (= dequeue) order: p1+30s, p1+60s, p0.
+  std::vector<std::int64_t> completion;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<Frame> frame = client.ReadFrame();
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    ASSERT_EQ(frame->type, FrameType::kResult) << frame->payload;
+    std::int64_t id = 0;
+    std::string rest;
+    ASSERT_TRUE(SplitCorrelationId(frame->payload, &id, &rest));
+    EXPECT_NE(rest.find("\"status\":\"OK\""), std::string::npos) << rest;
+    completion.push_back(id);
+  }
+  EXPECT_EQ(completion, (std::vector<std::int64_t>{ids[2], ids[1], ids[0]}));
+}
+
+TEST(NetTest, SaturatedQueueShedsWithTypedErrorWhileAdmittedComplete) {
+  NetFixture fx(
+      EngineConfig{.num_workers = 1, .max_queue_depth = 1});
+  const DbId plug_db = fx.engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(fx.engine, plug_db);
+
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+
+  // First request takes the only queue slot.
+  const std::int64_t admitted = client.NextId();
+  ASSERT_TRUE(client.Send(FrameType::kReq, admitted,
+                          "REQ d1 2 " + std::string(kChainText)));
+  const auto deadline = std::chrono::steady_clock::now() + seconds(30);
+  while (fx.engine.counters().requests < 2) {  // plug + admitted
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Second, distinct request finds the queue full: typed OVERLOADED.
+  std::optional<Frame> shed_reply = client.Call(
+      FrameType::kReq, "REQ d1 1 Q(B,C) :- R2(B,C)", &body);
+  ASSERT_TRUE(shed_reply.has_value());
+  EXPECT_EQ(shed_reply->type, FrameType::kResult);
+  EXPECT_NE(body.find("\"status\":\"OVERLOADED\""), std::string::npos)
+      << body;
+
+  // The admitted request still completes once the worker frees up.
+  plug.release.set_value();
+  std::optional<Frame> ok_reply = client.WaitReply(admitted);
+  ASSERT_TRUE(ok_reply.has_value());
+  std::int64_t id = 0;
+  std::string rest;
+  ASSERT_TRUE(SplitCorrelationId(ok_reply->payload, &id, &rest));
+  EXPECT_NE(rest.find("\"status\":\"OK\""), std::string::npos) << rest;
+  EXPECT_GE(fx.engine.counters().shed, 1u);
+}
+
+TEST(NetTest, CancelVerbCancelsQueuedRequest) {
+  NetFixture fx(EngineConfig{.num_workers = 1});
+  const DbId plug_db = fx.engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(fx.engine, plug_db);
+
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  const std::int64_t target = client.NextId();
+  ASSERT_TRUE(client.Send(FrameType::kReq, target,
+                          "REQ d1 2 " + std::string(kChainText)));
+  std::optional<Frame> cancel_reply = client.Call(
+      FrameType::kCancel, "CANCEL " + std::to_string(target), &body);
+  ASSERT_TRUE(cancel_reply.has_value());
+  EXPECT_EQ(cancel_reply->type, FrameType::kCancelOk);
+  EXPECT_EQ(body, "{\"cancelled\":1}");
+
+  std::optional<Frame> result = client.WaitReply(target);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->payload.find("\"status\":\"CANCELLED\""),
+            std::string::npos)
+      << result->payload;
+  plug.release.set_value();
+}
+
+TEST(NetTest, PrepareExecHotPathMatchesDirect) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  std::optional<Frame> prep = client.Call(
+      FrameType::kPrepare, "PREPARE " + std::string(kChainText), &body);
+  ASSERT_TRUE(prep.has_value());
+  ASSERT_EQ(prep->type, FrameType::kPrepared) << body;
+  EXPECT_EQ(body, "{\"prepared\":1}");
+
+  std::optional<Frame> reply =
+      client.Call(FrameType::kExec, "EXEC 1 d1 2", &body);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, FrameType::kResult) << body;
+  EXPECT_EQ(ExtractAnswer(body), DirectAnswer(fx.engine, kChainText, 2));
+
+  // Unknown handle is a per-request error, not a connection error.
+  reply = client.Call(FrameType::kExec, "EXEC 99 d1 2", &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+}
+
+TEST(NetTest, StatsAndMetricsVerbs) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  ASSERT_TRUE(client
+                  .Call(FrameType::kReq,
+                        "REQ d1 2 " + std::string(kChainText), &body)
+                  .has_value());
+
+  std::optional<Frame> stats = client.Call(FrameType::kStats, "STATS", &body);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->type, FrameType::kStatsText);
+  EXPECT_NE(body.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(body.find("\"shed\":"), std::string::npos);
+
+  std::optional<Frame> metrics =
+      client.Call(FrameType::kMetrics, "METRICS", &body);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->type, FrameType::kMetricsText);
+  EXPECT_NE(body.find("adp_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("adp_net_connections_total"), std::string::npos);
+  EXPECT_NE(body.find("adp_net_frames_in_total"), std::string::npos);
+}
+
+TEST(NetTest, ByeFlushesAndCloses) {
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  std::string body;
+  std::optional<Frame> bye = client.Call(FrameType::kBye, "BYE", &body);
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_EQ(bye->type, FrameType::kByeOk);
+  EXPECT_FALSE(client.ReadFrame().has_value());  // server closed
+}
+
+TEST(NetTest, PollBackendServesRequests) {
+  // force_poll exercises the portable poll() backend on every platform.
+  NetFixture fx(EngineConfig{.num_workers = 2},
+                NetServerConfig{.force_poll = true});
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  std::optional<Frame> reply = client.Call(
+      FrameType::kReq, "REQ d1 2 " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kResult);
+  EXPECT_EQ(ExtractAnswer(body), DirectAnswer(fx.engine, kChainText, 2));
+}
+
+TEST(NetTest, ServerStopWithLiveConnectionsIsClean) {
+  auto fx = std::make_unique<NetFixture>();
+  AdpNetClient client = fx->Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  fx->server.Stop();
+  fx.reset();  // engine teardown after server teardown
+  // The client observes EOF (or an error) — never a hang.
+  EXPECT_FALSE(client.ReadFrame().has_value());
+}
+
+}  // namespace
+}  // namespace adp::net

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <future>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -470,6 +471,96 @@ TEST(ResultStreamTest, BindingFailureKeepsPlanCacheHitOnErrorResults) {
   ASSERT_TRUE(d.end.has_value());
   EXPECT_EQ(d.end->status.code(), StatusCode::kUnknownRelation);
   EXPECT_TRUE(d.end->plan_cache_hit);
+}
+
+TEST(ResultStreamTest, IntermediateWitnessStreamingCoversEveryTarget) {
+  // With AdpRequest::stream_intermediate_witnesses, the stream also emits a
+  // witness batch after each intermediate profile increment, tagged with
+  // its own StreamItem::k — all from the single DP, never per-k re-solves.
+  Rng rng(11);
+  for (const char* shape : kShapes) {
+    SCOPED_TRACE(shape);
+    const ConjunctiveQuery q = ParseQuery(shape);
+    AdpEngine engine(EngineConfig{.num_workers = 2});
+    const Database data = RandomDb(q, rng, 8, 4);
+    const DbId db = engine.RegisterDatabase(data);
+    AdpRequest req;
+    req.query = q;
+    req.db = db;
+    req.k = 0;
+    const std::int64_t total = engine.Execute(req).solution.output_count;
+    req.k = std::min<std::int64_t>(total, 5);
+    if (req.k <= 1) continue;  // no intermediate targets to speak of
+    req.stream_intermediate_witnesses = true;
+
+    ResultStream stream = engine.StreamAdp(req);
+    std::map<std::int64_t, std::vector<TupleRef>> by_target;
+    std::vector<std::int64_t> profile_cost(req.k + 1, -1);
+    std::optional<StreamItem> end;
+    while (std::optional<StreamItem> item = stream.Next()) {
+      switch (item->kind) {
+        case StreamItem::Kind::kProfile:
+          profile_cost[item->k] = item->cost;
+          break;
+        case StreamItem::Kind::kWitnesses: {
+          auto& group = by_target[item->k];
+          group.insert(group.end(), item->witnesses.begin(),
+                       item->witnesses.end());
+          break;
+        }
+        case StreamItem::Kind::kEnd:
+          end = std::move(*item);
+          break;
+      }
+    }
+    ASSERT_TRUE(end.has_value());
+    ASSERT_TRUE(end->status.ok()) << end->status.ToString();
+    ASSERT_TRUE(end->feasible);
+
+    // The final target's batches still normalize to Execute's witness set —
+    // the flag adds items, it never changes the final answer.
+    const AdpResponse direct = engine.Execute(req);
+    ASSERT_TRUE(direct.ok());
+    std::vector<TupleRef> final_witnesses = by_target[req.k];
+    NormalizeTupleRefs(final_witnesses);
+    EXPECT_EQ(final_witnesses, direct.solution.tuples);
+
+    // Every feasible target got a witness group, and each group genuinely
+    // removes at least its target's outputs at exactly the profile's cost.
+    for (std::int64_t j = 1; j <= req.k; ++j) {
+      if (profile_cost[j] < 0 || profile_cost[j] >= kInfCost) continue;
+      auto it = by_target.find(j);
+      ASSERT_NE(it, by_target.end()) << "no witnesses for k=" << j;
+      EXPECT_GE(CountRemovedOutputs(q, data, it->second), j) << "k=" << j;
+      if (end->exact) {
+        EXPECT_EQ(static_cast<std::int64_t>(it->second.size()),
+                  profile_cost[j])
+            << "k=" << j;
+      }
+    }
+  }
+}
+
+TEST(ResultStreamTest, IntermediateWitnessesOffByDefault) {
+  // Without the flag, every witness batch is tagged with the final target.
+  Rng rng(3);
+  const ConjunctiveQuery q = ParseQuery(kShapes[0]);
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(RandomDb(q, rng, 8, 4));
+  AdpRequest req;
+  req.query = q;
+  req.db = db;
+  req.k = 0;
+  const std::int64_t total = engine.Execute(req).solution.output_count;
+  req.k = std::min<std::int64_t>(total, 4);
+  if (req.k <= 1) GTEST_SKIP() << "instance too small";
+
+  ResultStream stream = engine.StreamAdp(req);
+  while (std::optional<StreamItem> item = stream.Next()) {
+    if (item->kind == StreamItem::Kind::kWitnesses) {
+      EXPECT_EQ(item->k, req.k);
+    }
+  }
 }
 
 TEST(ResultStreamTest, StreamItemCounterCountsDeliveredItems) {

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -129,6 +131,114 @@ TEST(ThreadPoolTest, RunAllHandlesEmptyAndSingle) {
   one.push_back([&ran] { ran = 1; });
   pool.RunAll(std::move(one));
   EXPECT_EQ(ran, 1);
+}
+
+// Holds a 1-worker pool's only thread on a gate so tasks submitted
+// meanwhile pile up on the queue and dequeue order is observable.
+class GatedPool {
+ public:
+  GatedPool() : pool_(1) {
+    pool_.Submit([this] { gate_.get_future().wait(); });
+    // The gate task must be *running* (not queued) before the test
+    // enqueues, or it would compete on priority with the test's tasks.
+    while (pool_.queued() > 0) std::this_thread::yield();
+  }
+
+  ThreadPool& pool() { return pool_; }
+  void Open() { gate_.set_value(); }
+
+ private:
+  ThreadPool pool_;
+  std::promise<void> gate_;
+};
+
+TEST(ThreadPoolTest, HigherPriorityDequeuesFirst) {
+  GatedPool gated;
+  std::vector<int> order;
+  std::mutex mu;
+  std::promise<void> done;
+  for (int p : {0, 5, -3, 9, 1}) {
+    gated.pool().Submit(
+        [&, p] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(p);
+          if (order.size() == 5) done.set_value();
+        },
+        TaskAttrs{p, std::nullopt});
+  }
+  gated.Open();
+  ASSERT_EQ(done.get_future().wait_for(seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(order, (std::vector<int>{9, 5, 1, 0, -3}));
+}
+
+TEST(ThreadPoolTest, EarliestDeadlineFirstWithinPriority) {
+  GatedPool gated;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> order;
+  std::mutex mu;
+  std::promise<void> done;
+  // Same priority; deadlines submitted latest-first, plus one deadline-less
+  // task submitted first — it must still dequeue after every deadlined one.
+  gated.pool().Submit(
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(99);
+        if (order.size() == 5) done.set_value();
+      },
+      TaskAttrs{0, std::nullopt});
+  for (int ms : {400, 300, 200, 100}) {
+    gated.pool().Submit(
+        [&, ms] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(ms);
+          if (order.size() == 5) done.set_value();
+        },
+        TaskAttrs{0, now + std::chrono::milliseconds(ms)});
+  }
+  gated.Open();
+  ASSERT_EQ(done.get_future().wait_for(seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(order, (std::vector<int>{100, 200, 300, 400, 99}));
+}
+
+TEST(ThreadPoolTest, PriorityBeatsDeadline) {
+  GatedPool gated;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> order;
+  std::mutex mu;
+  std::promise<void> done;
+  // An urgent deadline at low priority still loses to high priority.
+  gated.pool().Submit(
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back("urgent-low");
+        if (order.size() == 2) done.set_value();
+      },
+      TaskAttrs{0, now + std::chrono::milliseconds(1)});
+  gated.pool().Submit(
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back("relaxed-high");
+        if (order.size() == 2) done.set_value();
+      },
+      TaskAttrs{1, std::nullopt});
+  gated.Open();
+  ASSERT_EQ(done.get_future().wait_for(seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"relaxed-high", "urgent-low"}));
+}
+
+TEST(ThreadPoolTest, QueuedReportsQueueDepthOnly) {
+  GatedPool gated;
+  EXPECT_EQ(gated.pool().queued(), 0u);  // the gate task is running
+  std::promise<void> ran;
+  gated.pool().Submit([&] { ran.set_value(); });
+  EXPECT_EQ(gated.pool().queued(), 1u);
+  gated.Open();
+  ASSERT_EQ(ran.get_future().wait_for(seconds(30)),
+            std::future_status::ready);
 }
 
 }  // namespace

@@ -32,6 +32,12 @@
    docs/RELATIONAL.md and the columnar storage surface in
    src/relational/relation.h — the public methods of `RelationInstance`
    and `TupleView`.
+
+7. Wire protocol drift: every `FrameType::kName` mentioned in
+   docs/PROTOCOL.md must be an enumerator of `enum class FrameType` in
+   src/net/wire.h — and every enumerator the enum declares must be
+   documented. A frame added without a spec entry (or a spec entry for a
+   removed frame) fails the build.
 """
 
 import re
@@ -229,9 +235,34 @@ def check_relational_core():
     )
 
 
+def enum_members(header_text, enum_name):
+    """Enumerator names of `enum class <name> ... { ... };`."""
+    start = header_text.index(f"enum class {enum_name}")
+    block = header_text[header_text.index("{", start):
+                        header_text.index("};", start)]
+    block = re.sub(r"//[^\n]*", "", block)
+    members = set()
+    for stmt in block.strip("{").split(","):
+        m = re.match(r"\s*(\w+)", stmt)
+        if m:
+            members.add(m.group(1))
+    return members
+
+
+def check_wire_protocol():
+    spec = (REPO / "docs" / "PROTOCOL.md").read_text(encoding="utf-8")
+    header = (REPO / "src" / "net" / "wire.h").read_text(encoding="utf-8")
+    return two_way_drift(
+        "docs/PROTOCOL.md",
+        spec,
+        "src/net/wire.h",
+        {"FrameType": enum_members(header, "FrameType")},
+    )
+
+
 OBS_NAME_RE = re.compile(r"adp(?:_[a-z0-9_]+|\.[a-z._]+[a-z])")
 # Name-shaped tokens that are not catalog entries: binaries and tools.
-OBS_NAME_EXEMPT = {"adp_server", "adp_cli"}
+OBS_NAME_EXEMPT = {"adp_server", "adp_cli", "adp_netserver", "adp_netclient"}
 
 
 def check_observability_catalog():
@@ -274,6 +305,7 @@ def main():
         + check_streaming_protocol()
         + check_observability_catalog()
         + check_relational_core()
+        + check_wire_protocol()
     )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
@@ -284,7 +316,8 @@ def main():
           "from README.md; docs/ENGINE.md agrees with src/engine/engine.h; "
           "docs/STREAMING.md agrees with src/engine/result_stream.h; "
           "docs/OBSERVABILITY.md agrees with src/obs/names.h; "
-          "docs/RELATIONAL.md agrees with src/relational/relation.h")
+          "docs/RELATIONAL.md agrees with src/relational/relation.h; "
+          "docs/PROTOCOL.md agrees with src/net/wire.h")
     return 0
 
 
