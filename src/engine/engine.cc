@@ -244,8 +244,9 @@ DbId AdpEngine::RegisterDatabase(NamedDatabase db) {
   }
   auto shared = std::make_shared<const NamedDatabase>(std::move(db));
   std::lock_guard<std::mutex> lock(mu_);
-  databases_.push_back(std::move(shared));
-  return static_cast<DbId>(databases_.size()) - 1;
+  const DbId id = next_db_id_++;
+  databases_.emplace(id, std::move(shared));
+  return id;
 }
 
 DbId AdpEngine::RegisterDatabase(Database db) {
@@ -254,10 +255,35 @@ DbId AdpEngine::RegisterDatabase(Database db) {
 
 std::shared_ptr<const NamedDatabase> AdpEngine::database(DbId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (id < 0 || static_cast<std::size_t>(id) >= databases_.size()) {
-    return nullptr;
+  auto it = databases_.find(id);
+  return it == databases_.end() ? nullptr : it->second;
+}
+
+bool AdpEngine::UnregisterDatabase(DbId id) {
+  std::shared_ptr<const NamedDatabase> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = databases_.find(id);
+    if (it == databases_.end()) return false;
+    victim = std::move(it->second);
+    databases_.erase(it);
+    // The binding cache keys on the NamedDatabase's heap address; a later
+    // registration may land at the same address, so this instance's
+    // entries must go now or they could serve another database's data.
+    const std::string pk = PointerKey(victim.get());
+    const std::string prefix = pk + '|';
+    for (auto bit = bindings_.begin(); bit != bindings_.end();) {
+      if (bit->first == pk ||
+          bit->first.compare(0, prefix.size(), prefix) == 0) {
+        bit = bindings_.erase(bit);
+      } else {
+        ++bit;
+      }
+    }
   }
-  return databases_[static_cast<std::size_t>(id)];
+  // `victim` releases outside the lock; requests still holding the
+  // shared_ptr keep the data alive until they finish.
+  return true;
 }
 
 void AdpEngine::Shutdown() {

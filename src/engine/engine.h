@@ -222,6 +222,15 @@ class AdpEngine {
   /// The interned database, or nullptr for an unknown id.
   std::shared_ptr<const NamedDatabase> database(DbId id) const;
 
+  /// Releases the database behind `id`: subsequent lookups fail with
+  /// kUnknownDatabase and the instance's memory is freed once the last
+  /// in-flight request holding it finishes. Ids are never reused, so a
+  /// stale id can only ever miss — it cannot alias a later registration.
+  /// Returns false for an unknown or already-released id. Long-lived
+  /// front ends (the network server) call this when a session's
+  /// databases go out of scope so registrations don't accumulate.
+  bool UnregisterDatabase(DbId id);
+
   // --- Prepared queries ----------------------------------------------------
 
   /// Builds (or fetches from the plan cache) the static work for the query
@@ -509,9 +518,10 @@ class AdpEngine {
   obs::Histogram* solve_ms_ = nullptr;
   obs::Histogram* stream_first_item_ms_ = nullptr;
 
-  mutable std::mutex mu_;  // guards databases_, bindings_, inflight_,
-                           // recent_, streams_, shutdown_
-  std::vector<std::shared_ptr<const NamedDatabase>> databases_;
+  mutable std::mutex mu_;  // guards databases_, next_db_id_, bindings_,
+                           // inflight_, recent_, streams_, shutdown_
+  std::unordered_map<DbId, std::shared_ptr<const NamedDatabase>> databases_;
+  DbId next_db_id_ = 0;  // ids are never reused: a released id stays dead
   std::unordered_map<std::string, std::shared_ptr<const Database>> bindings_;
   std::unordered_map<std::string, std::shared_ptr<InflightSolve>> inflight_;
   std::deque<RecentResult> recent_;  // newest at back; bounded ring

@@ -9,6 +9,12 @@
 #include <cerrno>
 #include <cstring>
 
+// See src/net/server.cc: writes must surface EPIPE, not raise SIGPIPE in
+// the embedding application.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace adp::net {
 
 AdpNetClient::~AdpNetClient() { Close(); }
@@ -66,6 +72,9 @@ bool AdpNetClient::Connect(const std::string& host, int port) {
   }
   const int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+#ifdef SO_NOSIGPIPE
+  setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
 
   if (!SendRaw(FrameType::kHello, std::to_string(kProtocolVersionMin) + ' ' +
                                       std::to_string(kProtocolVersionMax))) {
@@ -94,7 +103,8 @@ bool AdpNetClient::Connect(const std::string& host, int port) {
 bool AdpNetClient::SendBytes(const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -109,7 +119,10 @@ bool AdpNetClient::SendBytes(const std::string& bytes) {
 
 bool AdpNetClient::SendRaw(FrameType type, const std::string& payload) {
   std::string framed;
-  AppendFrame(framed, type, payload);
+  if (!AppendFrame(framed, type, payload)) {
+    error_ = "payload exceeds the frame payload cap";
+    return false;
+  }
   return SendBytes(framed);
 }
 

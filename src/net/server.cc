@@ -23,6 +23,12 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 
+// Platforms without the per-call flag (macOS/BSD) suppress SIGPIPE with
+// the per-socket option below instead.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace adp::net {
 
 namespace {
@@ -30,6 +36,41 @@ namespace {
 bool SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// A peer that resets mid-write must surface EPIPE, not a process-killing
+// SIGPIPE. Writes pass MSG_NOSIGNAL; where that flag doesn't exist this
+// arms the equivalent socket option.
+void SuppressSigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#else
+  (void)fd;
+#endif
+}
+
+/// kResult frames embed the whole witness set of a solve; bound the
+/// rendered tuples well under kMaxFramePayload so no answer can become an
+/// undeliverable frame (huge witness sets belong on STREAM, which
+/// batches).
+constexpr std::size_t kResultWitnessByteBudget = kMaxFramePayload / 2;
+
+/// Frames `payload`, or — when it exceeds the wire cap — a small typed
+/// kError carrying the same correlation id, so an oversized response can
+/// never corrupt the stream or tear the connection down. Returns false on
+/// that fallback.
+bool AppendFrameOrError(std::string& out, FrameType type,
+                        const std::string& payload) {
+  if (AppendFrame(out, type, payload)) return true;
+  std::int64_t id = 0;
+  std::string rest;
+  SplitCorrelationId(payload, &id, &rest);  // best effort; 0 if unparsable
+  [[maybe_unused]] const bool ok = AppendFrame(
+      out, FrameType::kError,
+      std::to_string(id) + ' ' + StatusCodeName(StatusCode::kInternal) +
+          " response exceeds the frame payload cap");
+  return false;
 }
 
 }  // namespace
@@ -176,6 +217,7 @@ struct AdpNetServer::Conn {
   FrameReader reader;
   bool hello_done = false;
   bool closing = false;  // flush, then close (BYE / fatal protocol error)
+  bool broken = false;   // hard socket error: close on the next loop sweep
 
   // Event-loop-owned write buffer; `outpos` is the flushed prefix.
   std::string outbuf;
@@ -206,6 +248,17 @@ struct AdpNetServer::Conn {
       if (!ticket.done()) ++n;
     }
     return n;
+  }
+
+  /// True while `id` still names an in-flight ticket or open stream.
+  /// Finished tickets are retired every pump, so an id is reusable as
+  /// soon as its reply has been framed.
+  bool IdInFlight(std::int64_t id) const {
+    if (tickets.count(id) > 0) return true;
+    for (const auto& run : streams) {
+      if (run.id == id) return true;
+    }
+    return false;
   }
 };
 
@@ -303,14 +356,15 @@ void AdpNetServer::Loop() {
       PumpConn(*conn);
       streams_active = streams_active || !conn->streams.empty();
     }
-    // Closing connections that finished flushing go away now; collect
-    // first (CloseConn mutates conns_).
+    // Closing connections that finished flushing — and connections whose
+    // socket died mid-flush — go away now; collect first (CloseConn
+    // mutates conns_, so it must never run inside an iteration).
     std::vector<int> finished;
     std::int64_t queued_bytes = 0;
     for (auto& [fd, conn] : conns_) {
       const std::size_t backlog = conn->outbuf.size() - conn->outpos;
       queued_bytes += static_cast<std::int64_t>(backlog);
-      if (conn->closing && backlog == 0) {
+      if (conn->broken || (conn->closing && backlog == 0)) {
         finished.push_back(fd);
         continue;
       }
@@ -359,6 +413,7 @@ void AdpNetServer::AcceptAll() {
     }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    SuppressSigpipe(fd);
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->conn_id = next_conn_id_++;
@@ -404,7 +459,10 @@ void AdpNetServer::ReadConn(Conn& conn) {
 
 void AdpNetServer::SendFrame(Conn& conn, std::uint8_t type,
                              const std::string& payload) {
-  AppendFrame(conn.outbuf, static_cast<FrameType>(type), payload);
+  if (!AppendFrameOrError(conn.outbuf, static_cast<FrameType>(type),
+                          payload)) {
+    protocol_errors_->Increment();
+  }
   frames_out_->Increment();
 }
 
@@ -471,13 +529,24 @@ void AdpNetServer::HandleFrame(Conn& conn, std::uint8_t type,
     switch (static_cast<FrameType>(type)) {
       case FrameType::kDb: {
         ParsedDb parsed = ParseDbLine(toks);
-        conn.dbs[parsed.name] = engine_.RegisterDatabase(std::move(parsed.db));
+        const DbId fresh = engine_.RegisterDatabase(std::move(parsed.db));
+        auto [dit, inserted] = conn.dbs.emplace(parsed.name, fresh);
+        if (!inserted) {
+          // Re-registering a name displaces the old instance; release it
+          // so repeated DB frames cannot grow engine memory without bound.
+          engine_.UnregisterDatabase(dit->second);
+          dit->second = fresh;
+        }
         SendFrame(conn, static_cast<std::uint8_t>(FrameType::kDbOk),
                   std::to_string(id) + " {\"db\":\"" +
                       JsonEscape(parsed.name) + "\"}");
         break;
       }
       case FrameType::kReq: {
+        if (conn.IdInFlight(id)) {
+          throw std::runtime_error("correlation id " + std::to_string(id) +
+                                   " already in flight");
+        }
         ParsedRequest parsed =
             ParseRequestLine(toks, "REQ <db> <k> [+opt ...] <query>",
                              config_.default_timeout_ms);
@@ -500,10 +569,11 @@ void AdpNetServer::HandleFrame(Conn& conn, std::uint8_t type,
                 plan = engine->PlanFor(probe);
               }
               const std::string line = FormatResponseLine(
-                  id, db_name, k, resp, plan ? &plan->query : nullptr);
+                  id, db_name, k, resp, plan ? &plan->query : nullptr,
+                  kResultWitnessByteBudget);
               std::string framed;
-              AppendFrame(framed, FrameType::kResult,
-                          std::to_string(id) + ' ' + line);
+              AppendFrameOrError(framed, FrameType::kResult,
+                                 std::to_string(id) + ' ' + line);
               {
                 std::lock_guard<std::mutex> lock(outbox->mu);
                 if (outbox->dead) return;
@@ -516,6 +586,10 @@ void AdpNetServer::HandleFrame(Conn& conn, std::uint8_t type,
         break;
       }
       case FrameType::kStream: {
+        if (conn.IdInFlight(id)) {
+          throw std::runtime_error("correlation id " + std::to_string(id) +
+                                   " already in flight");
+        }
         ParsedRequest parsed =
             ParseRequestLine(toks, "STREAM <db> <k> [+opt ...] <query>",
                              config_.default_timeout_ms);
@@ -557,6 +631,10 @@ void AdpNetServer::HandleFrame(Conn& conn, std::uint8_t type,
         break;
       }
       case FrameType::kExec: {
+        if (conn.IdInFlight(id)) {
+          throw std::runtime_error("correlation id " + std::to_string(id) +
+                                   " already in flight");
+        }
         // EXEC <handle> <db> <k> [+opt ...]
         if (toks.size() < 4 || toks[0] != "EXEC") {
           throw std::runtime_error("EXEC <handle> <db> <k> [+opt ...]");
@@ -589,10 +667,11 @@ void AdpNetServer::HandleFrame(Conn& conn, std::uint8_t type,
             [outbox = conn.outbox, waker = waker_, frames_out = frames_out_,
              id, db_name = parsed.db_name, k, plan](AdpResponse resp) {
               const std::string line = FormatResponseLine(
-                  id, db_name, k, resp, plan ? &plan->query : nullptr);
+                  id, db_name, k, resp, plan ? &plan->query : nullptr,
+                  kResultWitnessByteBudget);
               std::string framed;
-              AppendFrame(framed, FrameType::kResult,
-                          std::to_string(id) + ' ' + line);
+              AppendFrameOrError(framed, FrameType::kResult,
+                                 std::to_string(id) + ' ' + line);
               {
                 std::lock_guard<std::mutex> lock(outbox->mu);
                 if (outbox->dead) return;
@@ -709,17 +788,21 @@ void AdpNetServer::PumpConn(Conn& conn) {
 }
 
 void AdpNetServer::FlushConn(Conn& conn) {
+  if (conn.broken) return;
   while (conn.outpos < conn.outbuf.size()) {
-    const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.outpos,
-                            conn.outbuf.size() - conn.outpos);
+    const ssize_t n = send(conn.fd, conn.outbuf.data() + conn.outpos,
+                           conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
     if (n > 0) {
       conn.outpos += static_cast<std::size_t>(n);
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    // Broken pipe mid-write: tear the connection down (releases workers).
-    CloseConn(conn.fd);
+    // Broken pipe mid-write: mark the connection dead and let the loop's
+    // sweep tear it down. Closing here would invalidate the conns_
+    // iterator of the Loop()/PumpConn caller — and free this very Conn
+    // out from under it.
+    conn.broken = true;
     return;
   }
   conn.outbuf.clear();
@@ -735,6 +818,10 @@ void AdpNetServer::CloseConn(int fd) {
   // cancelled (queued ones never solve).
   for (auto& run : conn.streams) run.stream.Close();
   for (auto& [id, ticket] : conn.tickets) ticket.Cancel();
+  // Connection-scoped databases go with the connection (in-flight holders
+  // keep the data alive until they unwind); without this, reconnect loops
+  // would accumulate registrations in the engine forever.
+  for (const auto& [name, db] : conn.dbs) engine_.UnregisterDatabase(db);
   {
     std::lock_guard<std::mutex> lock(conn.outbox->mu);
     conn.outbox->dead = true;

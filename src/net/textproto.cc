@@ -124,11 +124,17 @@ ParsedRequest ParseRequestLine(const std::vector<std::string>& toks,
   return out;
 }
 
-void AppendTupleRefs(std::ostringstream& out,
-                     const std::vector<TupleRef>& tuples,
-                     const ConjunctiveQuery* query) {
+std::size_t AppendTupleRefs(std::ostringstream& out,
+                            const std::vector<TupleRef>& tuples,
+                            const ConjunctiveQuery* query,
+                            std::size_t max_bytes) {
   out << '[';
+  std::size_t rendered = 0;
   for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (max_bytes != 0 &&
+        static_cast<std::size_t>(out.tellp()) > max_bytes) {
+      break;
+    }
     if (i > 0) out << ',';
     out << "[\"";
     if (query != nullptr && tuples[i].relation < query->num_relations()) {
@@ -137,13 +143,16 @@ void AppendTupleRefs(std::ostringstream& out,
       out << tuples[i].relation;
     }
     out << "\"," << tuples[i].row << ']';
+    ++rendered;
   }
   out << ']';
+  return rendered;
 }
 
 std::string FormatResponseLine(std::int64_t id, const std::string& db_name,
                                std::int64_t k, const AdpResponse& r,
-                               const ConjunctiveQuery* query) {
+                               const ConjunctiveQuery* query,
+                               std::size_t max_witness_bytes) {
   std::ostringstream out;
   out << "{\"req\":" << id << ",\"db\":\"" << JsonEscape(db_name)
       << "\",\"k\":" << k << ",\"status\":\""
@@ -158,7 +167,11 @@ std::string FormatResponseLine(std::int64_t id, const std::string& db_name,
   out << ",\"feasible\":" << (s.feasible ? "true" : "false")
       << ",\"exact\":" << (s.exact ? "true" : "false") << ",\"cost\":" << cost
       << ",\"output_count\":" << s.output_count << ",\"tuples\":";
-  AppendTupleRefs(out, s.tuples, query);
+  const std::size_t rendered =
+      AppendTupleRefs(out, s.tuples, query, max_witness_bytes);
+  if (rendered < s.tuples.size()) {
+    out << ",\"tuples_truncated\":true,\"tuples_total\":" << s.tuples.size();
+  }
   out << ",\"cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
       << ",\"deduped\":" << (r.deduped ? "true" : "false")
       << ",\"coalesced\":" << (r.coalesced ? "true" : "false")

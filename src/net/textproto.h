@@ -78,15 +78,23 @@ ParsedRequest ParseRequestLine(const std::vector<std::string>& toks,
                                std::int64_t default_timeout_ms);
 
 /// Renders witness tuples as [["Rel",row],...], naming relations through
-/// `query` when available (falling back to the relation index).
-void AppendTupleRefs(std::ostringstream& out,
-                     const std::vector<TupleRef>& tuples,
-                     const ConjunctiveQuery* query);
+/// `query` when available (falling back to the relation index). A nonzero
+/// `max_bytes` stops appending once `out` has grown past that budget
+/// (overshooting by at most one tuple ref); returns how many tuples were
+/// rendered.
+std::size_t AppendTupleRefs(std::ostringstream& out,
+                            const std::vector<TupleRef>& tuples,
+                            const ConjunctiveQuery* query,
+                            std::size_t max_bytes = 0);
 
-/// One REQ result line: {"req":ID,"db":"NAME","k":K,"status":...}.
+/// One REQ result line: {"req":ID,"db":"NAME","k":K,"status":...}. A
+/// nonzero `max_witness_bytes` bounds the rendered witness list (framed
+/// transports cap one response's size); a capped line carries
+/// "tuples_truncated":true plus the full count as "tuples_total".
 std::string FormatResponseLine(std::int64_t id, const std::string& db_name,
                                std::int64_t k, const AdpResponse& r,
-                               const ConjunctiveQuery* query);
+                               const ConjunctiveQuery* query,
+                               std::size_t max_witness_bytes = 0);
 
 /// One STREAM item line, keyed {"stream":ID,...}. `items_so_far` counts
 /// items delivered including this one (reported on the terminal line).

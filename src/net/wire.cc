@@ -42,7 +42,8 @@ bool SplitCorrelationId(const std::string& payload, std::int64_t* id,
   return true;
 }
 
-void AppendFrame(std::string& out, FrameType type, const std::string& payload) {
+bool AppendFrame(std::string& out, FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return false;
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size()) + 1;
   char prefix[4];
   prefix[0] = static_cast<char>(len & 0xFF);
@@ -52,6 +53,7 @@ void AppendFrame(std::string& out, FrameType type, const std::string& payload) {
   out.append(prefix, 4);
   out.push_back(static_cast<char>(type));
   out.append(payload);
+  return true;
 }
 
 void FrameReader::Feed(const char* data, std::size_t n) {

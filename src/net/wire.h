@@ -84,8 +84,12 @@ struct Frame {
 };
 
 /// Serializes one frame onto `out` (append-only; callers batch frames into
-/// one buffer per socket write).
-void AppendFrame(std::string& out, FrameType type, const std::string& payload);
+/// one buffer per socket write). Returns false — leaving `out` untouched —
+/// when `payload` exceeds kMaxFramePayload: such a frame could never be
+/// decoded by a FrameReader, and its u32 length prefix would silently
+/// truncate past 4 GiB. Callers must send a (small) error instead.
+[[nodiscard]] bool AppendFrame(std::string& out, FrameType type,
+                               const std::string& payload);
 
 /// Incremental frame decoder over an arbitrarily-chunked byte stream.
 /// Feed() bytes as they arrive, then Next() until empty. A length prefix

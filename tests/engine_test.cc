@@ -204,6 +204,37 @@ TEST(AdpEngineTest, DatabaseInterningSharesBindings) {
   EXPECT_EQ(c.databases, 1u);
 }
 
+TEST(AdpEngineTest, UnregisterDatabaseReleasesAndNeverReusesIds) {
+  AdpEngine engine(EngineConfig{.num_workers = 1});
+  const DbId db = engine.RegisterDatabase(Fig1NamedDb());
+  ASSERT_NE(engine.database(db), nullptr);
+
+  AdpRequest req;
+  req.query_text = kChainText;
+  req.db = db;
+  req.k = 1;
+  ASSERT_TRUE(engine.Execute(req).ok());
+
+  EXPECT_TRUE(engine.UnregisterDatabase(db));
+  EXPECT_EQ(engine.database(db), nullptr);
+  EXPECT_FALSE(engine.UnregisterDatabase(db));  // already released
+  EXPECT_EQ(engine.counters().databases, 0u);
+
+  // A released id stays dead: requests against it fail typed, and a fresh
+  // registration gets a new id (never aliasing the old handle).
+  EXPECT_EQ(engine.Execute(req).status.code(), StatusCode::kUnknownDatabase);
+  const DbId fresh = engine.RegisterDatabase(Fig1NamedDb());
+  EXPECT_NE(fresh, db);
+  EXPECT_EQ(engine.counters().databases, 1u);
+
+  // The new instance answers correctly — its bindings were not poisoned by
+  // the released database's cache entries.
+  req.db = fresh;
+  const AdpResponse r = engine.Execute(req);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.solution.feasible);
+}
+
 TEST(AdpEngineTest, ErrorsCarryTypedStatusCodes) {
   AdpEngine engine(EngineConfig{.num_workers = 1});
   const DbId db = engine.RegisterDatabase(Fig1NamedDb());

@@ -133,7 +133,7 @@ struct RawConn {
 
   void SendFrame(FrameType type, const std::string& payload) {
     std::string framed;
-    AppendFrame(framed, type, payload);
+    ASSERT_TRUE(AppendFrame(framed, type, payload));
     ASSERT_EQ(::write(fd, framed.data(), framed.size()),
               static_cast<ssize_t>(framed.size()));
   }
@@ -553,6 +553,119 @@ TEST(NetTest, CancelVerbCancelsQueuedRequest) {
             std::string::npos)
       << result->payload;
   plug.release.set_value();
+}
+
+TEST(NetTest, DuplicateInflightCorrelationIdIsRejected) {
+  // While an id still names a queued request, a second REQ wearing it is
+  // refused — accepting it would discard the first ticket (orphaning its
+  // CANCEL) and produce two same-id replies.
+  NetFixture fx(EngineConfig{.num_workers = 1});
+  const DbId plug_db = fx.engine.RegisterDatabase(Fig1NamedDb());
+  WorkerPlug plug;
+  plug.Install(fx.engine, plug_db);
+
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  const std::int64_t id = client.NextId();
+  ASSERT_TRUE(client.Send(FrameType::kReq, id,
+                          "REQ d1 2 " + std::string(kChainText)));
+  // Distinct query text: dedup cannot merge the two submissions.
+  ASSERT_TRUE(client.Send(FrameType::kReq, id, "REQ d1 1 Q(A,B) :- R1(A,B)"));
+
+  std::optional<Frame> err = client.WaitReply(id);
+  ASSERT_TRUE(err.has_value()) << client.error();
+  EXPECT_EQ(err->type, FrameType::kError) << err->payload;
+  EXPECT_NE(err->payload.find("already in flight"), std::string::npos)
+      << err->payload;
+
+  // The original request is untouched and completes once the worker frees.
+  plug.release.set_value();
+  std::optional<Frame> result = client.WaitReply(id);
+  ASSERT_TRUE(result.has_value()) << client.error();
+  EXPECT_EQ(result->type, FrameType::kResult) << result->payload;
+  EXPECT_NE(result->payload.find("\"status\":\"OK\""), std::string::npos)
+      << result->payload;
+}
+
+TEST(NetTest, AbortiveDisconnectsDuringPushDontKillTheServer) {
+  // Clients that RST mid-push force hard write errors inside the loop's
+  // flush. The server must mark such connections dead and sweep them after
+  // the iteration — never close them from inside the conns_ walk (that
+  // freed the Conn under the iterator) — and the failed send must surface
+  // as an errno, not a process-fatal SIGPIPE.
+  NetFixture fx;
+  for (int round = 0; round < 8; ++round) {
+    RawConn raw(fx.server.port());
+    raw.SendFrame(FrameType::kHello, "1 1");
+    raw.SendFrame(FrameType::kDb, std::string("1 ") + kDbLine);
+    for (int s = 0; s < 3; ++s) {
+      raw.SendFrame(FrameType::kStream,
+                    std::to_string(2 + s) + " STREAM d1 3 " +
+                        std::string(kChainText));
+    }
+    // Vary how far the push gets before the abort.
+    std::this_thread::sleep_for(std::chrono::milliseconds(round * 2));
+    // RST on close: anything the server writes afterwards fails hard.
+    linger lg{1, 0};
+    setsockopt(raw.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  }
+  // The server survived every abort and still answers.
+  AdpNetClient client = fx.Client();
+  std::string body;
+  ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+  std::optional<Frame> reply = client.Call(
+      FrameType::kReq, "REQ d1 2 " + std::string(kChainText), &body);
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->type, FrameType::kResult);
+  EXPECT_NE(body.find("\"status\":\"OK\""), std::string::npos) << body;
+}
+
+TEST(NetTest, ClientWritesAfterServerCloseFailSoftly) {
+  // BYE makes the server flush and close. A client that keeps sending into
+  // the closed connection must get a clean send failure — without
+  // MSG_NOSIGNAL the second write after the peer's RST raises SIGPIPE and
+  // kills the embedding process.
+  NetFixture fx;
+  AdpNetClient client = fx.Client();
+  ASSERT_TRUE(client.Send(FrameType::kBye, client.NextId(), "BYE"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  bool failed = false;
+  for (int i = 0; i < 20 && !failed; ++i) {
+    failed = !client.Send(FrameType::kStats, client.NextId(), "STATS");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(failed) << "sends into a closed connection kept succeeding";
+  EXPECT_FALSE(client.error().empty());
+}
+
+TEST(NetTest, ConnectionTeardownReleasesRegisteredDatabases) {
+  // Per-connection DB registrations must not outlive the connection (or a
+  // displaced same-name registration): a reconnect loop would otherwise
+  // grow engine memory without bound.
+  NetFixture fx;
+  const std::size_t base = fx.engine.counters().databases;
+  {
+    AdpNetClient client = fx.Client();
+    std::string body;
+    ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+    // Re-registering the same name releases the instance it displaces.
+    ASSERT_TRUE(client.Call(FrameType::kDb, kDbLine, &body).has_value());
+    EXPECT_EQ(fx.engine.counters().databases, base + 1);
+    // A solve against the re-registered database still works.
+    std::optional<Frame> reply = client.Call(
+        FrameType::kReq, "REQ d1 2 " + std::string(kChainText), &body);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::kResult);
+    EXPECT_NE(body.find("\"status\":\"OK\""), std::string::npos) << body;
+  }  // disconnect
+  // CloseConn runs on the loop thread; wait for the release to land.
+  const auto deadline = std::chrono::steady_clock::now() + seconds(30);
+  while (fx.engine.counters().databases != base) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "databases still registered: " << fx.engine.counters().databases;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 TEST(NetTest, PrepareExecHotPathMatchesDirect) {

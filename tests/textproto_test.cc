@@ -146,6 +146,30 @@ TEST(TextProtoTest, FormatResponseLineErrorAndSuccess) {
   EXPECT_NE(line.find("\"tuples\":[]"), std::string::npos);
 }
 
+TEST(TextProtoTest, FormatResponseLineCapsWitnessBytes) {
+  AdpResponse ok;
+  ok.solution.feasible = true;
+  ok.solution.exact = true;
+  ok.solution.cost = 1000;
+  ok.solution.output_count = 0;
+  for (TupleId i = 0; i < 1000; ++i) {
+    ok.solution.tuples.push_back(TupleRef{0, i});
+  }
+  const std::string full = FormatResponseLine(1, "d1", 2, ok, nullptr);
+  EXPECT_EQ(full.find("tuples_truncated"), std::string::npos);
+
+  // A tiny byte budget caps the rendered list and flags the truncation
+  // with the real total; everything after the list still renders.
+  const std::string capped = FormatResponseLine(1, "d1", 2, ok, nullptr, 128);
+  EXPECT_LT(capped.size(), full.size());
+  EXPECT_NE(capped.find("\"tuples_truncated\":true"), std::string::npos);
+  EXPECT_NE(capped.find("\"tuples_total\":1000"), std::string::npos);
+  EXPECT_NE(capped.find("\"cache_hit\""), std::string::npos);
+
+  // A budget bigger than the full line changes nothing.
+  EXPECT_EQ(FormatResponseLine(1, "d1", 2, ok, nullptr, 1u << 20), full);
+}
+
 TEST(TextProtoTest, FormatStreamItemLineTagsWitnessTargets) {
   StreamItem item;
   item.kind = StreamItem::Kind::kWitnesses;
@@ -188,9 +212,9 @@ TEST(TextProtoTest, FormatStatsJsonCarriesShedCounter) {
 
 TEST(WireTest, FrameRoundTrip) {
   std::string buf;
-  AppendFrame(buf, FrameType::kReq, "1 REQ d1 2 Q(A) :- R1(A,B)");
-  AppendFrame(buf, FrameType::kStats, "2 STATS");
-  AppendFrame(buf, FrameType::kBye, "");  // empty payload is legal
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kReq, "1 REQ d1 2 Q(A) :- R1(A,B)"));
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kStats, "2 STATS"));
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kBye, ""));  // empty payload is legal
 
   FrameReader reader;
   reader.Feed(buf.data(), buf.size());
@@ -211,7 +235,7 @@ TEST(WireTest, FrameRoundTrip) {
 
 TEST(WireTest, ByteAtATimeFeedingReassembles) {
   std::string buf;
-  AppendFrame(buf, FrameType::kResult, "42 {\"req\":42}");
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kResult, "42 {\"req\":42}"));
   FrameReader reader;
   std::optional<Frame> got;
   for (char c : buf) {
@@ -224,13 +248,33 @@ TEST(WireTest, ByteAtATimeFeedingReassembles) {
 
 TEST(WireTest, TruncatedFrameStaysPending) {
   std::string buf;
-  AppendFrame(buf, FrameType::kReq, "1 REQ d1 2 Q(A) :- R1(A,B)");
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kReq, "1 REQ d1 2 Q(A) :- R1(A,B)"));
   FrameReader reader;
   reader.Feed(buf.data(), buf.size() - 5);  // cut mid-payload
   EXPECT_FALSE(reader.Next().has_value());
   EXPECT_FALSE(reader.bad());
   reader.Feed(buf.data() + buf.size() - 5, 5);
   EXPECT_TRUE(reader.Next().has_value());
+}
+
+TEST(WireTest, AppendFrameRejectsOversizedPayload) {
+  // One byte over the cap: refused outright, buffer untouched. Encoding it
+  // anyway would poison every FrameReader that met it (and a >4 GiB
+  // payload would silently truncate the u32 length prefix).
+  std::string payload(kMaxFramePayload + 1, 'x');
+  std::string buf;
+  EXPECT_FALSE(AppendFrame(buf, FrameType::kResult, payload));
+  EXPECT_TRUE(buf.empty());
+
+  // Exactly at the cap still round-trips.
+  payload.resize(kMaxFramePayload);
+  ASSERT_TRUE(AppendFrame(buf, FrameType::kResult, payload));
+  FrameReader reader;
+  reader.Feed(buf.data(), buf.size());
+  std::optional<Frame> frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.size(), kMaxFramePayload);
+  EXPECT_FALSE(reader.bad());
 }
 
 TEST(WireTest, OversizedLengthPoisonsReader) {
@@ -248,7 +292,7 @@ TEST(WireTest, OversizedLengthPoisonsReader) {
   EXPECT_TRUE(reader.bad());
   // A poisoned reader never yields frames again.
   std::string more;
-  AppendFrame(more, FrameType::kStats, "1 STATS");
+  ASSERT_TRUE(AppendFrame(more, FrameType::kStats, "1 STATS"));
   reader.Feed(more.data(), more.size());
   EXPECT_FALSE(reader.Next().has_value());
 }
