@@ -158,6 +158,7 @@ void EngineThroughput(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
   const int requests = static_cast<int>(state.range(1));
   const int workers = static_cast<int>(state.range(2));
+  if (SkipIfCoresCannotScale(state, workers)) return;
 
   Workload w = MakeWorkload(rows);
   EngineConfig config;
@@ -336,6 +337,7 @@ void EngineIntraRequestSharding(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
   const int workers = static_cast<int>(state.range(1));
   const bool shard = state.range(2) != 0;
+  if (SkipIfCoresCannotScale(state, workers)) return;
   constexpr std::int64_t kGroups = 16;
 
   NamedDatabase named;
@@ -375,6 +377,7 @@ void EngineDecomposeSharding(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
   const int workers = static_cast<int>(state.range(1));
   const bool shard = state.range(2) != 0;
+  if (SkipIfCoresCannotScale(state, workers)) return;
   constexpr int kComponents = 4;
   constexpr std::int64_t kGroups = 8;
 

@@ -116,6 +116,7 @@ BENCHMARK(NetReqRoundTrip)
 void NetPipelinedThroughput(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));
   const int batch = static_cast<int>(state.range(1));
+  if (SkipIfCoresCannotScale(state, clients)) return;
   ServerHarness harness(/*workers=*/4);
   std::vector<AdpNetClient> conns;
   for (int c = 0; c < clients; ++c) conns.push_back(harness.Connect());

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "query/transform.h"
@@ -58,6 +59,20 @@ inline std::int64_t OutputCount(const ConjunctiveQuery& q,
         CountOutputs(pushed.query.body(), pushed.query.head(), pushed.db));
   }
   return static_cast<std::int64_t>(CountOutputs(q.body(), q.head(), db));
+}
+
+/// Gate for scaling claims: a benchmark configuration whose point is
+/// multi-way parallelism (workers > 1, clients > 1) is meaningless on a
+/// single-core host — the measured "speedup" is just scheduler noise.
+/// Returns true (after marking the run skipped) when the claim cannot be
+/// exhibited here; the caller must bail out of the benchmark body.
+inline bool SkipIfCoresCannotScale(benchmark::State& state, int parallelism) {
+  if (parallelism > 1 && std::thread::hardware_concurrency() < 2) {
+    state.SkipWithError(
+        "scaling configuration skipped: host has a single core");
+    return true;
+  }
+  return false;
 }
 
 /// Attaches the standard quality counters to a benchmark state.

@@ -1,0 +1,282 @@
+// Macro-bench: end-to-end engine load through the workload generator and
+// LoadDriver (src/workload/families.h, src/workload/driver.h) instead of
+// hand-rolled batches — the first bench that exercises the full serving
+// surface (Execute, prepared handles, streams, cancels, expired deadlines)
+// under a sustained mix.
+//
+// Two traffic blends run against each of four query families spanning the
+// Algorithm-2 cases:
+//
+//   steady — 70% text Execute + 30% prepared Execute: the cache-friendly
+//     request/response regime; throughput here is the serving capacity
+//     number.
+//   mixed  — 40% execute, 20% prepared, 20% stream, 10% cancel, 10%
+//     pre-expired deadline: the hostile blend the soak test uses; it keeps
+//     the cancel/deadline/stream teardown paths honest under load.
+//
+// The registered benchmarks are for interactive runs; the trajectory file
+// BENCH_workload.json (ADP_BENCH_JSON overrides the path) is written by
+// EmitWorkloadTrajectory() after they finish, one flat JSON object per
+// run: per-(family, blend) closed-loop throughput — raw ops/sec as
+// `_raw` context plus the gateable `throughput_rel` ratio against a
+// same-emit calibration run (cancels host-speed drift between emits) —
+// p50/p99 latency (client-observed and engine-side, from the
+// MetricsRegistry), one rate-bound open-loop run, and a worker-scaling
+// ratio that is only emitted when the host has enough cores to make the
+// claim meaningful (std::thread::hardware_concurrency() >= 4) — on
+// smaller hosts the "scaling_skipped_cores" key records the skip instead
+// of publishing a misleading ~1x ratio. tools/bench_trend.py gates
+// successive runs (docs/WORKLOAD.md).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "workload/driver.h"
+#include "workload/families.h"
+
+namespace adp::bench {
+namespace {
+
+using workload::DriverConfig;
+using workload::DriverReport;
+using workload::FamilyInstance;
+using workload::FamilySpec;
+using workload::LoadDriver;
+using workload::TrafficMix;
+
+constexpr std::uint64_t kSeed = 42;
+
+TrafficMix SteadyMix() { return {.execute = 0.7, .prepared = 0.3}; }
+
+TrafficMix MixedMix() {
+  return {.execute = 0.4,
+          .prepared = 0.2,
+          .stream = 0.2,
+          .cancel = 0.1,
+          .expired = 0.1};
+}
+
+// The bench families: one per easy Algorithm-2 case plus one hard shape.
+std::vector<FamilySpec> BenchFamilies() {
+  using S = workload::FamilyShape;
+  using H = workload::HeadClass;
+  using C = workload::CardinalityClass;
+  using D = workload::DomainClass;
+  return {
+      {S::kChain, 3, H::kBoolean, C::kSmall, D::kMid},      // Boolean
+      {S::kStar, 3, H::kProjected, C::kSmall, D::kMid},     // Singleton
+      {S::kDisconnected, 3, H::kFull, C::kSmall, D::kMid},  // Decompose
+      {S::kChain, 3, H::kFull, C::kTiny, D::kSparse},       // Heuristic
+  };
+}
+
+DriverReport RunBlend(const FamilySpec& spec, const TrafficMix& mix,
+                      int requests, int workers, int concurrency) {
+  EngineConfig config;
+  config.num_workers = workers;
+  AdpEngine engine(config);
+  DriverConfig dc;
+  dc.concurrency = concurrency;
+  dc.requests = requests;
+  dc.seed = kSeed;
+  dc.mix = mix;
+  LoadDriver driver(engine, workload::MakeFamilySet({spec}, kSeed), dc);
+  return driver.Run();
+}
+
+// Interactive closed-loop run over the full family set: args are
+// (blend: 0 = steady, 1 = mixed; requests).
+void MacroClosedLoop(benchmark::State& state) {
+  const bool mixed = state.range(0) != 0;
+  const int requests = static_cast<int>(state.range(1));
+
+  EngineConfig config;
+  config.num_workers = 4;
+  AdpEngine engine(config);
+  DriverConfig dc;
+  dc.concurrency = 4;
+  dc.requests = requests;
+  dc.seed = kSeed;
+  dc.mix = mixed ? MixedMix() : SteadyMix();
+  LoadDriver driver(engine, workload::MakeFamilySet(BenchFamilies(), kSeed),
+                    dc);
+
+  double ops_per_sec = 0;
+  for (auto _ : state) {
+    const DriverReport rep = driver.Run();
+    ops_per_sec = rep.throughput_ops_per_sec;
+    benchmark::DoNotOptimize(rep.answer_checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * requests);
+  state.counters["ops_per_sec"] = ops_per_sec;
+}
+
+BENCHMARK(MacroClosedLoop)
+    ->Args({0, 160})
+    ->Args({1, 160})
+    ->ArgNames({"mixed", "requests"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ref > 0: capacity runs — the raw ops/sec is context (host-speed
+// dependent, `_raw` keys are not trend-gated) and the gated signal is the
+// ratio to the same-emit calibration reference, which cancels host-speed
+// drift between emits. ref <= 0: rate-bound runs whose raw throughput is
+// pinned by the offered rate and therefore gate-stable as is.
+void AddReport(BenchJsonWriter& json, const std::string& prefix,
+               const DriverReport& rep, double ref) {
+  if (ref > 0) {
+    json.Add(prefix + ".ops_per_sec_raw", rep.throughput_ops_per_sec);
+    json.Add(prefix + ".throughput_rel", rep.throughput_ops_per_sec / ref);
+  } else {
+    json.Add(prefix + ".ops_per_sec", rep.throughput_ops_per_sec);
+  }
+  json.Add(prefix + ".client_p50_ms", rep.client_p50_ms);
+  json.Add(prefix + ".client_p99_ms", rep.client_p99_ms);
+  json.Add(prefix + ".engine_p50_ms", rep.engine_p50_ms);
+  json.Add(prefix + ".engine_p99_ms", rep.engine_p99_ms);
+  json.Add(prefix + ".issued", static_cast<double>(rep.outcomes.issued +
+                                                   rep.outcomes.streams_issued));
+  json.Add(prefix + ".ok", static_cast<double>(rep.outcomes.ok +
+                                               rep.outcomes.streams_ok));
+  json.Add(prefix + ".checksum", static_cast<double>(rep.answer_checksum));
+}
+
+// The persisted trajectory: BENCH_workload.json.
+void EmitWorkloadTrajectory() {
+  const char* env = std::getenv("ADP_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_workload.json";
+  // Large enough that each blend's measurement window spans many
+  // scheduler quanta — tiny windows make the throughput numbers
+  // jitter far beyond any trend tolerance.
+  constexpr int kRequests = 400;
+  // Threads sized to the host: oversubscribing a small box turns the
+  // closed loop into scheduler roulette and the trajectory into noise.
+  // Same-fleet CI runs see a constant value; across hardware changes the
+  // snapshot must be refreshed anyway (tools/bench_trend.py docstring).
+  const int kThreads = static_cast<int>(std::min(
+      4u, std::max(1u, std::thread::hardware_concurrency())));
+
+  BenchJsonWriter json;
+  const std::vector<FamilySpec> specs = BenchFamilies();
+  const struct {
+    const char* name;
+    TrafficMix mix;
+  } blends[] = {{"steady", SteadyMix()}, {"mixed", MixedMix()}};
+
+  // Closed-loop capacity per (family, blend), measured to survive a
+  // shared/loaded host:
+  //   * request counts are calibrated so every measured window spans at
+  //     least ~250ms — a few-ms window is scheduler noise, not capacity;
+  //   * three trials per pair, taken as whole sweeps over all pairs so
+  //     the trials of one pair are spread seconds apart in time — a
+  //     transient contention episode (CPU steal, co-tenant burst) then
+  //     cannot depress every trial of the same key;
+  //   * the best trial is the capacity signal the trend gate compares.
+  constexpr int kSweeps = 3;
+  // Measurement list: every (family, blend) pair plus one calibration
+  // run — a pure-execute loop on a fixed reference family measured under
+  // the identical regime. Its throughput is the same-emit yardstick the
+  // capacity ratios are published against.
+  struct Cell {
+    std::string name;
+    FamilySpec spec;
+    TrafficMix mix;
+  };
+  const FamilySpec ref_spec = {workload::FamilyShape::kChain, 2,
+                               workload::HeadClass::kFull,
+                               workload::CardinalityClass::kSmall,
+                               workload::DomainClass::kMid};
+  std::vector<Cell> cells;
+  for (const FamilySpec& spec : specs) {
+    for (const auto& blend : blends) {
+      cells.push_back(
+          {workload::FamilyName(spec) + "." + blend.name, spec, blend.mix});
+    }
+  }
+  cells.push_back({"calibration.ref", ref_spec, TrafficMix{.execute = 1.0}});
+
+  std::vector<int> calibrated(cells.size(), kRequests);
+  std::vector<DriverReport> best(cells.size());
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (std::size_t at = 0; at < cells.size(); ++at) {
+      const DriverReport t =
+          RunBlend(cells[at].spec, cells[at].mix, calibrated[at],
+                   /*workers=*/kThreads, /*concurrency=*/kThreads);
+      if (sweep == 0) {
+        best[at] = t;
+        if (t.wall_ms > 0 && t.wall_ms < 250.0) {
+          calibrated[at] = static_cast<int>(
+              std::min(20000.0, calibrated[at] * (250.0 / t.wall_ms)));
+        }
+      } else if (t.throughput_ops_per_sec > best[at].throughput_ops_per_sec) {
+        best[at] = t;
+      }
+    }
+  }
+  const double ref = best.back().throughput_ops_per_sec;
+  json.Add("calibration.ref_throughput_raw", ref);
+  for (std::size_t at = 0; at + 1 < cells.size(); ++at) {
+    AddReport(json, cells[at].name, best[at], ref);
+  }
+
+  // One open-loop run across the whole family set at a fixed offered rate:
+  // tracks queueing behavior, not capacity.
+  {
+    EngineConfig config;
+    config.num_workers = kThreads;
+    AdpEngine engine(config);
+    DriverConfig dc;
+    dc.open_loop = true;
+    dc.offered_rps = 400.0;
+    dc.concurrency = kThreads;
+    dc.requests = kRequests;
+    dc.seed = kSeed;
+    dc.mix = MixedMix();
+    LoadDriver driver(engine, workload::MakeFamilySet(specs, kSeed), dc);
+    AddReport(json, "openloop.mixed", driver.Run(), /*ref=*/0.0);
+  }
+
+  // Worker-scaling claim, core-count gated: published only where the
+  // hardware can actually exhibit scaling.
+  const unsigned cores = std::thread::hardware_concurrency();
+  json.Add("hardware_cores", static_cast<double>(cores));
+  if (cores >= 4) {
+    const DriverReport w1 = RunBlend(specs[0], SteadyMix(), kRequests, 1, 4);
+    const DriverReport w4 = RunBlend(specs[0], SteadyMix(), kRequests, 4, 4);
+    json.Add("scaling.steady_1w_ops_per_sec_raw", w1.throughput_ops_per_sec);
+    json.Add("scaling.steady_4w_ops_per_sec_raw", w4.throughput_ops_per_sec);
+    json.Add("scaling.steady_speedup_4w",
+             w1.throughput_ops_per_sec > 0
+                 ? w4.throughput_ops_per_sec / w1.throughput_ops_per_sec
+                 : 0.0);
+  } else {
+    json.Add("scaling_skipped_cores", static_cast<double>(cores));
+  }
+
+  if (json.WriteTo(path)) {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace adp::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  adp::bench::EmitWorkloadTrajectory();
+  return 0;
+}

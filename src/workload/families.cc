@@ -1,0 +1,357 @@
+#include "workload/families.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "query/parser.h"
+
+namespace adp::workload {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-spec stream from the raw seed
+// so adjacent seeds do not produce correlated databases.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t SpecFingerprint(const FamilySpec& s) {
+  std::uint64_t h = Mix(static_cast<std::uint64_t>(s.shape) + 1);
+  h = Mix(h ^ static_cast<std::uint64_t>(s.relations));
+  h = Mix(h ^ (static_cast<std::uint64_t>(s.head) << 8));
+  h = Mix(h ^ (static_cast<std::uint64_t>(s.cardinality) << 16));
+  h = Mix(h ^ (static_cast<std::uint64_t>(s.domain) << 24));
+  return h;
+}
+
+const char* ShapeToken(FamilyShape s) {
+  switch (s) {
+    case FamilyShape::kChain: return "chain";
+    case FamilyShape::kCycle: return "cycle";
+    case FamilyShape::kStar: return "star";
+    case FamilyShape::kDisconnected: return "disc";
+  }
+  return "?";
+}
+
+const char* HeadToken(HeadClass h) {
+  switch (h) {
+    case HeadClass::kBoolean: return "bool";
+    case HeadClass::kFull: return "full";
+    case HeadClass::kProjected: return "proj";
+  }
+  return "?";
+}
+
+const char* CardToken(CardinalityClass c) {
+  switch (c) {
+    case CardinalityClass::kTiny: return "tiny";
+    case CardinalityClass::kSmall: return "small";
+    case CardinalityClass::kMedium: return "medium";
+  }
+  return "?";
+}
+
+const char* DomainToken(DomainClass d) {
+  switch (d) {
+    case DomainClass::kDense: return "dense";
+    case DomainClass::kMid: return "mid";
+    case DomainClass::kSparse: return "sparse";
+  }
+  return "?";
+}
+
+struct Atom {
+  std::string name;
+  std::vector<std::string> attrs;
+};
+
+// The query skeleton of a valid spec: body atoms (in database order) and
+// the head attribute list.
+struct Skeleton {
+  std::vector<Atom> atoms;
+  std::vector<std::string> head;
+};
+
+std::string A(int i) { return "A" + std::to_string(i); }
+std::string B(int i) { return "B" + std::to_string(i); }
+
+Skeleton BuildSkeleton(const FamilySpec& spec) {
+  Skeleton sk;
+  const int n = spec.relations;
+  switch (spec.shape) {
+    case FamilyShape::kChain: {
+      for (int i = 1; i <= n; ++i) {
+        sk.atoms.push_back({"R" + std::to_string(i), {A(i), A(i + 1)}});
+      }
+      if (spec.head == HeadClass::kFull) {
+        for (int i = 1; i <= n + 1; ++i) sk.head.push_back(A(i));
+      } else if (spec.head == HeadClass::kProjected) {
+        sk.head.push_back(A(2));  // the join attribute of the 2-chain
+      }
+      break;
+    }
+    case FamilyShape::kCycle: {
+      for (int i = 1; i <= n; ++i) {
+        sk.atoms.push_back({"R" + std::to_string(i), {A(i), A(i % n + 1)}});
+      }
+      if (spec.head == HeadClass::kFull) {
+        for (int i = 1; i <= n; ++i) sk.head.push_back(A(i));
+      }
+      break;
+    }
+    case FamilyShape::kStar: {
+      if (spec.head == HeadClass::kProjected) {
+        // Hub guard atom: makes the hub the singleton attribute set.
+        sk.atoms.push_back({"R0", {A(1)}});
+      }
+      for (int i = 1; i <= n; ++i) {
+        sk.atoms.push_back({"R" + std::to_string(i), {A(1), B(i)}});
+      }
+      sk.head.push_back(A(1));
+      if (spec.head == HeadClass::kFull) {
+        for (int i = 1; i <= n; ++i) sk.head.push_back(B(i));
+      }
+      break;
+    }
+    case FamilyShape::kDisconnected: {
+      for (int i = 1; i <= n; ++i) {
+        const std::string ai = "A" + std::to_string(i);
+        const std::string bi = "B" + std::to_string(i);
+        const std::string ci = "C" + std::to_string(i);
+        sk.atoms.push_back({"S" + std::to_string(i), {ai, bi}});
+        sk.atoms.push_back({"T" + std::to_string(i), {bi, ci}});
+        sk.head.push_back(ai);
+        sk.head.push_back(bi);
+        sk.head.push_back(ci);
+      }
+      break;
+    }
+  }
+  return sk;
+}
+
+std::string RenderQuery(const Skeleton& sk) {
+  std::ostringstream out;
+  out << "Q(";
+  for (std::size_t i = 0; i < sk.head.size(); ++i) {
+    if (i > 0) out << ",";
+    out << sk.head[i];
+  }
+  out << ") :- ";
+  for (std::size_t i = 0; i < sk.atoms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << sk.atoms[i].name << "(";
+    for (std::size_t j = 0; j < sk.atoms[i].attrs.size(); ++j) {
+      if (j > 0) out << ",";
+      out << sk.atoms[i].attrs[j];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+bool ValidateFamilySpec(const FamilySpec& spec, std::string* why) {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (spec.relations < 1) return fail("relations must be >= 1");
+  switch (spec.shape) {
+    case FamilyShape::kChain:
+      if (spec.head == HeadClass::kFull && spec.relations < 2) {
+        return fail("full-head chains need >= 2 relations");
+      }
+      if (spec.head == HeadClass::kProjected && spec.relations != 2) {
+        return fail("projected chains are 2-chains only");
+      }
+      return true;
+    case FamilyShape::kCycle:
+      if (spec.relations < 3) return fail("cycles need >= 3 relations");
+      if (spec.head == HeadClass::kProjected) {
+        return fail("cycles take a kBoolean or kFull head");
+      }
+      return true;
+    case FamilyShape::kStar:
+      if (spec.relations < 2) return fail("stars need >= 2 rays");
+      if (spec.head == HeadClass::kBoolean) {
+        return fail("stars take a kFull or kProjected head");
+      }
+      return true;
+    case FamilyShape::kDisconnected:
+      if (spec.relations < 2) {
+        return fail("disconnected families need >= 2 components");
+      }
+      if (spec.head != HeadClass::kFull) {
+        return fail("disconnected families take a kFull head");
+      }
+      return true;
+  }
+  return fail("unknown shape");
+}
+
+FamilyLabel LabelFor(const FamilySpec& spec) {
+  // Frozen against the live classifier by tests/workload_families_test.cc.
+  switch (spec.shape) {
+    case FamilyShape::kChain:
+      if (spec.head == HeadClass::kBoolean) return {true, AdpCase::kBoolean};
+      if (spec.head == HeadClass::kProjected) {
+        return {true, AdpCase::kUniverse};
+      }
+      return spec.relations == 2 ? FamilyLabel{true, AdpCase::kUniverse}
+                                 : FamilyLabel{false, AdpCase::kHeuristic};
+    case FamilyShape::kCycle:
+      // A cycle contains a triad: ADP is hard whatever the head.
+      return spec.head == HeadClass::kBoolean
+                 ? FamilyLabel{false, AdpCase::kBoolean}
+                 : FamilyLabel{false, AdpCase::kHeuristic};
+    case FamilyShape::kStar:
+      return spec.head == HeadClass::kProjected
+                 ? FamilyLabel{true, AdpCase::kSingleton}
+                 : FamilyLabel{true, AdpCase::kUniverse};
+    case FamilyShape::kDisconnected:
+      return {true, AdpCase::kDecompose};
+  }
+  return {true, AdpCase::kHeuristic};
+}
+
+std::string FamilyName(const FamilySpec& spec) {
+  std::ostringstream out;
+  out << ShapeToken(spec.shape) << spec.relations << "." << HeadToken(spec.head)
+      << "." << CardToken(spec.cardinality) << "." << DomainToken(spec.domain);
+  return out.str();
+}
+
+std::int64_t FamilyRows(CardinalityClass c) {
+  switch (c) {
+    case CardinalityClass::kTiny: return 24;
+    case CardinalityClass::kSmall: return 96;
+    case CardinalityClass::kMedium: return 384;
+  }
+  return 24;
+}
+
+std::int64_t FamilyDomain(DomainClass d, std::int64_t rows) {
+  switch (d) {
+    case DomainClass::kDense: return std::max<std::int64_t>(4, rows / 8);
+    case DomainClass::kMid: return std::max<std::int64_t>(8, rows / 2);
+    case DomainClass::kSparse: return std::max<std::int64_t>(16, rows * 2);
+  }
+  return 8;
+}
+
+FamilyInstance MakeFamilyInstance(const FamilySpec& spec, std::uint64_t seed) {
+  std::string why;
+  if (!ValidateFamilySpec(spec, &why)) {
+    throw std::invalid_argument("invalid FamilySpec: " + why);
+  }
+  const Skeleton sk = BuildSkeleton(spec);
+
+  FamilyInstance inst;
+  inst.spec = spec;
+  inst.seed = seed;
+  inst.name = FamilyName(spec);
+  inst.query_text = RenderQuery(sk);
+  inst.query = ParseQuery(inst.query_text);
+  inst.label = LabelFor(spec);
+
+  const std::int64_t rows = FamilyRows(spec.cardinality);
+  const std::int64_t domain = FamilyDomain(spec.domain, rows);
+  // The planted spine: values 1..spine appear in every relation on every
+  // join position, so the full join always has at least `spine` outputs.
+  const std::int64_t spine = std::min<std::int64_t>(4, domain);
+
+  Rng rng(seed ^ SpecFingerprint(spec));
+  for (const Atom& atom : sk.atoms) {
+    RelationInstance rel;
+    const std::size_t arity = atom.attrs.size();
+    for (std::int64_t s = 1; s <= spine; ++s) {
+      rel.Add(Tuple(arity, s));
+    }
+    for (std::int64_t r = spine; r < rows; ++r) {
+      Tuple t(arity);
+      for (std::size_t j = 0; j < arity; ++j) {
+        t[j] = rng.UniformInt(1, domain);
+      }
+      rel.Add(std::move(t));
+    }
+    rel.Dedup();
+    inst.db.relation_names.push_back(atom.name);
+    inst.db.db.Append(std::move(rel));
+  }
+  return inst;
+}
+
+std::vector<FamilySpec> DefaultFamilyCatalog() {
+  using S = FamilyShape;
+  using H = HeadClass;
+  using C = CardinalityClass;
+  using D = DomainClass;
+  return {
+      // Easy shapes, one per poly-time Algorithm-2 case.
+      {S::kChain, 3, H::kBoolean, C::kSmall, D::kMid},     // Boolean, ptime
+      {S::kChain, 2, H::kFull, C::kSmall, D::kMid},        // Universe, ptime
+      {S::kChain, 2, H::kProjected, C::kSmall, D::kDense}, // Universe, ptime
+      {S::kStar, 3, H::kProjected, C::kSmall, D::kMid},    // Singleton, ptime
+      {S::kStar, 4, H::kFull, C::kTiny, D::kSparse},       // Universe, ptime
+      {S::kDisconnected, 3, H::kFull, C::kSmall, D::kMid}, // Decompose, ptime
+      // Hard shapes: Boolean fallback and the heuristic leaves.
+      {S::kCycle, 3, H::kBoolean, C::kTiny, D::kDense},    // Boolean, hard
+      {S::kChain, 3, H::kFull, C::kTiny, D::kSparse},      // Heuristic, hard
+      {S::kCycle, 3, H::kFull, C::kTiny, D::kSparse},      // Heuristic, hard
+  };
+}
+
+std::vector<FamilyInstance> MakeFamilySet(const std::vector<FamilySpec>& specs,
+                                          std::uint64_t seed) {
+  std::vector<FamilyInstance> out;
+  out.reserve(specs.size());
+  Rng derive(seed);
+  for (const FamilySpec& spec : specs) {
+    out.push_back(MakeFamilyInstance(spec, derive.Next()));
+  }
+  return out;
+}
+
+FamilySpec SampleFamilySpec(Rng& rng) {
+  // Weighted shape draw: easy shapes ~3:1 over hard ones.
+  static const FamilySpec kTemplates[] = {
+      {FamilyShape::kChain, 3, HeadClass::kBoolean, CardinalityClass::kSmall,
+       DomainClass::kMid},
+      {FamilyShape::kChain, 2, HeadClass::kFull, CardinalityClass::kSmall,
+       DomainClass::kMid},
+      {FamilyShape::kStar, 3, HeadClass::kProjected, CardinalityClass::kSmall,
+       DomainClass::kMid},
+      {FamilyShape::kStar, 4, HeadClass::kFull, CardinalityClass::kTiny,
+       DomainClass::kSparse},
+      {FamilyShape::kDisconnected, 3, HeadClass::kFull,
+       CardinalityClass::kSmall, DomainClass::kMid},
+      {FamilyShape::kCycle, 3, HeadClass::kBoolean, CardinalityClass::kTiny,
+       DomainClass::kDense},
+      {FamilyShape::kChain, 3, HeadClass::kFull, CardinalityClass::kTiny,
+       DomainClass::kSparse},
+  };
+  static const int kWeights[] = {3, 3, 3, 2, 2, 1, 1};
+  int total = 0;
+  for (int w : kWeights) total += w;
+  int pick = static_cast<int>(rng.Uniform(static_cast<std::uint64_t>(total)));
+  std::size_t idx = 0;
+  for (; idx + 1 < std::size(kTemplates); ++idx) {
+    pick -= kWeights[idx];
+    if (pick < 0) break;
+  }
+  FamilySpec spec = kTemplates[idx];
+  // Re-draw the size classes so samples vary beyond the templates.
+  spec.cardinality = static_cast<CardinalityClass>(rng.Uniform(2));  // no
+  // kMedium from the sampler: sampled fleets stay cheap by construction.
+  spec.domain = static_cast<DomainClass>(rng.Uniform(3));
+  return spec;
+}
+
+}  // namespace adp::workload

@@ -1,0 +1,139 @@
+// Seeded query-family generator for the macro-bench harness and load
+// driver (docs/WORKLOAD.md).
+//
+// A *family* is a query shape (chain / cycle / star / disconnected) plus a
+// head class, a cardinality class, and an attribute-domain class. Every
+// family carries a precomputed label — its dichotomy verdict (is ADP
+// poly-time for this query?) and the Algorithm-2 case its solve tree roots
+// at — so harness code can assert coverage of every solver path and tests
+// can cross-check the labels against ClassifyDichotomy / AdpStats
+// (tests/workload_families_test.cc).
+//
+// Generation is deterministic: MakeFamilyInstance(spec, seed) always
+// produces the bit-identical query text and database (same tuples, same
+// order). Databases are spine-planted — each relation carries a diagonal
+// of matching tuples besides its random fill — so generated joins are
+// never empty and the Boolean / Universe / Decompose solver paths do real
+// work instead of short-circuiting on zero outputs.
+//
+// The family grammar, label table, and sampling weights are documented in
+// docs/WORKLOAD.md; tools/check_docs.py keeps that document and this
+// header from drifting.
+
+#ifndef ADP_WORKLOAD_FAMILIES_H_
+#define ADP_WORKLOAD_FAMILIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/query.h"
+#include "solver/compute_adp.h"
+#include "util/rng.h"
+
+namespace adp::workload {
+
+/// Join-graph shape of a generated family.
+enum class FamilyShape {
+  kChain,         // R1(A1,A2), R2(A2,A3), ... — a path
+  kCycle,         // chain closed back on A1 — contains a triad
+  kStar,          // rays R1(A,B1), R2(A,B2), ... around a shared hub A
+  kDisconnected,  // several independent 2-chain components
+};
+
+/// Which attributes the query head keeps.
+enum class HeadClass {
+  kBoolean,    // Q() — counting the Boolean answer
+  kFull,       // every body attribute is output
+  kProjected,  // a strict, shape-specific subset (chain: the join
+               // attribute; star: the hub, with a guard atom R0(A))
+};
+
+/// Relation cardinality class (rows per relation before dedup).
+enum class CardinalityClass { kTiny, kSmall, kMedium };
+
+/// Attribute-domain class, scaled off the row count: dense domains make
+/// joins fat (many matches per value), sparse ones make them thin.
+enum class DomainClass { kDense, kMid, kSparse };
+
+/// One generated family: shape x size x head. Pure aggregate (the docs
+/// drift-checker parses it); helpers below derive everything else.
+struct FamilySpec {
+  FamilyShape shape = FamilyShape::kChain;
+  /// Chain/cycle: body atoms. Star: rays (hub guard excluded).
+  /// Disconnected: independent 2-chain components.
+  int relations = 3;
+  HeadClass head = HeadClass::kBoolean;
+  CardinalityClass cardinality = CardinalityClass::kSmall;
+  DomainClass domain = DomainClass::kMid;
+};
+
+/// The family's expected classification, from the hard-coded label table
+/// (LabelFor). Tests cross-check it against the live classifier + solver.
+struct FamilyLabel {
+  /// Dichotomy verdict: true iff ADP is poly-time solvable for this query
+  /// shape (DichotomyVerdict::ptime).
+  bool ptime = true;
+  /// Algorithm-2 case the engine's solve tree roots at for this query.
+  AdpCase root_case = AdpCase::kBoolean;
+};
+
+/// One fully materialized family: the query (text + parsed form), a
+/// seeded database named for the query's relations, and the label.
+struct FamilyInstance {
+  FamilySpec spec;
+  /// Stable human-readable family id, e.g. "chain3.bool.small.mid".
+  std::string name;
+  std::string query_text;
+  ConjunctiveQuery query;
+  NamedDatabase db;
+  FamilyLabel label;
+  std::uint64_t seed = 0;
+};
+
+/// True iff `spec` is a shape/head/size combination the generator emits;
+/// `why` (optional) receives the reason when not. Constraints: chains need
+/// >= 1 atom (>= 2 for kFull, exactly 2 when projected, which keeps only
+/// the join attribute), cycles >= 3 atoms and a kBoolean or kFull head,
+/// stars >= 2
+/// rays and a kFull or kProjected head, disconnected >= 2 components and
+/// a kFull head.
+bool ValidateFamilySpec(const FamilySpec& spec, std::string* why = nullptr);
+
+/// The expected verdict + root case for `spec` (precondition: valid).
+/// This table is frozen by tests/workload_families_test.cc against the
+/// live ClassifyDichotomy / ClassifyAdpCase / AdpStats.
+FamilyLabel LabelFor(const FamilySpec& spec);
+
+/// Stable family id: "<shape><relations>.<head>.<cardinality>.<domain>".
+std::string FamilyName(const FamilySpec& spec);
+
+/// Rows per relation for a cardinality class (before dedup).
+std::int64_t FamilyRows(CardinalityClass c);
+
+/// Attribute-domain size for a domain class at a given row count.
+std::int64_t FamilyDomain(DomainClass d, std::int64_t rows);
+
+/// Deterministically materializes `spec`: same (spec, seed) => identical
+/// query text and database, bit for bit. Throws std::invalid_argument on
+/// an invalid spec (see ValidateFamilySpec).
+FamilyInstance MakeFamilyInstance(const FamilySpec& spec, std::uint64_t seed);
+
+/// The default catalog: a fixed set of specs that together cover every
+/// Algorithm-2 case (Boolean, Singleton, Universe, Decompose, Heuristic)
+/// and both dichotomy verdicts. Order is stable across runs.
+std::vector<FamilySpec> DefaultFamilyCatalog();
+
+/// Materializes each spec with a per-family seed derived from `seed`.
+std::vector<FamilyInstance> MakeFamilySet(const std::vector<FamilySpec>& specs,
+                                          std::uint64_t seed);
+
+/// Weighted random spec draw (easy shapes dominate ~3:1 over hard ones,
+/// mirroring a production mix where most queries are cheap). Always
+/// returns a valid spec; deterministic in `rng`'s state.
+FamilySpec SampleFamilySpec(Rng& rng);
+
+}  // namespace adp::workload
+
+#endif  // ADP_WORKLOAD_FAMILIES_H_

@@ -740,6 +740,118 @@ TEST(NetTest, PollBackendServesRequests) {
   EXPECT_EQ(ExtractAnswer(body), DirectAnswer(fx.engine, kChainText, 2));
 }
 
+// ---- Hostile client mix: duplicate-query storm ----------------------------
+
+constexpr char kTwoChainText[] = "Q(A,B,C) :- R1(A,B), R2(B,C)";
+
+/// A diagonal 2-chain database with `rows` rows per relation: the answer
+/// (output_count == rows) differs per client, so any cross-connection
+/// answer leakage is detectable.
+std::string DiagDbLine(int rows) {
+  std::string r1 = "R1=";
+  std::string r2 = "R2=";
+  for (int v = 1; v <= rows; ++v) {
+    if (v > 1) {
+      r1 += '/';
+      r2 += '/';
+    }
+    r1 += std::to_string(v) + "," + std::to_string(v);
+    r2 += std::to_string(v) + "," + std::to_string(v);
+  }
+  return "DB d1 " + r1 + " " + r2;
+}
+
+/// The ground-truth answer for (db_line, k), computed on a private engine
+/// so the storm fixture's counters stay untouched.
+std::string ExpectedStormAnswer(const std::string& db_line, std::int64_t k) {
+  AdpEngine local(EngineConfig{.num_workers = 1});
+  const ParsedDb parsed = ParseDbLine(SplitWs(db_line));
+  const DbId db = local.RegisterDatabase(parsed.db);
+  AdpRequest req;
+  req.query_text = kTwoChainText;
+  req.db = db;
+  req.k = k;
+  const AdpResponse resp = local.Execute(req);
+  EXPECT_TRUE(resp.ok()) << resp.status.ToString();
+  const std::shared_ptr<const CachedPlan> plan = local.PlanFor(req);
+  return ExtractAnswer(
+      FormatResponseLine(0, "d1", k, resp, plan ? &plan->query : nullptr));
+}
+
+// A duplicate-query storm: four clients each pipeline 25 *identical*
+// requests on their own connection. The engine must absorb the storm —
+// per connection, only the first request solves; every follow-up either
+// joins the in-flight leader (dedup) or hits the recent-results ring
+// (coalesce), so dedup_hits + coalesce_hits lands exactly on
+// clients * (storm - 1). And because each client registered a *different*
+// database under the same name "d1", any answer coming from another
+// connection's solve (cross-talk through the shared plan cache, dedup
+// table, or coalesce ring) would be a visibly wrong answer.
+TEST(NetTest, DuplicateQueryStormAbsorbedWithoutCrossTalk) {
+  constexpr int kClients = 4;
+  constexpr int kStorm = 25;
+
+  // Wide coalesce window: a follow-up that misses the in-flight join must
+  // hit the ring, never re-solve.
+  NetFixture fx(EngineConfig{.num_workers = 4, .coalesce_window_ms = 60'000.0});
+
+  std::vector<std::string> db_lines;
+  std::vector<std::string> expected;
+  for (int i = 0; i < kClients; ++i) {
+    db_lines.push_back(DiagDbLine(2 + i));
+    expected.push_back(ExpectedStormAnswer(db_lines.back(), 1));
+  }
+  // The per-client truths are pairwise distinct, so the cross-talk check
+  // below has teeth.
+  for (int i = 0; i < kClients; ++i) {
+    for (int j = i + 1; j < kClients; ++j) {
+      ASSERT_NE(expected[i], expected[j]);
+    }
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&fx, &db_lines, &expected, i] {
+      AdpNetClient client = fx.Client();
+      std::string body;
+      ASSERT_TRUE(client.Call(FrameType::kDb, db_lines[i], &body).has_value())
+          << client.error();
+
+      // Pipeline the whole storm, then collect.
+      const std::string req = std::string("REQ d1 1 ") + kTwoChainText;
+      std::vector<std::int64_t> ids;
+      ids.reserve(kStorm);
+      for (int r = 0; r < kStorm; ++r) {
+        const std::int64_t id = client.NextId();
+        ids.push_back(id);
+        ASSERT_TRUE(client.Send(FrameType::kReq, id, req)) << client.error();
+      }
+      for (const std::int64_t id : ids) {
+        const std::optional<Frame> reply = client.WaitReply(id);
+        ASSERT_TRUE(reply.has_value()) << client.error();
+        EXPECT_EQ(reply->type, FrameType::kResult) << reply->payload;
+        EXPECT_EQ(ExtractAnswer(reply->payload), expected[i])
+            << "client " << i << " id " << id;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // The storm was absorbed: one real solve per connection, everything
+  // else deduped in flight or coalesced off the ring. No request failed,
+  // none was shed, and nothing crossed connections (distinct databases
+  // mean distinct solve keys, so a cross-connection hit is impossible —
+  // the counter total proves the per-connection hits all landed).
+  const EngineCounters c = fx.engine.counters();
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kClients * kStorm));
+  EXPECT_EQ(c.dedup_hits + c.coalesce_hits,
+            static_cast<std::uint64_t>(kClients * (kStorm - 1)));
+  EXPECT_GT(c.coalesce_hits + c.dedup_hits, 0u);
+  EXPECT_EQ(c.failures, 0u);
+  EXPECT_EQ(c.shed, 0u);
+}
+
 TEST(NetTest, ServerStopWithLiveConnectionsIsClean) {
   auto fx = std::make_unique<NetFixture>();
   AdpNetClient client = fx->Client();

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-trajectory trend gate, run by CI after the macro benches (stdlib only).
+
+Compares a freshly emitted BENCH_*.json trajectory against the committed
+snapshot and fails when a tracked metric regressed by more than the
+tolerance (default 25%). Direction-aware:
+
+  * keys ending in `_per_sec` or `_rel` (and `*_speedup_*` ratios) are
+    higher-is-better — a regression is the fresh value falling below
+    baseline * (1 - tolerance). `_rel` keys are same-emit
+    reference-normalized throughput ratios (bench_workload_macro.cc):
+    dividing by a calibration run measured in the same emit cancels
+    host-speed drift between runs, so they are the gateable capacity
+    signal while the raw `_raw` ops/sec stay ungated context;
+  * keys ending in `_ms` or `_p50`, or containing `_p50_`, are
+    lower-is-better — a regression is the fresh value rising above
+    baseline * (1 + tolerance). Latency keys carry one extra rule: the
+    quantiles come out of power-of-two histogram buckets (src/obs/metrics.h),
+    so a value can only move in ~2x steps and a sub-2x "regression" is
+    quantization noise, not signal. A latency key therefore fails only
+    past max(1 + tolerance, 2.5) * baseline — more than one bucket step.
+    p99 keys are recorded context, not gated: the p99 of a few hundred
+    samples rests on a handful of tail observations and legitimately
+    jumps several buckets run over run.
+
+Everything else (counts, checksums, core counts, skip markers) is context,
+not a gated metric. Only keys present in BOTH files are compared: the
+trajectories deliberately omit keys the host cannot justify (e.g. the
+worker-scaling ratio on small machines, see bench_workload_macro.cc), so a
+key missing on one side is a hardware difference, not a regression.
+
+The committed snapshot is a trajectory point, not an oracle: after a real
+perf change (or a CI hardware change), refresh it by re-running the bench
+and committing the new file alongside the change that explains it.
+
+Usage:
+  tools/bench_trend.py BASELINE.json FRESH.json [--tolerance=0.25]
+
+Exit codes: 0 within tolerance, 1 regression(s), 2 usage/IO error.
+"""
+
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_sec", "_rel")
+HIGHER_BETTER_MARKERS = ("_speedup_",)
+LOWER_BETTER_SUFFIXES = ("_ms", "_p50")
+LOWER_BETTER_MARKERS = ("_p50_",)
+UNTRACKED_MARKERS = ("_p99",)  # tail of a small sample: context, not signal
+
+
+def direction(key):
+    """'up' if higher is better, 'down' if lower is better, None if untracked."""
+    if any(m in key for m in UNTRACKED_MARKERS):
+        return None
+    if key.endswith(HIGHER_BETTER_SUFFIXES) or any(
+        m in key for m in HIGHER_BETTER_MARKERS
+    ):
+        return "up"
+    if key.endswith(LOWER_BETTER_SUFFIXES) or any(
+        m in key for m in LOWER_BETTER_MARKERS
+    ):
+        return "down"
+    return None
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_trend: cannot read {path}: {e}\n")
+        sys.exit(2)
+    if not isinstance(data, dict):
+        sys.stderr.write(f"bench_trend: {path} is not a flat JSON object\n")
+        sys.exit(2)
+    return data
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.stderr.write(f"bench_trend: bad tolerance {arg!r}\n")
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2 or tolerance <= 0:
+        sys.stderr.write(__doc__.split("Usage:")[1])
+        return 2
+
+    baseline, fresh = load(paths[0]), load(paths[1])
+    shared = sorted(set(baseline) & set(fresh))
+    tracked = [k for k in shared if direction(k) is not None]
+    if not tracked:
+        sys.stderr.write("bench_trend: no tracked metrics in common — "
+                         "wrong file pair?\n")
+        return 2
+
+    regressions = []
+    for key in tracked:
+        base, new = float(baseline[key]), float(fresh[key])
+        if base <= 0:
+            continue  # degenerate baseline (skipped run); nothing to gate
+        ratio = new / base
+        if direction(key) == "up" and ratio < 1 - tolerance:
+            regressions.append((key, base, new, f"-{(1 - ratio):.0%}"))
+        elif direction(key) == "down" and ratio > max(1 + tolerance, 2.5):
+            # Bucketed quantiles resolve only power-of-two steps; demand
+            # more than one step before calling it a regression.
+            regressions.append((key, base, new, f"+{(ratio - 1):.0%}"))
+
+    skipped = [k for k in sorted(set(baseline) ^ set(fresh))
+               if direction(k) is not None]
+    if skipped:
+        print(f"bench_trend: {len(skipped)} tracked key(s) present on only "
+              f"one side (hardware-gated), not compared: {', '.join(skipped)}")
+
+    print(f"bench_trend: compared {len(tracked)} tracked metric(s) at "
+          f"{tolerance:.0%} tolerance")
+    if regressions:
+        for key, base, new, delta in regressions:
+            print(f"  REGRESSED {key}: {base:g} -> {new:g} ({delta})")
+        print(f"bench_trend: {len(regressions)} regression(s); if this is an "
+              "accepted perf change, refresh the committed snapshot")
+        return 1
+    print("bench_trend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

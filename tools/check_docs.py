@@ -38,6 +38,12 @@
    src/net/wire.h — and every enumerator the enum declares must be
    documented. A frame added without a spec entry (or a spec entry for a
    removed frame) fails the build.
+
+8. Workload harness drift: the same two-way check between
+   docs/WORKLOAD.md and the workload surface — `FamilySpec` and
+   `FamilyInstance` members in src/workload/families.h, `TrafficMix`
+   and `DriverConfig` members in src/workload/driver.h, and
+   `LoadDriver`'s public methods.
 """
 
 import re
@@ -260,6 +266,34 @@ def check_wire_protocol():
     )
 
 
+def check_workload_harness():
+    doc = (REPO / "docs" / "WORKLOAD.md").read_text(encoding="utf-8")
+    families = (REPO / "src" / "workload" / "families.h").read_text(
+        encoding="utf-8"
+    )
+    driver = (REPO / "src" / "workload" / "driver.h").read_text(
+        encoding="utf-8"
+    )
+    return two_way_drift(
+        "docs/WORKLOAD.md",
+        doc,
+        "src/workload/families.h",
+        {
+            "FamilySpec": struct_members(families, "FamilySpec"),
+            "FamilyInstance": struct_members(families, "FamilyInstance"),
+        },
+    ) + two_way_drift(
+        "docs/WORKLOAD.md",
+        doc,
+        "src/workload/driver.h",
+        {
+            "TrafficMix": struct_members(driver, "TrafficMix"),
+            "DriverConfig": struct_members(driver, "DriverConfig"),
+            "LoadDriver": class_public_methods(driver, "LoadDriver"),
+        },
+    )
+
+
 OBS_NAME_RE = re.compile(r"adp(?:_[a-z0-9_]+|\.[a-z._]+[a-z])")
 # Name-shaped tokens that are not catalog entries: binaries and tools.
 OBS_NAME_EXEMPT = {"adp_server", "adp_cli", "adp_netserver", "adp_netclient"}
@@ -306,6 +340,7 @@ def main():
         + check_observability_catalog()
         + check_relational_core()
         + check_wire_protocol()
+        + check_workload_harness()
     )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
@@ -317,7 +352,8 @@ def main():
           "docs/STREAMING.md agrees with src/engine/result_stream.h; "
           "docs/OBSERVABILITY.md agrees with src/obs/names.h; "
           "docs/RELATIONAL.md agrees with src/relational/relation.h; "
-          "docs/PROTOCOL.md agrees with src/net/wire.h")
+          "docs/PROTOCOL.md agrees with src/net/wire.h; "
+          "docs/WORKLOAD.md agrees with src/workload/{families,driver}.h")
     return 0
 
 
